@@ -1,0 +1,69 @@
+// A1: heartbeat period ablation (the tuning question of the paper's
+// companion tool paper, ref [1]).
+//
+// A shorter heartbeat period timestamps freezes more precisely — the
+// freeze is known to lie within one period after the last ALIVE record —
+// but costs proportionally more flash writes.  The sweep runs the same
+// campaign at each period and reports freeze-timestamp error against
+// ground truth next to the logger's write volume.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "fleet/fleet.hpp"
+
+int main() {
+    using namespace symfail;
+    std::printf("=== A1: heartbeat period ablation ===\n\n");
+    std::printf("%12s  %10s  %14s  %16s  %14s\n", "period (s)", "freezes",
+                "recall (%)", "mean ts err (s)", "writes/day");
+
+    const std::vector<int> periods{5, 15, 30, 60, 120, 300, 600};
+    for (const int period : periods) {
+        auto fleetConfig = bench::sweepFleetConfig(77);
+        fleetConfig.loggerConfig.heartbeatPeriod = sim::Duration::seconds(period);
+        core::StudyConfig config;
+        config.fleetConfig = fleetConfig;
+        const core::FailureStudy study{config};
+        const auto results = study.runFieldStudy();
+
+        // Freeze timestamp error: detected (last ALIVE) vs true freeze time.
+        double totalErr = 0.0;
+        std::size_t matched = 0;
+        const auto truthMap = results.fleet.truthMap();
+        for (const auto& freeze : results.dataset.freezes()) {
+            const auto it = truthMap.find(freeze.phoneName);
+            if (it == truthMap.end()) continue;
+            double best = 1e18;
+            for (const auto& e : it->second->eventsOf(phone::TruthKind::Freeze)) {
+                const double gap =
+                    (e.time - freeze.lastAliveAt).asSecondsF();
+                if (gap >= 0.0 && gap < best) best = gap;
+            }
+            if (best < 3'600.0) {
+                totalErr += best;
+                ++matched;
+            }
+        }
+        const double meanErr = matched > 0 ? totalErr / static_cast<double>(matched) : 0.0;
+
+        // Write volume: heartbeats dominate; normalize per observed day.
+        const double observedDays = results.mtbf.observedPhoneHours / 24.0;
+        double writesPerDay = 0.0;
+        if (observedDays > 0.0) {
+            // One ALIVE write per period of powered-on time; approximate
+            // with observed time (the on-fraction cancels across rows).
+            writesPerDay = 86'400.0 / static_cast<double>(period);
+        }
+        std::printf("%12d  %10zu  %13.1f%%  %16.1f  %14.0f\n", period,
+                    results.dataset.freezes().size(),
+                    100.0 * results.evaluation.freezeDetection.recall(), meanErr,
+                    writesPerDay);
+    }
+    std::printf("\nExpected shape: timestamp error grows linearly with the period\n"
+                "(~period/2 on average) while the write cost falls as 1/period;\n"
+                "recall is insensitive — the last-ALIVE rule detects the freeze\n"
+                "regardless of period. The paper's logger used a period in the\n"
+                "tens of seconds as the sweet spot.\n");
+    return 0;
+}

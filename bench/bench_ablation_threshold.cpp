@@ -1,0 +1,38 @@
+// A3: self-shutdown threshold ablation.
+//
+// The paper fixes the discrimination threshold at 360 s by inspecting
+// Figure 2.  With ground truth available, the choice can be scored: sweep
+// the threshold and report precision/recall of self-shutdown detection.
+#include <cstdio>
+#include <vector>
+
+#include "analysis/evaluator.hpp"
+#include "bench_common.hpp"
+
+int main() {
+    using namespace symfail;
+    const auto results = bench::runDefaultFieldStudy();
+    const auto truthMap = results.fleet.truthMap();
+
+    std::printf("=== A3: self-shutdown threshold ablation ===\n\n");
+    std::printf("%14s  %10s  %12s  %10s  %8s\n", "threshold (s)", "detected",
+                "precision", "recall", "F1");
+    const std::vector<double> thresholds{30,  60,  120,  240,  360,
+                                         500, 900, 1'800, 3'600, 7'200};
+    for (const double threshold : thresholds) {
+        const analysis::ShutdownDiscriminator discriminator{threshold};
+        const auto classification = discriminator.classify(results.dataset);
+        const auto evaluation =
+            analysis::evaluate(results.dataset, classification, truthMap);
+        std::printf("%14.0f  %10zu  %11.1f%%  %9.1f%%  %7.3f\n", threshold,
+                    classification.selfShutdowns.size(),
+                    100.0 * evaluation.selfShutdownDetection.precision(),
+                    100.0 * evaluation.selfShutdownDetection.recall(),
+                    evaluation.selfShutdownDetection.f1());
+    }
+    std::printf("\nExpected shape: recall saturates once the threshold clears the\n"
+                "self-reboot duration tail (a few hundred seconds); precision\n"
+                "decays as quick user power-cycles start to be misclassified.\n"
+                "The paper's 360 s sits near the F1 knee.\n");
+    return 0;
+}

@@ -1,0 +1,85 @@
+// Baseline comparison: D_EXC vs the paper's failure data logger.
+//
+// D_EXC (the paper's related work) collects panic events but "does not
+// relate panic events to failure manifestations, running applications,
+// and phone activities".  This bench runs both tools on the same
+// campaign and shows what each tool's data can support.
+#include <cstdio>
+
+#include "analysis/coalescence.hpp"
+#include "analysis/dataset.hpp"
+#include "analysis/discriminator.hpp"
+#include "analysis/mtbf.hpp"
+#include "bench_common.hpp"
+#include "faults/injector.hpp"
+#include "logger/dexc.hpp"
+#include "logger/logger.hpp"
+
+int main() {
+    using namespace symfail;
+
+    // A medium campaign with both tools attached to every phone.
+    const auto fleetConfig = bench::sweepFleetConfig(606);
+    const auto rates = faults::deriveRates(fleet::derivePlan(fleetConfig));
+
+    sim::Simulator simulator;
+    struct Unit {
+        std::unique_ptr<logger::FailureLogger> fullLogger;
+        std::unique_ptr<logger::DExcTool> dexc;
+        std::unique_ptr<faults::FaultInjector> injector;
+        std::unique_ptr<phone::PhoneDevice> device;
+    };
+    std::vector<Unit> units;
+    sim::Rng rng{fleetConfig.seed};
+    for (int i = 0; i < fleetConfig.phoneCount; ++i) {
+        phone::PhoneDevice::Config deviceConfig;
+        deviceConfig.name = "phone-" + std::to_string(i);
+        deviceConfig.seed = rng.nextU64();
+        auto device = std::make_unique<phone::PhoneDevice>(simulator, deviceConfig);
+        auto fullLogger = std::make_unique<logger::FailureLogger>(*device);
+        auto dexc = std::make_unique<logger::DExcTool>(*device);
+        auto injector =
+            std::make_unique<faults::FaultInjector>(*device, rates, rng.nextU64());
+        device->powerOn();
+        units.push_back(Unit{std::move(fullLogger), std::move(dexc),
+                             std::move(injector), std::move(device)});
+    }
+    simulator.runUntil(sim::TimePoint::origin() + fleetConfig.campaign);
+
+    std::vector<analysis::PhoneLog> logs;
+    std::size_t dexcPanics = 0;
+    for (const auto& unit : units) {
+        logs.push_back(analysis::PhoneLog{unit.device->name(),
+                                          unit.fullLogger->logFileContent()});
+        dexcPanics += logger::DExcTool::parse(unit.dexc->logContent()).size();
+    }
+    const auto dataset = analysis::LogDataset::build(logs);
+    const auto classification = analysis::ShutdownDiscriminator{}.classify(dataset);
+    const auto coalescence = analysis::coalesce(dataset, classification);
+    const auto mtbf = analysis::estimateMtbf(dataset, classification);
+
+    std::printf("=== baseline: D_EXC vs the failure data logger ===\n\n");
+    std::printf("%-44s %14s %14s\n", "capability", "D_EXC", "full logger");
+    std::printf("%.*s\n", 76,
+                "----------------------------------------------------------------"
+                "------------");
+    std::printf("%-44s %14zu %14zu\n", "panic events collected (Table 2)", dexcPanics,
+                dataset.panics().size());
+    std::printf("%-44s %14s %14zu\n", "freezes detected (heartbeat)", "-",
+                dataset.freezes().size());
+    std::printf("%-44s %14s %14zu\n", "self-shutdowns discriminated (Fig. 2)", "-",
+                classification.selfShutdowns.size());
+    std::printf("%-44s %14s %13.1f%%\n", "panics related to failures (Fig. 5)", "-",
+                100.0 * coalescence.relatedFraction());
+    std::printf("%-44s %14s %14s\n", "activity at panic time (Table 3)", "-", "yes");
+    std::printf("%-44s %14s %14s\n", "running apps at panic time (Table 4)", "-",
+                "yes");
+    std::printf("%-44s %14s %12.0f h\n", "MTBF estimation", "-",
+                mtbf.mtbfAnyFailureHours);
+    std::printf(
+        "\nBoth tools see the same kernel notifications, so the panic census\n"
+        "matches; everything that makes the paper's analysis possible — the\n"
+        "heartbeat, the boot-time classification, the context snapshots — is\n"
+        "what D_EXC lacks.\n");
+    return 0;
+}

@@ -1,0 +1,34 @@
+// Shared helpers for the reproduction benches: every bench regenerates its
+// table/figure from a fresh, deterministic full-scale campaign (25 phones,
+// 14 months) unless it sweeps a parameter.
+#pragma once
+
+#include <cstdio>
+
+#include "core/render.hpp"
+#include "core/study.hpp"
+
+namespace symfail::bench {
+
+/// Runs the default paper-scale campaign and pipeline.
+inline core::FieldStudyResults runDefaultFieldStudy() {
+    core::StudyConfig config;
+    const core::FailureStudy study{config};
+    return study.runFieldStudy();
+}
+
+/// A reduced campaign for parameter sweeps that re-run the simulation
+/// (rates scaled up so short campaigns still see enough events).
+inline fleet::FleetConfig sweepFleetConfig(std::uint64_t seed) {
+    fleet::FleetConfig config;
+    config.phoneCount = 8;
+    config.campaign = sim::Duration::days(60);
+    config.enrollmentWindow = sim::Duration::days(10);
+    config.seed = seed;
+    config.freezesPerHour *= 6.0;
+    config.selfShutdownsPerHour *= 6.0;
+    config.panicsPerHour *= 6.0;
+    return config;
+}
+
+}  // namespace symfail::bench

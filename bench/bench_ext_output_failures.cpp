@@ -1,0 +1,43 @@
+// Extension (the paper's future work): capturing output failures through
+// user involvement — and quantifying the under-reporting bias the paper
+// warned about from its Bluetooth-study experience.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+
+int main() {
+    using namespace symfail;
+
+    std::printf("=== extension: output-failure capture via user reports ===\n\n");
+    std::printf("%16s  %12s  %12s  %12s  %14s\n", "P(user reports)", "occurred",
+                "reported", "capture", "apparent rate");
+
+    for (const double p : {1.0, 0.75, 0.5, 0.35, 0.2, 0.1}) {
+        auto fleetConfig = bench::sweepFleetConfig(909);
+        fleetConfig.userReportConfig.reportProbability = p;
+        core::StudyConfig config;
+        config.fleetConfig = fleetConfig;
+        const core::FailureStudy study{config};
+        const auto results = study.runFieldStudy();
+
+        const auto occurred = results.evaluation.outputFailuresInjected;
+        const auto reported = results.evaluation.userReportsLogged;
+        const double hours = results.mtbf.observedPhoneHours;
+        const double apparentMtbfDays =
+            reported == 0 ? 0.0
+                          : hours / static_cast<double>(reported) / 24.0;
+        std::printf("%16.2f  %12zu  %12zu  %11.1f%%  %11.1f days\n", p, occurred,
+                    reported,
+                    100.0 * results.evaluation.outputFailureCaptureRate(),
+                    apparentMtbfDays);
+    }
+
+    std::printf(
+        "\nThe true output-failure rate is identical in every row; only the\n"
+        "user's diligence changes.  At the paper's observed user reliability\n"
+        "(~35%%) the apparent mean time between output failures is ~3x the\n"
+        "real one — the bias the paper anticipated when it deferred output\n"
+        "failure capture to future work.\n");
+    return 0;
+}

@@ -1,0 +1,35 @@
+// Extension: panics as early warnings.
+//
+// The study's motivation includes guiding "detection and recovery
+// mechanisms"; this bench quantifies how actionable a recorded panic is:
+// the probability that a user-perceived failure follows within T seconds,
+// against the base rate at a random instant, for a sweep of horizons.
+#include <cstdio>
+
+#include "analysis/prediction.hpp"
+#include "bench_common.hpp"
+
+int main() {
+    using namespace symfail;
+    const auto results = bench::runDefaultFieldStudy();
+    const std::vector<double> horizons{30,    60,     300,    900,
+                                       3'600, 21'600, 86'400};
+    const auto sweep = analysis::panicWarningAnalysis(
+        results.dataset, results.classification, horizons);
+
+    std::printf("=== extension: panic as an early warning of failure ===\n\n");
+    std::printf("%12s  %22s  %12s  %8s\n", "horizon", "P(failure | panic)",
+                "base rate", "lift");
+    for (const auto& point : sweep) {
+        std::printf("%11.0fs  %21.1f%%  %11.2f%%  %7.1fx\n", point.horizonSeconds,
+                    100.0 * point.pFailureAfterPanic, 100.0 * point.baseRate,
+                    point.lift());
+    }
+    std::printf(
+        "\nAt short horizons the lift is enormous (a panic is a strong,\n"
+        "immediate symptom — the Figure 5 coalescence seen from the other\n"
+        "side); by day-scale horizons it decays toward 1 (no long-range\n"
+        "predictive power).  A recovery mechanism that checkpoints state on\n"
+        "panic notification would act within the high-lift window.\n");
+    return 0;
+}

@@ -1,0 +1,40 @@
+// Extension: time-between-failures distribution fitting.
+//
+// The paper stops at means (MTBFr/MTBS).  Fitting the pooled per-phone
+// inter-failure times tests whether failures are memoryless (exponential)
+// or bursty (Weibull, shape < 1) — the distributional footprint of the
+// error-propagation behaviour the paper observed in its panic cascades.
+#include <cstdio>
+
+#include "analysis/reliability.hpp"
+#include "bench_common.hpp"
+
+int main() {
+    using namespace symfail;
+    const auto results = bench::runDefaultFieldStudy();
+    const auto tbf = analysis::analyzeTimeBetweenFailures(results.dataset,
+                                                          results.classification);
+
+    std::printf("=== extension: TBF distribution fitting ===\n\n");
+    std::printf("pooled inter-failure gaps: %zu (freezes + self-shutdowns, per "
+                "phone)\n\n",
+                tbf.interarrivalsHours.size());
+    std::printf("exponential fit: mean %.1f h, logL %.1f, AIC %.1f\n",
+                tbf.exponential.meanHours, tbf.exponential.logLikelihood,
+                analysis::aic(tbf.exponential.logLikelihood, 1));
+    std::printf("Weibull fit:     shape %.3f, scale %.1f h, logL %.1f, AIC %.1f%s\n",
+                tbf.weibull.shape, tbf.weibull.scaleHours,
+                tbf.weibull.logLikelihood,
+                analysis::aic(tbf.weibull.logLikelihood, 2),
+                tbf.weibull.converged ? "" : "  (not converged)");
+    std::printf("\npreferred model: %s\n",
+                tbf.weibullPreferred ? "Weibull" : "exponential");
+    if (tbf.weibull.shape < 1.0) {
+        std::printf("shape < 1: decreasing hazard — failures cluster (consistent\n"
+                    "with the paper's error-propagation/burst observations).\n");
+    } else {
+        std::printf("shape >= 1: no clustering beyond the activity-driven\n"
+                    "modulation of the fault processes.\n");
+    }
+    return 0;
+}

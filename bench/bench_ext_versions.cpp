@@ -1,0 +1,31 @@
+// Extension: failure breakdown by Symbian OS version.
+//
+// The paper's fleet mixed OS versions 6.1-9.0 (mostly 8.0) but reported
+// only aggregates; with device metadata in the Log File the per-version
+// rates fall out directly.
+#include <cstdio>
+
+#include "analysis/version_stats.hpp"
+#include "bench_common.hpp"
+
+int main() {
+    using namespace symfail;
+    const auto results = bench::runDefaultFieldStudy();
+    const auto rows =
+        analysis::versionBreakdown(results.dataset, results.classification);
+
+    std::printf("=== extension: failures by Symbian OS version ===\n\n");
+    std::printf("%10s %8s %14s %9s %10s %8s %14s\n", "version", "phones",
+                "observed h", "freezes", "self-shut", "panics", "failures/30d");
+    for (const auto& row : rows) {
+        std::printf("%10s %8zu %14.0f %9zu %10zu %8zu %14.1f\n", row.version.c_str(),
+                    row.phones, row.observedHours, row.freezes, row.selfShutdowns,
+                    row.panics, row.failuresPer30Days());
+    }
+    std::printf("\nFault rates are version-independent in the model (the paper\n"
+                "gives no per-version data to calibrate against), so per-version\n"
+                "differences here estimate the sampling noise a 25-phone fleet\n"
+                "induces — a caution against over-reading small per-group splits\n"
+                "in field studies of this size.\n");
+    return 0;
+}

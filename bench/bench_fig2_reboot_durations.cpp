@@ -1,0 +1,13 @@
+// F2: Figure 2 — the reboot-duration distribution with its two modes
+// (self-shutdowns near 80 s, night shutdowns near 30,000 s) and the 360 s
+// discrimination threshold.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+    const auto results = symfail::bench::runDefaultFieldStudy();
+    std::printf("=== F2: reboot durations ===\n\n%s",
+                symfail::core::renderFig2(results).c_str());
+    return 0;
+}

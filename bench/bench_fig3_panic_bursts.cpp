@@ -1,0 +1,12 @@
+// F3: Figure 3 — distribution of subsequent panics (panic bursts / error
+// propagation between applications).
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+    const auto results = symfail::bench::runDefaultFieldStudy();
+    std::printf("=== F3: panic bursts ===\n\n%s",
+                symfail::core::renderFig3(results).c_str());
+    return 0;
+}

@@ -1,0 +1,29 @@
+// F5 + A2: Figure 5 — panic/HL-event coalescence with the 5-minute window,
+// plus the window-size sensitivity sweep that justifies it (Figure 4's
+// methodology).
+#include <cstdio>
+
+#include "analysis/coalescence.hpp"
+#include "bench_common.hpp"
+
+int main() {
+    using namespace symfail;
+    const auto results = bench::runDefaultFieldStudy();
+    std::printf("=== F5: panics and high-level events ===\n\n%s\n",
+                core::renderFig5(results).c_str());
+
+    std::printf("--- A2: coalescence window sensitivity ---\n");
+    std::printf("%12s  %10s  %8s\n", "window (s)", "related", "fraction");
+    const std::vector<double> windows{1,    5,     30,    60,    120,  300,
+                                      600,  1'800, 3'600, 7'200, 14'400};
+    const auto sweep = analysis::windowSweep(results.dataset, results.classification,
+                                             windows);
+    for (const auto& point : sweep) {
+        std::printf("%12.0f  %10zu  %7.1f%%\n", point.windowSeconds,
+                    point.relatedCount, 100.0 * point.relatedFraction);
+    }
+    std::printf("\nExpected shape: growth up to ~300 s, a plateau, then renewed\n"
+                "growth at hour-scale windows from uncorrelated events — the\n"
+                "paper's argument for fixing the window at five minutes.\n");
+    return 0;
+}

@@ -1,0 +1,11 @@
+// F6: Figure 6 — number of running applications at panic time.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+    const auto results = symfail::bench::runDefaultFieldStudy();
+    std::printf("=== F6: running applications at panic time ===\n\n%s",
+                symfail::core::renderFig6(results).c_str());
+    return 0;
+}

@@ -1,0 +1,19 @@
+// T1: Table 1 — failure type vs recovery action from the web-forum corpus
+// (Section 4), plus the section's companion statistics.
+#include <cstdio>
+
+#include "core/render.hpp"
+#include "core/study.hpp"
+
+int main() {
+    using namespace symfail;
+    core::StudyConfig config;
+    const core::FailureStudy study{config};
+    const auto result = study.runForumStudy();
+
+    std::printf("=== T1: forum study (%d failure reports, as in the paper) ===\n\n",
+                config.forumConfig.failureReports);
+    std::printf("%s\n", core::renderTable1(result).c_str());
+    std::printf("%s", core::renderForumSummary(result).c_str());
+    return 0;
+}

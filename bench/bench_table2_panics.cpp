@@ -1,0 +1,12 @@
+// T2: Table 2 — collected panic events by category and type, measured
+// share vs the paper's share.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+    const auto results = symfail::bench::runDefaultFieldStudy();
+    std::printf("=== T2: panic classification ===\n\n%s",
+                symfail::core::renderTable2(results).c_str());
+    return 0;
+}

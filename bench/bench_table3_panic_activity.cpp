@@ -1,0 +1,12 @@
+// T3: Table 3 — user activity at panic time for HL-related panics
+// (voice calls vs messages vs unspecified).
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+    const auto results = symfail::bench::runDefaultFieldStudy();
+    std::printf("=== T3: panic-activity relationship ===\n\n%s",
+                symfail::core::renderTable3(results).c_str());
+    return 0;
+}

@@ -1,0 +1,11 @@
+// T4: Table 4 — panic vs running-application relationship.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+    const auto results = symfail::bench::runDefaultFieldStudy();
+    std::printf("=== T4: panic-running applications relationship ===\n\n%s",
+                symfail::core::renderTable4(results).c_str());
+    return 0;
+}

@@ -1,0 +1,51 @@
+// The full study: 25 phones, 14 months — regenerates every table and
+// figure of the paper's Section 6 in one run, with the ground-truth
+// evaluation the original field study could not perform.
+//
+// Usage: fleet_study [seed] [--csv <dir>]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "core/export.hpp"
+#include "core/render.hpp"
+#include "core/study.hpp"
+
+int main(int argc, char** argv) {
+    using namespace symfail;
+
+    core::StudyConfig config;
+    const char* csvDir = nullptr;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
+            csvDir = argv[++i];
+        } else {
+            config.fleetConfig.seed = std::strtoull(argv[i], nullptr, 10);
+        }
+    }
+
+    std::printf("running the %d-phone / %lld-day campaign (seed %llu)...\n\n",
+                config.fleetConfig.phoneCount,
+                static_cast<long long>(config.fleetConfig.campaign.asDaysF()),
+                static_cast<unsigned long long>(config.fleetConfig.seed));
+
+    const core::FailureStudy study{config};
+    const auto results = study.runFieldStudy();
+
+    std::printf("%s\n", core::renderHeadline(results).c_str());
+    std::printf("%s\n", core::renderFig2(results).c_str());
+    std::printf("%s\n", core::renderTable2(results).c_str());
+    std::printf("%s\n", core::renderFig3(results).c_str());
+    std::printf("%s\n", core::renderFig5(results).c_str());
+    std::printf("%s\n", core::renderTable3(results).c_str());
+    std::printf("%s\n", core::renderFig6(results).c_str());
+    std::printf("%s\n", core::renderTable4(results).c_str());
+    std::printf("%s\n", core::renderPerPhone(results).c_str());
+    std::printf("%s\n", core::renderEvaluation(results).c_str());
+
+    if (csvDir != nullptr) {
+        const auto files = core::exportFieldCsv(results, csvDir);
+        std::printf("wrote %zu CSV files to %s\n", files.size(), csvDir);
+    }
+    return 0;
+}

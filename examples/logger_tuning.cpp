@@ -1,0 +1,67 @@
+// Logger tuning walkthrough: how the heartbeat period trades freeze
+// timestamp precision against write volume, on a single phone you can
+// reason about — a narrated version of the A1 ablation bench.
+#include <cstdio>
+
+#include "analysis/dataset.hpp"
+#include "logger/logger.hpp"
+#include "phone/device.hpp"
+
+int main() {
+    using namespace symfail;
+
+    std::printf("=== logger tuning: heartbeat period vs freeze timestamping ===\n\n");
+    std::printf("One phone freezes 6 h 4 m 7 s after boot; each row re-runs that\n"
+                "day with a different heartbeat period and shows when the logger\n"
+                "thinks the freeze happened.\n\n");
+    std::printf("%12s  %18s  %14s  %12s\n", "period (s)", "detected freeze at",
+                "error (s)", "beats/day");
+
+    for (const int period : {5, 15, 30, 60, 120, 300, 600}) {
+        sim::Simulator simulator;
+        phone::PhoneDevice::Config config;
+        config.name = "tunable";
+        config.seed = 55;
+        // Quiet user: the freeze is the only event of the day.
+        config.profile.callsPerDay = 0.0;
+        config.profile.smsPerDay = 0.0;
+        config.profile.cameraPerDay = 0.0;
+        config.profile.bluetoothPerDay = 0.0;
+        config.profile.webPerDay = 0.0;
+        config.profile.appSessionsPerDay = 0.0;
+        config.profile.nightOffProb = 0.0;
+        config.profile.daytimeOffPerDay = 0.0;
+        config.profile.quickCyclesPerDay = 0.0;
+        phone::PhoneDevice device{simulator, config};
+
+        logger::LoggerConfig loggerConfig;
+        loggerConfig.heartbeatPeriod = sim::Duration::seconds(period);
+        logger::FailureLogger loggerApp{device, loggerConfig};
+
+        device.powerOn();
+        // Off-grid freeze time (not a multiple of any period) so the
+        // timestamp error is visible.
+        const auto freezeAt = sim::TimePoint::origin() + sim::Duration::hours(6) +
+                              sim::Duration::seconds(247);
+        simulator.runUntil(freezeAt);
+        device.freeze("demo hang");
+        simulator.runUntil(freezeAt + sim::Duration::days(1));  // user recovers
+
+        const auto dataset = analysis::LogDataset::build(
+            {analysis::PhoneLog{device.name(), loggerApp.logFileContent()}});
+        if (dataset.freezes().size() != 1) {
+            std::printf("%12d  (freeze not detected!)\n", period);
+            continue;
+        }
+        const auto detected = dataset.freezes()[0].lastAliveAt;
+        const double error = (freezeAt - detected).asSecondsF();
+        std::printf("%12d  %18s  %14.1f  %12.0f\n", period, detected.str().c_str(),
+                    error, 86'400.0 / period);
+    }
+
+    std::printf("\nThe error is bounded by one period (the freeze happened after\n"
+                "the last ALIVE record); the write cost scales as 1/period. The\n"
+                "five-minute coalescence window of the analysis tolerates any\n"
+                "period up to ~300 s without losing panic-freeze associations.\n");
+    return 0;
+}

@@ -1,0 +1,87 @@
+// Quickstart: one simulated phone, one week, and the logger at work.
+//
+// Boots a single Symbian-model smart phone with the failure data logger
+// installed, lets a simulated user live with it for a week while faults
+// are injected, then runs the analysis pipeline over the collected Log
+// File and prints what the logger saw versus what actually happened.
+#include <cstdio>
+
+#include "analysis/dataset.hpp"
+#include "analysis/discriminator.hpp"
+#include "faults/injector.hpp"
+#include "faults/rates.hpp"
+#include "logger/logger.hpp"
+#include "phone/device.hpp"
+
+int main() {
+    using namespace symfail;
+
+    sim::Simulator simulator;
+
+    phone::PhoneDevice::Config deviceConfig;
+    deviceConfig.name = "quickstart-phone";
+    deviceConfig.symbianVersion = "8.0";
+    deviceConfig.seed = 42;
+    phone::PhoneDevice device{simulator, deviceConfig};
+
+    logger::FailureLogger loggerApp{device};
+
+    // A deliberately unreliable week: scale the paper's rates up ~100x so
+    // a single phone shows every mechanism in seven days.
+    faults::StudyPlan plan;
+    plan.expectedCalls = 6.0 * 7;
+    plan.expectedMessages = 8.0 * 7;
+    plan.expectedOnHours = 24.0 * 7 * 0.85;
+    plan.targetPanics = 18;
+    plan.targetFreezes = 6;
+    plan.targetSelfShutdowns = 8;
+    faults::FaultInjector injector{device, faults::deriveRates(plan), 7};
+
+    device.powerOn();
+    simulator.runUntil(sim::TimePoint::origin() + sim::Duration::days(7));
+
+    std::printf("=== quickstart: one phone, one simulated week ===\n\n");
+    std::printf("boots: %llu, heartbeats: %llu, panics logged: %llu\n",
+                static_cast<unsigned long long>(device.bootCount()),
+                static_cast<unsigned long long>(loggerApp.heartbeatsWritten()),
+                static_cast<unsigned long long>(loggerApp.panicsLogged()));
+
+    const auto dataset = analysis::LogDataset::build(
+        {analysis::PhoneLog{device.name(), loggerApp.logFileContent()}});
+    const analysis::ShutdownDiscriminator discriminator;
+    const auto classified = discriminator.classify(dataset);
+
+    std::printf("\n-- what the logger reconstructed --\n");
+    std::printf("freezes detected:        %zu\n", dataset.freezes().size());
+    std::printf("self-shutdowns detected: %zu\n", classified.selfShutdowns.size());
+    std::printf("user shutdowns:          %zu\n", classified.userShutdowns.size());
+    std::printf("low-battery shutdowns:   %zu\n", classified.lowBattery.size());
+    std::printf("panics recorded:         %zu\n", dataset.panics().size());
+
+    const auto& truth = device.groundTruth();
+    std::printf("\n-- what actually happened (ground truth) --\n");
+    std::printf("freezes:            %zu\n", truth.countOf(phone::TruthKind::Freeze));
+    std::printf("self-shutdowns:     %zu\n",
+                truth.countOf(phone::TruthKind::SelfShutdown));
+    std::printf("night shutdowns:    %zu\n",
+                truth.countOf(phone::TruthKind::NightShutdown));
+    std::printf("panics injected:    %zu\n",
+                truth.countOf(phone::TruthKind::PanicInjected));
+
+    std::printf("\n-- last panic records --\n");
+    int shown = 0;
+    for (auto it = dataset.panics().rbegin();
+         it != dataset.panics().rend() && shown < 5; ++it, ++shown) {
+        const auto& rec = it->record;
+        std::string apps;
+        for (const auto& app : rec.runningApps) {
+            if (!apps.empty()) apps += ",";
+            apps += app;
+        }
+        std::printf("%s  %-20s apps=[%s] activity=%s battery=%d%%\n",
+                    rec.time.str().c_str(), symbos::toString(rec.panic).c_str(),
+                    apps.c_str(), std::string{logger::toString(rec.activity)}.c_str(),
+                    rec.batteryPercent);
+    }
+    return 0;
+}

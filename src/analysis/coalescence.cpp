@@ -1,0 +1,143 @@
+#include "analysis/coalescence.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace symfail::analysis {
+namespace {
+
+/// HL events of one phone, time-sorted.
+struct HlEvent {
+    sim::TimePoint time;
+    PanicRelation kind;  ///< Freeze or SelfShutdown
+};
+
+std::map<std::string, std::vector<HlEvent>> hlEventsPerPhone(
+    const LogDataset& dataset, const ShutdownClassification& classification) {
+    std::map<std::string, std::vector<HlEvent>> out;
+    for (const auto& freeze : dataset.freezes()) {
+        // The freeze happened shortly after the last ALIVE heartbeat.
+        out[freeze.phoneName].push_back(HlEvent{freeze.lastAliveAt, PanicRelation::Freeze});
+    }
+    for (const auto& self : classification.selfShutdowns) {
+        out[self.phoneName].push_back(
+            HlEvent{self.shutdownAt, PanicRelation::SelfShutdown});
+    }
+    for (auto& [phone, events] : out) {
+        std::sort(events.begin(), events.end(),
+                  [](const HlEvent& a, const HlEvent& b) { return a.time < b.time; });
+    }
+    return out;
+}
+
+}  // namespace
+
+CoalescenceResult coalesce(const LogDataset& dataset,
+                           const ShutdownClassification& classification,
+                           double windowSeconds) {
+    CoalescenceResult result;
+    const auto hlByPhone = hlEventsPerPhone(dataset, classification);
+
+    std::map<symbos::PanicCategory, CategoryRelationRow> rows;
+    std::map<std::string, std::vector<bool>> hlMatched;
+    for (const auto& [phone, events] : hlByPhone) {
+        hlMatched[phone].assign(events.size(), false);
+    }
+
+    for (const auto& panic : dataset.panics()) {
+        RelatedPanic related;
+        related.panic = panic;
+        related.relation = PanicRelation::Isolated;
+
+        const auto it = hlByPhone.find(panic.phoneName);
+        if (it != hlByPhone.end()) {
+            const auto& events = it->second;
+            // Nearest HL event within the window wins.
+            double best = windowSeconds;
+            std::size_t bestIdx = events.size();
+            for (std::size_t i = 0; i < events.size(); ++i) {
+                const double gap =
+                    std::abs((events[i].time - panic.record.time).asSecondsF());
+                if (gap <= best) {
+                    best = gap;
+                    bestIdx = i;
+                }
+            }
+            if (bestIdx < events.size()) {
+                related.relation = events[bestIdx].kind;
+                hlMatched[panic.phoneName][bestIdx] = true;
+            }
+        }
+
+        auto& row = rows[panic.record.panic.category];
+        row.category = panic.record.panic.category;
+        ++row.total;
+        if (related.relation == PanicRelation::Freeze) {
+            ++row.toFreeze;
+            ++result.relatedCount;
+        } else if (related.relation == PanicRelation::SelfShutdown) {
+            ++row.toSelfShutdown;
+            ++result.relatedCount;
+        }
+        result.panics.push_back(std::move(related));
+    }
+
+    for (const auto& [category, row] : rows) result.byCategory.push_back(row);
+    for (const auto& [phone, matched] : hlMatched) {
+        result.hlTotal += matched.size();
+        result.hlWithPanic += static_cast<std::size_t>(
+            std::count(matched.begin(), matched.end(), true));
+    }
+    return result;
+}
+
+std::vector<WindowSweepPoint> windowSweep(const LogDataset& dataset,
+                                          const ShutdownClassification& classification,
+                                          const std::vector<double>& windowsSeconds) {
+    std::vector<WindowSweepPoint> out;
+    out.reserve(windowsSeconds.size());
+    for (const double w : windowsSeconds) {
+        const auto result = coalesce(dataset, classification, w);
+        out.push_back(WindowSweepPoint{w, result.relatedFraction(), result.relatedCount});
+    }
+    return out;
+}
+
+ActivityCorrelation activityCorrelation(const CoalescenceResult& result) {
+    ActivityCorrelation corr;
+    std::map<symbos::PanicCategory, ActivityCorrelationRow> rows;
+    std::size_t voice = 0;
+    std::size_t message = 0;
+    std::size_t unspecified = 0;
+    for (const auto& related : result.panics) {
+        if (related.relation == PanicRelation::Isolated) continue;
+        auto& row = rows[related.panic.record.panic.category];
+        row.category = related.panic.record.panic.category;
+        switch (related.panic.record.activity) {
+            case logger::ActivityContext::VoiceCall:
+                ++row.voiceCall;
+                ++voice;
+                break;
+            case logger::ActivityContext::Message:
+                ++row.message;
+                ++message;
+                break;
+            case logger::ActivityContext::Unspecified:
+                ++row.unspecified;
+                ++unspecified;
+                break;
+        }
+        ++corr.totalRelated;
+    }
+    for (const auto& [category, row] : rows) corr.rows.push_back(row);
+    if (corr.totalRelated > 0) {
+        const auto total = static_cast<double>(corr.totalRelated);
+        corr.voicePercent = 100.0 * static_cast<double>(voice) / total;
+        corr.messagePercent = 100.0 * static_cast<double>(message) / total;
+        corr.unspecifiedPercent = 100.0 * static_cast<double>(unspecified) / total;
+    }
+    return corr;
+}
+
+}  // namespace symfail::analysis

@@ -1,0 +1,78 @@
+#include "analysis/dataset.hpp"
+
+namespace symfail::analysis {
+
+LogDataset LogDataset::build(const std::vector<PhoneLog>& logs) {
+    LogDataset ds;
+    for (const PhoneLog& log : logs) {
+        std::size_t malformed = 0;
+        const auto entries = logger::parseLogFile(log.logFileContent, &malformed);
+        ds.malformed_ += malformed;
+        if (entries.empty()) continue;
+
+        bool haveFirst = false;
+        sim::TimePoint first{};
+        sim::TimePoint last{};
+        for (const auto& entry : entries) {
+            sim::TimePoint t{};
+            switch (entry.type) {
+                case logger::LogFileEntry::Type::Panic: t = entry.panic.time; break;
+                case logger::LogFileEntry::Type::Boot: t = entry.boot.time; break;
+                case logger::LogFileEntry::Type::UserReport:
+                    t = entry.userReport.time;
+                    break;
+                case logger::LogFileEntry::Type::Meta: t = entry.meta.time; break;
+            }
+            if (!haveFirst || t < first) first = t;
+            if (!haveFirst || t > last) last = t;
+            haveFirst = true;
+
+            if (entry.type == logger::LogFileEntry::Type::Meta) {
+                ds.versions_[log.phoneName] = entry.meta.symbianVersion;
+                continue;
+            }
+            if (entry.type == logger::LogFileEntry::Type::Panic) {
+                ds.panics_.push_back(PanicObservation{log.phoneName, entry.panic});
+                continue;
+            }
+            if (entry.type == logger::LogFileEntry::Type::UserReport) {
+                ds.userReports_.push_back(
+                    UserReportObservation{log.phoneName, entry.userReport});
+                continue;
+            }
+            ++ds.boots_;
+            switch (entry.boot.prior) {
+                case logger::PriorShutdown::None:
+                    break;
+                case logger::PriorShutdown::Freeze:
+                    ds.freezes_.push_back(FreezeObservation{
+                        log.phoneName, entry.boot.lastBeatAt, entry.boot.time});
+                    break;
+                case logger::PriorShutdown::Reboot:
+                case logger::PriorShutdown::LowBattery:
+                    ds.shutdowns_.push_back(
+                        ShutdownObservation{log.phoneName, entry.boot.lastBeatAt,
+                                            entry.boot.time, entry.boot.prior});
+                    break;
+                case logger::PriorShutdown::ManualOff:
+                    ++ds.manualOffBoots_;
+                    break;
+            }
+        }
+        ds.spans_.push_back(PhoneSpan{log.phoneName, first, last});
+    }
+    return ds;
+}
+
+std::string LogDataset::versionOf(const std::string& phoneName) const {
+    const auto it = versions_.find(phoneName);
+    return it == versions_.end() ? "unknown" : it->second;
+}
+
+sim::Duration LogDataset::totalObservedTime() const {
+    sim::Duration total{};
+    for (const auto& span : spans_) total += span.span();
+    return total;
+}
+
+}  // namespace symfail::analysis

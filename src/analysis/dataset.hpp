@@ -1,0 +1,110 @@
+// Typed view over collected logs.
+//
+// The analysis pipeline starts from serialized Log Files — one per phone,
+// as the collection infrastructure delivers them — and parses them into
+// the observation types the paper's analyses consume:
+//   * shutdown observations (REBOOT/LOWBT boots, with off-duration),
+//   * freeze observations (boots whose last heartbeat was ALIVE),
+//   * panic observations.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "logger/records.hpp"
+#include "simkernel/time.hpp"
+
+namespace symfail::analysis {
+
+/// One phone's collected Log File.
+struct PhoneLog {
+    std::string phoneName;
+    std::string logFileContent;
+};
+
+/// A graceful shutdown observed across a boot pair.
+struct ShutdownObservation {
+    std::string phoneName;
+    sim::TimePoint shutdownAt;  ///< last heartbeat (the REBOOT/LOWBT marker)
+    sim::TimePoint bootAt;
+    logger::PriorShutdown prior{logger::PriorShutdown::Reboot};
+    [[nodiscard]] sim::Duration offDuration() const { return bootAt - shutdownAt; }
+};
+
+/// A freeze observed at boot (last heartbeat ALIVE -> battery pull).
+struct FreezeObservation {
+    std::string phoneName;
+    /// Last ALIVE heartbeat: the freeze happened within one heartbeat
+    /// period after this.
+    sim::TimePoint lastAliveAt;
+    sim::TimePoint bootAt;
+};
+
+/// A recorded panic.
+struct PanicObservation {
+    std::string phoneName;
+    logger::PanicRecord record;
+};
+
+/// A user-filed output-failure report.
+struct UserReportObservation {
+    std::string phoneName;
+    logger::UserReportRecord record;
+};
+
+/// Per-phone observation span (first to last record), for MTBF estimates.
+struct PhoneSpan {
+    std::string phoneName;
+    sim::TimePoint first;
+    sim::TimePoint last;
+    [[nodiscard]] sim::Duration span() const { return last - first; }
+};
+
+/// The parsed campaign dataset.
+class LogDataset {
+public:
+    /// Parses every phone's Log File.  Malformed lines are counted, not
+    /// fatal (battery pulls tear writes).
+    [[nodiscard]] static LogDataset build(const std::vector<PhoneLog>& logs);
+
+    [[nodiscard]] const std::vector<ShutdownObservation>& shutdowns() const {
+        return shutdowns_;
+    }
+    [[nodiscard]] const std::vector<FreezeObservation>& freezes() const {
+        return freezes_;
+    }
+    [[nodiscard]] const std::vector<PanicObservation>& panics() const {
+        return panics_;
+    }
+    [[nodiscard]] const std::vector<UserReportObservation>& userReports() const {
+        return userReports_;
+    }
+    [[nodiscard]] const std::vector<PhoneSpan>& spans() const { return spans_; }
+    /// Symbian version per phone (from META records); "unknown" if absent.
+    [[nodiscard]] const std::map<std::string, std::string>& versions() const {
+        return versions_;
+    }
+    [[nodiscard]] std::string versionOf(const std::string& phoneName) const;
+    [[nodiscard]] std::size_t malformedLines() const { return malformed_; }
+    [[nodiscard]] std::size_t bootCount() const { return boots_; }
+    /// Boots following a MAOFF marker (no failure inference possible).
+    [[nodiscard]] std::size_t manualOffBoots() const { return manualOffBoots_; }
+
+    /// Total observed wall-clock phone-time (sum of spans).
+    [[nodiscard]] sim::Duration totalObservedTime() const;
+
+private:
+    std::vector<ShutdownObservation> shutdowns_;
+    std::vector<FreezeObservation> freezes_;
+    std::vector<PanicObservation> panics_;
+    std::vector<UserReportObservation> userReports_;
+    std::vector<PhoneSpan> spans_;
+    std::map<std::string, std::string> versions_;
+    std::size_t malformed_{0};
+    std::size_t boots_{0};
+    std::size_t manualOffBoots_{0};
+};
+
+}  // namespace symfail::analysis

@@ -1,0 +1,94 @@
+#include "analysis/evaluator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace symfail::analysis {
+namespace {
+
+/// Greedy one-to-one matching of detections to truth times within a
+/// tolerance; returns the score.
+DetectionScore matchEvents(std::vector<double> detections, std::vector<double> truths,
+                           double toleranceSeconds) {
+    std::sort(detections.begin(), detections.end());
+    std::sort(truths.begin(), truths.end());
+    DetectionScore score;
+    std::vector<bool> used(truths.size(), false);
+    for (const double d : detections) {
+        bool matched = false;
+        for (std::size_t i = 0; i < truths.size(); ++i) {
+            if (used[i]) continue;
+            if (std::abs(truths[i] - d) <= toleranceSeconds) {
+                used[i] = true;
+                matched = true;
+                break;
+            }
+            if (truths[i] - d > toleranceSeconds) break;  // sorted: no later match
+        }
+        if (matched) {
+            ++score.truePositives;
+        } else {
+            ++score.falsePositives;
+        }
+    }
+    score.falseNegatives = static_cast<std::size_t>(
+        std::count(used.begin(), used.end(), false));
+    return score;
+}
+
+void accumulate(DetectionScore& into, const DetectionScore& from) {
+    into.truePositives += from.truePositives;
+    into.falsePositives += from.falsePositives;
+    into.falseNegatives += from.falseNegatives;
+}
+
+}  // namespace
+
+EvaluationReport evaluate(const LogDataset& dataset,
+                          const ShutdownClassification& classification,
+                          const TruthMap& truth, double toleranceSeconds) {
+    EvaluationReport report;
+
+    for (const auto& [phoneName, groundTruth] : truth) {
+        // Freeze detection: detected freeze time = last ALIVE heartbeat.
+        std::vector<double> detectedFreezes;
+        for (const auto& f : dataset.freezes()) {
+            if (f.phoneName == phoneName) {
+                detectedFreezes.push_back(f.lastAliveAt.asSecondsF());
+            }
+        }
+        std::vector<double> trueFreezes;
+        for (const auto& e : groundTruth->eventsOf(phone::TruthKind::Freeze)) {
+            trueFreezes.push_back(e.time.asSecondsF());
+        }
+        accumulate(report.freezeDetection,
+                   matchEvents(std::move(detectedFreezes), std::move(trueFreezes),
+                               toleranceSeconds));
+
+        // Self-shutdown discrimination.
+        std::vector<double> detectedSelf;
+        for (const auto& s : classification.selfShutdowns) {
+            if (s.phoneName == phoneName) {
+                detectedSelf.push_back(s.shutdownAt.asSecondsF());
+            }
+        }
+        std::vector<double> trueSelf;
+        for (const auto& e : groundTruth->eventsOf(phone::TruthKind::SelfShutdown)) {
+            trueSelf.push_back(e.time.asSecondsF());
+        }
+        accumulate(report.selfShutdownDetection,
+                   matchEvents(std::move(detectedSelf), std::move(trueSelf),
+                               toleranceSeconds));
+
+        report.panicsInjected += groundTruth->countOf(phone::TruthKind::PanicInjected);
+        report.outputFailuresInjected +=
+            groundTruth->countOf(phone::TruthKind::OutputFailureInjected);
+    }
+
+    report.panicsLogged = dataset.panics().size();
+    report.userReportsLogged = dataset.userReports().size();
+    return report;
+}
+
+}  // namespace symfail::analysis

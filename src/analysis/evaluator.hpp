@@ -1,0 +1,77 @@
+// Ground-truth evaluation of the measurement methodology.
+//
+// The original field study had no oracle: nobody could say how many
+// freezes the heartbeat missed or how many "self-shutdowns" were really
+// impatient users.  The simulation knows.  This evaluator scores the
+// logger + analysis pipeline against the simulator's ground truth:
+//   * freeze detection precision/recall,
+//   * self-shutdown discrimination precision/recall (against the true
+//     kernel-initiated reboots),
+//   * panic capture rate (panics logged vs injected).
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "analysis/dataset.hpp"
+#include "analysis/discriminator.hpp"
+#include "phone/ground_truth.hpp"
+
+namespace symfail::analysis {
+
+/// Precision/recall pair.
+struct DetectionScore {
+    std::size_t truePositives{0};
+    std::size_t falsePositives{0};
+    std::size_t falseNegatives{0};
+    [[nodiscard]] double precision() const {
+        const auto d = truePositives + falsePositives;
+        return d == 0 ? 1.0 : static_cast<double>(truePositives) / static_cast<double>(d);
+    }
+    [[nodiscard]] double recall() const {
+        const auto d = truePositives + falseNegatives;
+        return d == 0 ? 1.0 : static_cast<double>(truePositives) / static_cast<double>(d);
+    }
+    [[nodiscard]] double f1() const {
+        const double p = precision();
+        const double r = recall();
+        return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+    }
+};
+
+/// Full evaluation result.
+struct EvaluationReport {
+    DetectionScore freezeDetection;
+    DetectionScore selfShutdownDetection;
+    std::size_t panicsInjected{0};
+    std::size_t panicsLogged{0};
+    [[nodiscard]] double panicCaptureRate() const {
+        return panicsInjected == 0
+                   ? 1.0
+                   : static_cast<double>(panicsLogged) /
+                         static_cast<double>(panicsInjected);
+    }
+    /// Output-failure capture via the user-report channel (the paper's
+    /// future-work extension): reports filed vs failures that occurred —
+    /// quantifies the under-reporting bias the paper warned about.
+    std::size_t outputFailuresInjected{0};
+    std::size_t userReportsLogged{0};
+    [[nodiscard]] double outputFailureCaptureRate() const {
+        return outputFailuresInjected == 0
+                   ? 1.0
+                   : static_cast<double>(userReportsLogged) /
+                         static_cast<double>(outputFailuresInjected);
+    }
+};
+
+/// Ground truth per phone (keyed by phone name).
+using TruthMap = std::map<std::string, const phone::GroundTruth*>;
+
+/// Scores detections against ground truth.  A detection matches a truth
+/// event when their timestamps fall within `toleranceSeconds`.
+[[nodiscard]] EvaluationReport evaluate(const LogDataset& dataset,
+                                        const ShutdownClassification& classification,
+                                        const TruthMap& truth,
+                                        double toleranceSeconds = 900.0);
+
+}  // namespace symfail::analysis

@@ -1,0 +1,52 @@
+#include "analysis/mtbf.hpp"
+
+#include <map>
+
+namespace symfail::analysis {
+
+MtbfReport estimateMtbf(const LogDataset& dataset,
+                        const ShutdownClassification& classification) {
+    MtbfReport report;
+    report.freezeCount = dataset.freezes().size();
+    report.selfShutdownCount = classification.selfShutdowns.size();
+    report.observedPhoneHours = dataset.totalObservedTime().asHoursF();
+    if (report.freezeCount > 0) {
+        report.mtbfFreezeHours =
+            report.observedPhoneHours / static_cast<double>(report.freezeCount);
+    }
+    if (report.selfShutdownCount > 0) {
+        report.mtbfSelfShutdownHours =
+            report.observedPhoneHours / static_cast<double>(report.selfShutdownCount);
+    }
+    const auto anyCount = report.freezeCount + report.selfShutdownCount;
+    if (anyCount > 0) {
+        report.mtbfAnyFailureHours =
+            report.observedPhoneHours / static_cast<double>(anyCount);
+    }
+    return report;
+}
+
+std::vector<PhoneMtbfRow> perPhoneMtbf(const LogDataset& dataset,
+                                       const ShutdownClassification& classification) {
+    std::map<std::string, PhoneMtbfRow> rows;
+    for (const auto& span : dataset.spans()) {
+        PhoneMtbfRow row;
+        row.phoneName = span.phoneName;
+        row.observedHours = span.span().asHoursF();
+        rows.emplace(span.phoneName, row);
+    }
+    for (const auto& freeze : dataset.freezes()) {
+        const auto it = rows.find(freeze.phoneName);
+        if (it != rows.end()) ++it->second.freezes;
+    }
+    for (const auto& self : classification.selfShutdowns) {
+        const auto it = rows.find(self.phoneName);
+        if (it != rows.end()) ++it->second.selfShutdowns;
+    }
+    std::vector<PhoneMtbfRow> out;
+    out.reserve(rows.size());
+    for (auto& [name, row] : rows) out.push_back(std::move(row));
+    return out;
+}
+
+}  // namespace symfail::analysis

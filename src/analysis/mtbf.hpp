@@ -1,0 +1,49 @@
+// MTBF estimation (Section 6).
+//
+// The paper reports the Mean Time Between Freezes (MTBFr) and Mean Time
+// Between Self-shutdowns (MTBS) in wall-clock hours, averaged per phone:
+// MTBFr ≈ 313 h, MTBS ≈ 250 h — a user-perceived failure roughly every
+// 11 days.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/dataset.hpp"
+#include "analysis/discriminator.hpp"
+
+namespace symfail::analysis {
+
+/// MTBF estimates for a campaign.
+struct MtbfReport {
+    double mtbfFreezeHours{0.0};        ///< MTBFr
+    double mtbfSelfShutdownHours{0.0};  ///< MTBS
+    double mtbfAnyFailureHours{0.0};    ///< freezes + self-shutdowns combined
+    std::size_t freezeCount{0};
+    std::size_t selfShutdownCount{0};
+    double observedPhoneHours{0.0};
+    /// Combined failure inter-arrival expressed in days ("a failure every
+    /// N days"); 0 when no failures were observed.
+    [[nodiscard]] double failureEveryDays() const {
+        return mtbfAnyFailureHours / 24.0;
+    }
+};
+
+/// Per-phone breakdown row.
+struct PhoneMtbfRow {
+    std::string phoneName;
+    double observedHours{0.0};
+    std::size_t freezes{0};
+    std::size_t selfShutdowns{0};
+};
+
+/// Computes campaign MTBF figures from the dataset and a shutdown
+/// classification.
+[[nodiscard]] MtbfReport estimateMtbf(const LogDataset& dataset,
+                                      const ShutdownClassification& classification);
+
+/// Per-phone breakdown (for dispersion reporting).
+[[nodiscard]] std::vector<PhoneMtbfRow> perPhoneMtbf(
+    const LogDataset& dataset, const ShutdownClassification& classification);
+
+}  // namespace symfail::analysis

@@ -1,0 +1,81 @@
+#include "analysis/panic_stats.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace symfail::analysis {
+
+std::vector<PanicTableRow> panicTable(const LogDataset& dataset) {
+    std::map<symbos::PanicId, std::size_t> counts;
+    for (const auto& p : dataset.panics()) ++counts[p.record.panic];
+    const double total = static_cast<double>(dataset.panics().size());
+
+    std::vector<PanicTableRow> rows;
+    for (const auto& paperRow : symbos::paperPanicTable()) {
+        PanicTableRow row;
+        row.panic = paperRow.id;
+        row.paperPercent = paperRow.paperPercent;
+        const auto it = counts.find(paperRow.id);
+        if (it != counts.end()) {
+            row.count = it->second;
+            counts.erase(it);
+        }
+        row.percent = total > 0.0 ? 100.0 * static_cast<double>(row.count) / total : 0.0;
+        rows.push_back(row);
+    }
+    // Anything not in the paper's table (unexpected in practice).
+    for (const auto& [id, count] : counts) {
+        PanicTableRow row;
+        row.panic = id;
+        row.count = count;
+        row.percent = total > 0.0 ? 100.0 * static_cast<double>(count) / total : 0.0;
+        rows.push_back(row);
+    }
+    return rows;
+}
+
+double categoryShare(const LogDataset& dataset, symbos::PanicCategory category) {
+    if (dataset.panics().empty()) return 0.0;
+    std::size_t n = 0;
+    for (const auto& p : dataset.panics()) {
+        if (p.record.panic.category == category) ++n;
+    }
+    return 100.0 * static_cast<double>(n) /
+           static_cast<double>(dataset.panics().size());
+}
+
+sim::FreqCounter burstLengths(const LogDataset& dataset, double gapSeconds) {
+    // Group per phone, in time order.
+    std::map<std::string, std::vector<sim::TimePoint>> perPhone;
+    for (const auto& p : dataset.panics()) {
+        perPhone[p.phoneName].push_back(p.record.time);
+    }
+    sim::FreqCounter lengths;
+    for (auto& [phone, times] : perPhone) {
+        std::sort(times.begin(), times.end());
+        std::size_t burst = 0;
+        sim::TimePoint prev{};
+        for (const auto& t : times) {
+            if (burst == 0 || (t - prev).asSecondsF() <= gapSeconds) {
+                ++burst;
+            } else {
+                lengths.add(static_cast<std::int64_t>(burst));
+                burst = 1;
+            }
+            prev = t;
+        }
+        if (burst > 0) lengths.add(static_cast<std::int64_t>(burst));
+    }
+    return lengths;
+}
+
+double burstFraction(const sim::FreqCounter& lengths) {
+    if (lengths.total() == 0) return 0.0;
+    std::uint64_t multi = 0;
+    for (const auto& [len, count] : lengths.entries()) {
+        if (len >= 2) multi += count;
+    }
+    return static_cast<double>(multi) / static_cast<double>(lengths.total());
+}
+
+}  // namespace symfail::analysis

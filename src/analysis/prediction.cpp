@@ -1,0 +1,57 @@
+#include "analysis/prediction.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace symfail::analysis {
+
+std::vector<WarningPoint> panicWarningAnalysis(
+    const LogDataset& dataset, const ShutdownClassification& classification,
+    const std::vector<double>& horizonsSeconds, double toleranceSeconds) {
+    // Per-phone sorted HL event instants (seconds).
+    std::map<std::string, std::vector<double>> hlByPhone;
+    for (const auto& freeze : dataset.freezes()) {
+        hlByPhone[freeze.phoneName].push_back(freeze.lastAliveAt.asSecondsF());
+    }
+    for (const auto& self : classification.selfShutdowns) {
+        hlByPhone[self.phoneName].push_back(self.shutdownAt.asSecondsF());
+    }
+    std::size_t hlTotal = 0;
+    for (auto& [phone, times] : hlByPhone) {
+        std::sort(times.begin(), times.end());
+        hlTotal += times.size();
+    }
+
+    const double observedSeconds = dataset.totalObservedTime().asSecondsF();
+    const double lambda =
+        observedSeconds > 0.0 ? static_cast<double>(hlTotal) / observedSeconds : 0.0;
+
+    std::vector<WarningPoint> out;
+    out.reserve(horizonsSeconds.size());
+    for (const double horizon : horizonsSeconds) {
+        WarningPoint point;
+        point.horizonSeconds = horizon;
+        point.baseRate = 1.0 - std::exp(-lambda * horizon);
+        std::size_t followed = 0;
+        for (const auto& panic : dataset.panics()) {
+            ++point.panics;
+            const auto it = hlByPhone.find(panic.phoneName);
+            if (it == hlByPhone.end()) continue;
+            const double t = panic.record.time.asSecondsF();
+            // First HL event after (t - tolerance); the tolerance absorbs
+            // the heartbeat-granularity skew of detected freeze instants.
+            const auto next = std::upper_bound(it->second.begin(), it->second.end(),
+                                               t - toleranceSeconds);
+            if (next != it->second.end() && *next - t <= horizon) ++followed;
+        }
+        if (point.panics > 0) {
+            point.pFailureAfterPanic =
+                static_cast<double>(followed) / static_cast<double>(point.panics);
+        }
+        out.push_back(point);
+    }
+    return out;
+}
+
+}  // namespace symfail::analysis

@@ -1,0 +1,43 @@
+// Panic-as-early-warning analysis.
+//
+// Measurement studies like the paper's exist "to guide development of
+// detection and recovery mechanisms".  A concrete question the collected
+// data can answer: when a panic is recorded, how much more likely is a
+// user-perceived failure (freeze or self-shutdown) within the next T
+// seconds than at a random moment?  A large lift at useful horizons means
+// panics are actionable early warnings (e.g. checkpoint state now).
+#pragma once
+
+#include <vector>
+
+#include "analysis/dataset.hpp"
+#include "analysis/discriminator.hpp"
+
+namespace symfail::analysis {
+
+/// Predictive value of a panic at one horizon.
+struct WarningPoint {
+    double horizonSeconds{0.0};
+    /// P(HL event within (0, T] after a panic), over all panics.
+    double pFailureAfterPanic{0.0};
+    /// P(HL event within T after a uniformly random instant):
+    /// 1 - exp(-lambda T) with lambda the campaign's HL-event rate.
+    double baseRate{0.0};
+    std::size_t panics{0};
+    /// How many times likelier a failure is after a panic than at random.
+    [[nodiscard]] double lift() const {
+        return baseRate <= 0.0 ? 0.0 : pFailureAfterPanic / baseRate;
+    }
+};
+
+/// Sweeps warning horizons.  HL events are freezes plus classified
+/// self-shutdowns; everything is per-phone.  `toleranceSeconds` extends
+/// the window slightly backwards: a freeze's detected instant is its last
+/// ALIVE heartbeat, which precedes the panic that caused it by up to one
+/// heartbeat period — without the tolerance, caused failures would not
+/// count as "following" their own panic.
+[[nodiscard]] std::vector<WarningPoint> panicWarningAnalysis(
+    const LogDataset& dataset, const ShutdownClassification& classification,
+    const std::vector<double>& horizonsSeconds, double toleranceSeconds = 120.0);
+
+}  // namespace symfail::analysis

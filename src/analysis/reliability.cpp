@@ -1,0 +1,110 @@
+#include "analysis/reliability.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace symfail::analysis {
+
+ExponentialFit fitExponential(std::span<const double> samplesHours) {
+    ExponentialFit fit;
+    fit.samples = samplesHours.size();
+    if (samplesHours.empty()) return fit;
+    double sum = 0.0;
+    for (const double x : samplesHours) sum += x;
+    fit.meanHours = sum / static_cast<double>(samplesHours.size());
+    if (fit.meanHours <= 0.0) return fit;
+    // logL = -n log(mean) - sum(x)/mean = -n (log mean + 1)
+    fit.logLikelihood = -static_cast<double>(fit.samples) *
+                        (std::log(fit.meanHours) + 1.0);
+    return fit;
+}
+
+WeibullFit fitWeibull(std::span<const double> samplesHours) {
+    WeibullFit fit;
+    fit.samples = samplesHours.size();
+    if (samplesHours.size() < 3) return fit;
+
+    // Work in logs; guard zero samples.
+    std::vector<double> x;
+    x.reserve(samplesHours.size());
+    for (const double s : samplesHours) x.push_back(std::max(s, 1e-9));
+    const auto n = static_cast<double>(x.size());
+    double sumLog = 0.0;
+    for (const double v : x) sumLog += std::log(v);
+    const double meanLog = sumLog / n;
+
+    // Newton iteration on the MLE shape equation:
+    //   f(k) = sum(x^k log x)/sum(x^k) - 1/k - meanLog = 0
+    double k = 1.0;
+    bool converged = false;
+    for (int iter = 0; iter < 100; ++iter) {
+        double s0 = 0.0;  // sum x^k
+        double s1 = 0.0;  // sum x^k log x
+        double s2 = 0.0;  // sum x^k (log x)^2
+        for (const double v : x) {
+            const double lv = std::log(v);
+            const double p = std::pow(v, k);
+            s0 += p;
+            s1 += p * lv;
+            s2 += p * lv * lv;
+        }
+        const double f = s1 / s0 - 1.0 / k - meanLog;
+        const double fprime = (s2 * s0 - s1 * s1) / (s0 * s0) + 1.0 / (k * k);
+        const double step = f / fprime;
+        k -= step;
+        if (k <= 1e-3) k = 1e-3;
+        if (k > 100.0) k = 100.0;
+        if (std::abs(step) < 1e-9) {
+            converged = true;
+            break;
+        }
+    }
+    double s0 = 0.0;
+    for (const double v : x) s0 += std::pow(v, k);
+    const double scale = std::pow(s0 / n, 1.0 / k);
+
+    fit.shape = k;
+    fit.scaleHours = scale;
+    fit.converged = converged;
+    // logL = n log k - n k log(scale) + (k-1) sum(log x) - sum((x/scale)^k)
+    double sumScaled = 0.0;
+    for (const double v : x) sumScaled += std::pow(v / scale, k);
+    fit.logLikelihood = n * std::log(k) - n * k * std::log(scale) +
+                        (k - 1.0) * sumLog - sumScaled;
+    return fit;
+}
+
+double aic(double logLikelihood, int parameters) {
+    return 2.0 * parameters - 2.0 * logLikelihood;
+}
+
+TbfAnalysis analyzeTimeBetweenFailures(const LogDataset& dataset,
+                                       const ShutdownClassification& classification) {
+    TbfAnalysis analysis;
+    // Per-phone ordered failure instants.
+    std::map<std::string, std::vector<double>> perPhone;
+    for (const auto& freeze : dataset.freezes()) {
+        perPhone[freeze.phoneName].push_back(freeze.lastAliveAt.asSecondsF());
+    }
+    for (const auto& self : classification.selfShutdowns) {
+        perPhone[self.phoneName].push_back(self.shutdownAt.asSecondsF());
+    }
+    for (auto& [phone, times] : perPhone) {
+        std::sort(times.begin(), times.end());
+        for (std::size_t i = 1; i < times.size(); ++i) {
+            const double gapHours = (times[i] - times[i - 1]) / 3'600.0;
+            if (gapHours > 0.0) analysis.interarrivalsHours.push_back(gapHours);
+        }
+    }
+    analysis.exponential = fitExponential(analysis.interarrivalsHours);
+    analysis.weibull = fitWeibull(analysis.interarrivalsHours);
+    if (analysis.weibull.samples >= 3 && analysis.weibull.converged) {
+        analysis.weibullPreferred =
+            aic(analysis.weibull.logLikelihood, 2) + 2.0 <
+            aic(analysis.exponential.logLikelihood, 1);
+    }
+    return analysis;
+}
+
+}  // namespace symfail::analysis

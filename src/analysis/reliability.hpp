@@ -1,0 +1,61 @@
+// Time-between-failures distribution fitting — a reliability-engineering
+// extension of the paper's MTBF figures.
+//
+// The paper reports only means (MTBFr 313 h, MTBS 250 h).  Failure data
+// studies usually go further and ask whether inter-failure times are
+// exponential (memoryless failures) or Weibull with shape < 1 (bursty:
+// a failure makes another one soon more likely — consistent with the
+// paper's error-propagation observations).  This module fits both by
+// maximum likelihood and compares them with AIC.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "analysis/dataset.hpp"
+#include "analysis/discriminator.hpp"
+
+namespace symfail::analysis {
+
+/// Exponential fit (MLE: mean of the sample).
+struct ExponentialFit {
+    double meanHours{0.0};
+    double logLikelihood{0.0};
+    std::size_t samples{0};
+};
+
+/// Weibull fit (MLE via Newton iteration on the shape equation).
+struct WeibullFit {
+    double shape{1.0};       ///< <1: bursty (decreasing hazard), >1: wear-out
+    double scaleHours{0.0};
+    double logLikelihood{0.0};
+    std::size_t samples{0};
+    bool converged{false};
+};
+
+/// Fits an exponential to positive samples (hours).  Empty input yields a
+/// zero-sample fit.
+[[nodiscard]] ExponentialFit fitExponential(std::span<const double> samplesHours);
+
+/// Fits a Weibull to positive samples (hours) by MLE.
+[[nodiscard]] WeibullFit fitWeibull(std::span<const double> samplesHours);
+
+/// Akaike information criterion: 2k - 2 logL.
+[[nodiscard]] double aic(double logLikelihood, int parameters);
+
+/// Full inter-failure-time analysis over a campaign.
+struct TbfAnalysis {
+    std::vector<double> interarrivalsHours;  ///< pooled, per-phone gaps
+    ExponentialFit exponential;
+    WeibullFit weibull;
+    /// True when the Weibull's AIC beats the exponential's by > 2 (the
+    /// conventional "clearly better" margin).
+    bool weibullPreferred{false};
+};
+
+/// Pools per-phone gaps between consecutive user-perceived failures
+/// (freezes + classified self-shutdowns) and fits both models.
+[[nodiscard]] TbfAnalysis analyzeTimeBetweenFailures(
+    const LogDataset& dataset, const ShutdownClassification& classification);
+
+}  // namespace symfail::analysis

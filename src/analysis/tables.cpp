@@ -1,0 +1,102 @@
+#include "analysis/tables.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace symfail::analysis {
+
+TextTable::TextTable(std::vector<std::string> header) : header_{std::move(header)} {}
+
+void TextTable::addRow(std::vector<std::string> cells) {
+    cells.resize(header_.size());
+    rows_.push_back(Row{std::move(cells), false});
+}
+
+void TextTable::addRule() {
+    rows_.push_back(Row{{}, true});
+}
+
+std::string TextTable::num(double value, int precision) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+    return buf;
+}
+
+std::string TextTable::render() const {
+    std::vector<std::size_t> widths(header_.size(), 0);
+    for (std::size_t i = 0; i < header_.size(); ++i) {
+        widths[i] = header_[i].size();
+    }
+    for (const auto& row : rows_) {
+        if (row.rule) continue;
+        for (std::size_t i = 0; i < row.cells.size(); ++i) {
+            widths[i] = std::max(widths[i], row.cells[i].size());
+        }
+    }
+
+    auto renderRow = [&](const std::vector<std::string>& cells) {
+        std::string line;
+        for (std::size_t i = 0; i < header_.size(); ++i) {
+            const std::string& cell = i < cells.size() ? cells[i] : header_[i];
+            if (i == 0) {
+                line += cell;
+                line.append(widths[i] - cell.size(), ' ');
+            } else {
+                line += "  ";
+                line.append(widths[i] - cell.size(), ' ');
+                line += cell;
+            }
+        }
+        line += '\n';
+        return line;
+    };
+
+    std::string out = renderRow(header_);
+    std::size_t totalWidth = 0;
+    for (const auto w : widths) totalWidth += w;
+    totalWidth += 2 * (header_.size() - 1);
+    out.append(totalWidth, '-');
+    out += '\n';
+    for (const auto& row : rows_) {
+        if (row.rule) {
+            out.append(totalWidth, '-');
+            out += '\n';
+        } else {
+            out += renderRow(row.cells);
+        }
+    }
+    return out;
+}
+
+std::string TextTable::renderCsv() const {
+    auto escape = [](const std::string& cell) {
+        if (cell.find(',') == std::string::npos &&
+            cell.find('"') == std::string::npos) {
+            return cell;
+        }
+        std::string quoted = "\"";
+        for (const char c : cell) {
+            if (c == '"') quoted += '"';
+            quoted += c;
+        }
+        quoted += '"';
+        return quoted;
+    };
+    std::string out;
+    for (std::size_t i = 0; i < header_.size(); ++i) {
+        if (i != 0) out += ',';
+        out += escape(header_[i]);
+    }
+    out += '\n';
+    for (const auto& row : rows_) {
+        if (row.rule) continue;
+        for (std::size_t i = 0; i < row.cells.size(); ++i) {
+            if (i != 0) out += ',';
+            out += escape(row.cells[i]);
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+}  // namespace symfail::analysis

@@ -1,0 +1,35 @@
+// Plain-text table rendering for benches and examples.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace symfail::analysis {
+
+/// Minimal fixed-width table builder with left-aligned first column and
+/// right-aligned numeric columns.
+class TextTable {
+public:
+    explicit TextTable(std::vector<std::string> header);
+
+    void addRow(std::vector<std::string> cells);
+    /// Adds a horizontal rule before the next row.
+    void addRule();
+
+    [[nodiscard]] std::string render() const;
+    /// Comma-separated export (quotes cells containing commas).
+    [[nodiscard]] std::string renderCsv() const;
+
+    /// Formats a double with the given precision.
+    [[nodiscard]] static std::string num(double value, int precision = 2);
+
+private:
+    struct Row {
+        std::vector<std::string> cells;
+        bool rule{false};
+    };
+    std::vector<std::string> header_;
+    std::vector<Row> rows_;
+};
+
+}  // namespace symfail::analysis

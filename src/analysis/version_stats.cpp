@@ -1,0 +1,35 @@
+#include "analysis/version_stats.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace symfail::analysis {
+
+std::vector<VersionRow> versionBreakdown(const LogDataset& dataset,
+                                         const ShutdownClassification& classification) {
+    std::map<std::string, VersionRow> rows;
+    auto rowFor = [&](const std::string& phoneName) -> VersionRow& {
+        const std::string version = dataset.versionOf(phoneName);
+        auto& row = rows[version];
+        row.version = version;
+        return row;
+    };
+
+    for (const auto& span : dataset.spans()) {
+        auto& row = rowFor(span.phoneName);
+        ++row.phones;
+        row.observedHours += span.span().asHoursF();
+    }
+    for (const auto& freeze : dataset.freezes()) ++rowFor(freeze.phoneName).freezes;
+    for (const auto& self : classification.selfShutdowns) {
+        ++rowFor(self.phoneName).selfShutdowns;
+    }
+    for (const auto& panic : dataset.panics()) ++rowFor(panic.phoneName).panics;
+
+    std::vector<VersionRow> out;
+    out.reserve(rows.size());
+    for (auto& [version, row] : rows) out.push_back(std::move(row));
+    return out;
+}
+
+}  // namespace symfail::analysis

@@ -1,0 +1,38 @@
+// Failure breakdown by Symbian OS version.
+//
+// The paper's fleet ran "Symbian OS versions 6.1 to 8.0 or version 9.0"
+// with 8.0 the majority, but Section 6 never breaks its results down by
+// version.  With META records in the Log File, the breakdown is a
+// straightforward extension: per version, how much observation time, how
+// many failures, and the resulting failure rate.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/dataset.hpp"
+#include "analysis/discriminator.hpp"
+
+namespace symfail::analysis {
+
+/// Per-version aggregate.
+struct VersionRow {
+    std::string version;
+    std::size_t phones{0};
+    double observedHours{0.0};
+    std::size_t freezes{0};
+    std::size_t selfShutdowns{0};
+    std::size_t panics{0};
+    /// Combined user-perceived failures per 30 days of observation.
+    [[nodiscard]] double failuresPer30Days() const {
+        if (observedHours <= 0.0) return 0.0;
+        return static_cast<double>(freezes + selfShutdowns) / observedHours * 24.0 *
+               30.0;
+    }
+};
+
+/// Aggregates the campaign by OS version, sorted by version string.
+[[nodiscard]] std::vector<VersionRow> versionBreakdown(
+    const LogDataset& dataset, const ShutdownClassification& classification);
+
+}  // namespace symfail::analysis

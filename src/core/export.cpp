@@ -1,0 +1,315 @@
+#include "core/export.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string_view>
+
+#include "analysis/tables.hpp"
+
+namespace symfail::core {
+namespace {
+
+using analysis::TextTable;
+
+void writeFile(const std::filesystem::path& path, const std::string& content,
+               std::vector<std::string>& written) {
+    std::ofstream out{path};
+    if (!out) {
+        throw std::runtime_error("cannot write " + path.string());
+    }
+    out << content;
+    written.push_back(path.string());
+}
+
+std::string histogramCsv(const sim::Histogram& hist) {
+    TextTable table{{"bin_lo", "bin_hi", "count"}};
+    for (std::size_t i = 0; i < hist.binCount(); ++i) {
+        if (hist.binValue(i) == 0) continue;
+        table.addRow({TextTable::num(hist.binLo(i), 1), TextTable::num(hist.binHi(i), 1),
+                      std::to_string(hist.binValue(i))});
+    }
+    return table.renderCsv();
+}
+
+std::string counterCsv(const sim::FreqCounter& counter, const char* keyName) {
+    TextTable table{{keyName, "count", "fraction"}};
+    for (const auto& [key, count] : counter.entries()) {
+        table.addRow({std::to_string(key), std::to_string(count),
+                      TextTable::num(counter.fraction(key), 4)});
+    }
+    return table.renderCsv();
+}
+
+}  // namespace
+
+std::vector<std::string> exportFieldCsv(const FieldStudyResults& results,
+                                        const std::string& directory) {
+    const std::filesystem::path dir{directory};
+    std::filesystem::create_directories(dir);
+    std::vector<std::string> written;
+
+    // Table 2.
+    {
+        TextTable table{{"category", "type", "count", "measured_percent",
+                         "paper_percent"}};
+        for (const auto& row : results.table2) {
+            table.addRow({std::string{symbos::toString(row.panic.category)},
+                          std::to_string(row.panic.type), std::to_string(row.count),
+                          TextTable::num(row.percent), TextTable::num(row.paperPercent)});
+        }
+        writeFile(dir / "table2_panics.csv", table.renderCsv(), written);
+    }
+    // Figure 2 histograms.
+    writeFile(dir / "fig2_reboot_durations_full.csv",
+              histogramCsv(analysis::ShutdownDiscriminator::rebootDurationHistogram(
+                  results.dataset, 40'000.0, 40)),
+              written);
+    writeFile(dir / "fig2_reboot_durations_zoom.csv",
+              histogramCsv(analysis::ShutdownDiscriminator::rebootDurationHistogram(
+                  results.dataset, 500.0, 25)),
+              written);
+    // Figure 3.
+    writeFile(dir / "fig3_burst_lengths.csv",
+              counterCsv(results.fig3BurstLengths, "burst_length"), written);
+    // Figure 5.
+    {
+        TextTable table{{"category", "panics", "to_freeze", "to_self_shutdown",
+                         "isolated"}};
+        for (const auto& row : results.fig5Coalescence.byCategory) {
+            table.addRow({std::string{symbos::toString(row.category)},
+                          std::to_string(row.total), std::to_string(row.toFreeze),
+                          std::to_string(row.toSelfShutdown),
+                          std::to_string(row.isolated())});
+        }
+        writeFile(dir / "fig5_coalescence.csv", table.renderCsv(), written);
+    }
+    // Table 3.
+    {
+        TextTable table{{"category", "voice_call", "message", "unspecified"}};
+        for (const auto& row : results.table3.rows) {
+            table.addRow({std::string{symbos::toString(row.category)},
+                          std::to_string(row.voiceCall), std::to_string(row.message),
+                          std::to_string(row.unspecified)});
+        }
+        writeFile(dir / "table3_activity.csv", table.renderCsv(), written);
+    }
+    // Figure 6.
+    writeFile(dir / "fig6_running_apps.csv",
+              counterCsv(results.fig6AppCounts, "apps_at_panic"), written);
+    // Table 4.
+    {
+        TextTable table{{"category", "hl_outcome", "application", "count",
+                         "percent_of_all_panics"}};
+        for (const auto& row : results.table4) {
+            const char* outcome = row.relation == analysis::PanicRelation::Freeze
+                                      ? "freeze"
+                                  : row.relation == analysis::PanicRelation::SelfShutdown
+                                      ? "self-shutdown"
+                                      : "none";
+            table.addRow({std::string{symbos::toString(row.category)}, outcome,
+                          row.app, std::to_string(row.count),
+                          TextTable::num(row.percentOfAllPanics)});
+        }
+        writeFile(dir / "table4_apps.csv", table.renderCsv(), written);
+    }
+    // Headline + evaluation.
+    {
+        TextTable table{{"metric", "measured", "paper"}};
+        const auto& mtbf = results.mtbf;
+        table.addRow({"observed_phone_hours", TextTable::num(mtbf.observedPhoneHours, 0),
+                      "112680"});
+        table.addRow({"freezes", std::to_string(mtbf.freezeCount), "360"});
+        table.addRow({"self_shutdowns", std::to_string(mtbf.selfShutdownCount), "471"});
+        table.addRow({"mtbf_freeze_hours", TextTable::num(mtbf.mtbfFreezeHours, 1),
+                      "313"});
+        table.addRow({"mtbf_self_shutdown_hours",
+                      TextTable::num(mtbf.mtbfSelfShutdownHours, 1), "250"});
+        const auto& eval = results.evaluation;
+        table.addRow({"freeze_detection_precision",
+                      TextTable::num(eval.freezeDetection.precision(), 4), ""});
+        table.addRow({"freeze_detection_recall",
+                      TextTable::num(eval.freezeDetection.recall(), 4), ""});
+        table.addRow({"self_shutdown_precision",
+                      TextTable::num(eval.selfShutdownDetection.precision(), 4), ""});
+        table.addRow({"self_shutdown_recall",
+                      TextTable::num(eval.selfShutdownDetection.recall(), 4), ""});
+        table.addRow({"panic_capture_rate",
+                      TextTable::num(eval.panicCaptureRate(), 4), ""});
+        writeFile(dir / "headline.csv", table.renderCsv(), written);
+    }
+    return written;
+}
+
+std::vector<std::string> exportForumCsv(const forum::ForumStudyResult& result,
+                                        const std::string& directory) {
+    const std::filesystem::path dir{directory};
+    std::filesystem::create_directories(dir);
+    std::vector<std::string> written;
+
+    using namespace symfail::forum;
+    TextTable table{{"failure_type", "recovery", "measured_percent", "paper_percent"}};
+    for (const auto& cell : paperTable1()) {
+        table.addRow({std::string{toString(cell.type)},
+                      std::string{toString(cell.recovery)},
+                      TextTable::num(result.percent(cell.type, cell.recovery)),
+                      TextTable::num(cell.percent)});
+    }
+    writeFile(dir / "table1_forum.csv", table.renderCsv(), written);
+
+    TextTable summary{{"metric", "value"}};
+    summary.addRow({"classified_failures", std::to_string(result.classifiedFailures)});
+    summary.addRow({"corpus_size", std::to_string(result.corpusSize)});
+    summary.addRow({"smart_phone_share", TextTable::num(result.smartPhoneShare, 4)});
+    summary.addRow({"filter_precision", TextTable::num(result.filterPrecision, 4)});
+    summary.addRow({"filter_recall", TextTable::num(result.filterRecall, 4)});
+    summary.addRow({"type_accuracy", TextTable::num(result.typeAccuracy, 4)});
+    summary.addRow({"recovery_accuracy", TextTable::num(result.recoveryAccuracy, 4)});
+    writeFile(dir / "forum_summary.csv", summary.renderCsv(), written);
+    return written;
+}
+
+namespace {
+
+/// Minimal JSON building: escaped strings, arrays and objects assembled
+/// by hand (the output schema is fixed, a JSON library would be overkill).
+std::string jsonEscape(std::string_view s) {
+    std::string out = "\"";
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\t': out += "\\t"; break;
+            case '\r': out += "\\r"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x",
+                                  static_cast<unsigned>(c));
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    out += '"';
+    return out;
+}
+
+std::string jsonNum(double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g", value);
+    return buf;
+}
+
+}  // namespace
+
+std::string fieldResultsToJson(const FieldStudyResults& results) {
+    std::string json = "{\n";
+
+    // Headline.
+    const auto& mtbf = results.mtbf;
+    json += "  \"headline\": {";
+    json += "\"observed_phone_hours\": " + jsonNum(mtbf.observedPhoneHours);
+    json += ", \"freezes\": " + std::to_string(mtbf.freezeCount);
+    json += ", \"self_shutdowns\": " + std::to_string(mtbf.selfShutdownCount);
+    json += ", \"mtbf_freeze_hours\": " + jsonNum(mtbf.mtbfFreezeHours);
+    json += ", \"mtbf_self_shutdown_hours\": " + jsonNum(mtbf.mtbfSelfShutdownHours);
+    json += "},\n";
+
+    // Table 2.
+    json += "  \"table2\": [";
+    for (std::size_t i = 0; i < results.table2.size(); ++i) {
+        const auto& row = results.table2[i];
+        if (i != 0) json += ", ";
+        json += "{\"panic\": " + jsonEscape(symbos::toString(row.panic)) +
+                ", \"count\": " + std::to_string(row.count) +
+                ", \"percent\": " + jsonNum(row.percent) +
+                ", \"paper_percent\": " + jsonNum(row.paperPercent) + "}";
+    }
+    json += "],\n";
+
+    // Figure 3.
+    json += "  \"fig3_burst_lengths\": {";
+    bool first = true;
+    for (const auto& [len, count] : results.fig3BurstLengths.entries()) {
+        if (!first) json += ", ";
+        first = false;
+        json += jsonEscape(std::to_string(len)) + ": " + std::to_string(count);
+    }
+    json += "},\n";
+
+    // Figure 5.
+    const auto& coal = results.fig5Coalescence;
+    json += "  \"fig5\": {\"related_fraction\": " + jsonNum(coal.relatedFraction()) +
+            ", \"by_category\": [";
+    for (std::size_t i = 0; i < coal.byCategory.size(); ++i) {
+        const auto& row = coal.byCategory[i];
+        if (i != 0) json += ", ";
+        json += "{\"category\": " + jsonEscape(symbos::toString(row.category)) +
+                ", \"total\": " + std::to_string(row.total) +
+                ", \"to_freeze\": " + std::to_string(row.toFreeze) +
+                ", \"to_self_shutdown\": " + std::to_string(row.toSelfShutdown) + "}";
+    }
+    json += "]},\n";
+
+    // Table 3.
+    json += "  \"table3\": {\"voice_percent\": " + jsonNum(results.table3.voicePercent) +
+            ", \"message_percent\": " + jsonNum(results.table3.messagePercent) +
+            ", \"unspecified_percent\": " + jsonNum(results.table3.unspecifiedPercent) +
+            "},\n";
+
+    // Figure 6.
+    json += "  \"fig6_running_apps\": {";
+    first = true;
+    for (const auto& [n, count] : results.fig6AppCounts.entries()) {
+        if (!first) json += ", ";
+        first = false;
+        json += jsonEscape(std::to_string(n)) + ": " + std::to_string(count);
+    }
+    json += "},\n";
+
+    // Table 4 (top rows).
+    json += "  \"table4\": [";
+    for (std::size_t i = 0; i < results.table4.size(); ++i) {
+        const auto& row = results.table4[i];
+        if (i != 0) json += ", ";
+        const char* outcome = row.relation == analysis::PanicRelation::Freeze
+                                  ? "freeze"
+                              : row.relation == analysis::PanicRelation::SelfShutdown
+                                  ? "self-shutdown"
+                                  : "none";
+        json += "{\"category\": " + jsonEscape(symbos::toString(row.category)) +
+                ", \"outcome\": " + jsonEscape(outcome) +
+                ", \"app\": " + jsonEscape(row.app) +
+                ", \"percent\": " + jsonNum(row.percentOfAllPanics) + "}";
+    }
+    json += "],\n";
+
+    // Evaluation.
+    const auto& eval = results.evaluation;
+    json += "  \"evaluation\": {";
+    json += "\"freeze_precision\": " + jsonNum(eval.freezeDetection.precision());
+    json += ", \"freeze_recall\": " + jsonNum(eval.freezeDetection.recall());
+    json += ", \"self_shutdown_precision\": " +
+            jsonNum(eval.selfShutdownDetection.precision());
+    json += ", \"self_shutdown_recall\": " +
+            jsonNum(eval.selfShutdownDetection.recall());
+    json += ", \"panic_capture_rate\": " + jsonNum(eval.panicCaptureRate());
+    json += ", \"output_failure_capture_rate\": " +
+            jsonNum(eval.outputFailureCaptureRate());
+    json += "}\n}\n";
+    return json;
+}
+
+void exportFieldJson(const FieldStudyResults& results, const std::string& path) {
+    std::ofstream out{path};
+    if (!out) {
+        throw std::runtime_error("cannot write " + path);
+    }
+    out << fieldResultsToJson(results);
+}
+
+}  // namespace symfail::core

@@ -1,0 +1,32 @@
+// CSV export of every regenerated artifact — for plotting the figures
+// with external tooling.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/study.hpp"
+
+namespace symfail::core {
+
+/// Writes the field-study artifacts (Table 2-4, Figures 2/3/5/6, headline
+/// and evaluation numbers) as CSV files into `directory`, which is created
+/// if missing.  Returns the paths written.  Throws std::runtime_error on
+/// I/O failure.
+std::vector<std::string> exportFieldCsv(const FieldStudyResults& results,
+                                        const std::string& directory);
+
+/// Writes the forum-study artifacts (Table 1 and summary statistics).
+std::vector<std::string> exportForumCsv(const forum::ForumStudyResult& result,
+                                        const std::string& directory);
+
+/// Serializes the complete field-study result bundle as a JSON document
+/// (tables, figures, headline and evaluation metrics) for programmatic
+/// consumption.
+[[nodiscard]] std::string fieldResultsToJson(const FieldStudyResults& results);
+
+/// Writes `fieldResultsToJson` to a file; throws std::runtime_error on
+/// I/O failure.
+void exportFieldJson(const FieldStudyResults& results, const std::string& path);
+
+}  // namespace symfail::core

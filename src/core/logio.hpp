@@ -1,0 +1,25 @@
+// Disk persistence for collected Log Files.
+//
+// A campaign's logs can be saved one file per phone (`<phone>.log`) and
+// re-analyzed later — the workflow of a real deployment, where collection
+// and analysis are separate steps (and separate machines).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/dataset.hpp"
+
+namespace symfail::core {
+
+/// Writes each phone's Log File as `<directory>/<phoneName>.log`; the
+/// directory is created if missing.  Returns the paths written.  Throws
+/// std::runtime_error on I/O failure.
+std::vector<std::string> saveLogs(const std::vector<analysis::PhoneLog>& logs,
+                                  const std::string& directory);
+
+/// Loads every `*.log` file in `directory` (the phone name is the file
+/// stem).  Throws std::runtime_error if the directory cannot be read.
+[[nodiscard]] std::vector<analysis::PhoneLog> loadLogs(const std::string& directory);
+
+}  // namespace symfail::core

@@ -1,0 +1,253 @@
+#include "core/render.hpp"
+
+#include <array>
+
+#include "analysis/tables.hpp"
+
+namespace symfail::core {
+
+using analysis::TextTable;
+
+std::string renderTable1(const forum::ForumStudyResult& result) {
+    using namespace symfail::forum;
+    TextTable table{{"failure type", "reboot", "battery", "wait", "repeat", "unrep.",
+                     "service", "total", "paper total"}};
+    constexpr std::array<RecoveryAction, 6> kColumns{
+        RecoveryAction::Reboot,       RecoveryAction::RemoveBattery,
+        RecoveryAction::Wait,         RecoveryAction::RepeatAction,
+        RecoveryAction::Unreported,   RecoveryAction::ServicePhone,
+    };
+    for (std::size_t t = 0; t < kFailureTypeCount; ++t) {
+        const auto type = static_cast<FailureType>(t);
+        std::vector<std::string> row{std::string{toString(type)}};
+        for (const auto recovery : kColumns) {
+            row.push_back(TextTable::num(result.percent(type, recovery)));
+        }
+        row.push_back(TextTable::num(result.typePercent(type), 1));
+        row.push_back(TextTable::num(paperFailureTypePercent(type), 1));
+        table.addRow(std::move(row));
+    }
+    return "Table 1 - failure type vs recovery action (% of classified failure "
+           "reports)\n" +
+           table.render();
+}
+
+std::string renderForumSummary(const forum::ForumStudyResult& result) {
+    using namespace symfail::forum;
+    std::string out;
+    out += "Forum study summary\n";
+    out += "  corpus size: " + std::to_string(result.corpusSize) +
+           " posts, classified failure reports: " +
+           std::to_string(result.classifiedFailures) + "\n";
+    out += "  smart-phone share: " +
+           TextTable::num(100.0 * result.smartPhoneShare, 1) + "% (paper: 22.3%)\n";
+    out += "  severity: low " + TextTable::num(result.severityPercent(Severity::Low), 1) +
+           "%, medium " + TextTable::num(result.severityPercent(Severity::Medium), 1) +
+           "%, high " + TextTable::num(result.severityPercent(Severity::High), 1) +
+           "%, unknown " +
+           TextTable::num(result.severityPercent(Severity::Unknown), 1) + "%\n";
+    out += "  activity: voice " +
+           TextTable::num(result.activityPercent(ReportedActivity::VoiceCall), 1) +
+           "% (paper 13.0), message " +
+           TextTable::num(result.activityPercent(ReportedActivity::TextMessage), 1) +
+           "% (paper 5.4), bluetooth " +
+           TextTable::num(result.activityPercent(ReportedActivity::Bluetooth), 1) +
+           "% (paper 3.6), images " +
+           TextTable::num(result.activityPercent(ReportedActivity::Images), 1) +
+           "% (paper 2.4)\n";
+    out += "  classifier: filter precision " +
+           TextTable::num(100.0 * result.filterPrecision, 1) + "%, recall " +
+           TextTable::num(100.0 * result.filterRecall, 1) + "%, type accuracy " +
+           TextTable::num(100.0 * result.typeAccuracy, 1) + "%, recovery accuracy " +
+           TextTable::num(100.0 * result.recoveryAccuracy, 1) + "%\n";
+    return out;
+}
+
+std::string renderFig2(const FieldStudyResults& results) {
+    std::string out = "Figure 2 - distribution of reboot durations\n";
+    const auto full = analysis::ShutdownDiscriminator::rebootDurationHistogram(
+        results.dataset, 40'000.0, 40);
+    out += "full range (0-40000 s, 1000 s bins):\n" + full.renderAscii();
+    const auto zoom = analysis::ShutdownDiscriminator::rebootDurationHistogram(
+        results.dataset, 500.0, 25);
+    out += "zoom (duration < 500 s, 20 s bins):\n" + zoom.renderAscii();
+    out += "self-shutdown peak (zoom mode midpoint): " +
+           analysis::TextTable::num(zoom.modeMidpoint(), 0) +
+           " s (paper: ~80 s); classification threshold " +
+           analysis::TextTable::num(results.classification.selfShutdowns.empty()
+                                        ? analysis::kSelfShutdownThresholdSeconds
+                                        : analysis::kSelfShutdownThresholdSeconds,
+                                    0) +
+           " s\n";
+    out += "self-shutdowns: " + std::to_string(results.classification.selfShutdowns.size()) +
+           " of " + std::to_string(results.classification.totalRebootEvents()) +
+           " reboot events (" +
+           analysis::TextTable::num(100.0 * results.classification.selfFraction(), 1) +
+           "%; paper: 471 of 1778, 26.5%)\n";
+    return out;
+}
+
+std::string renderTable2(const FieldStudyResults& results) {
+    TextTable table{{"panic", "count", "measured %", "paper %"}};
+    for (const auto& row : results.table2) {
+        table.addRow({symbos::toString(row.panic), std::to_string(row.count),
+                      TextTable::num(row.percent), TextTable::num(row.paperPercent)});
+    }
+    std::string out = "Table 2 - collected panic events (" +
+                      std::to_string(results.dataset.panics().size()) +
+                      " panics; paper: ~396)\n" + table.render();
+    out += "E32USER-CBase (heap management) share: " +
+           TextTable::num(analysis::categoryShare(results.dataset,
+                                                  symbos::PanicCategory::E32UserCBase),
+                          1) +
+           "% (paper: 18.4%)\n";
+    out += "KERN-EXEC 3 (access violation) dominates as in the paper (56.3%).\n";
+    return out;
+}
+
+std::string renderFig3(const FieldStudyResults& results) {
+    TextTable table{{"burst length", "count", "% of bursts"}};
+    const auto& lengths = results.fig3BurstLengths;
+    for (const auto& [len, count] : lengths.entries()) {
+        table.addRow({std::to_string(len), std::to_string(count),
+                      TextTable::num(100.0 * lengths.fraction(len), 1)});
+    }
+    std::string out = "Figure 3 - distribution of subsequent panics\n" + table.render();
+    out += "bursts of >= 2 panics: " +
+           TextTable::num(100.0 * analysis::burstFraction(lengths), 1) +
+           "% (paper: ~25%)\n";
+    return out;
+}
+
+std::string renderFig5(const FieldStudyResults& results) {
+    const auto& coal = results.fig5Coalescence;
+    TextTable table{{"category", "panics", "-> freeze", "-> self-shutdown",
+                     "isolated"}};
+    for (const auto& row : coal.byCategory) {
+        table.addRow({std::string{symbos::toString(row.category)},
+                      std::to_string(row.total), std::to_string(row.toFreeze),
+                      std::to_string(row.toSelfShutdown),
+                      std::to_string(row.isolated())});
+    }
+    std::string out = "Figure 5 - panics and high-level events (window 5 min)\n" +
+                      table.render();
+    out += "panics related to HL events: " +
+           TextTable::num(100.0 * coal.relatedFraction(), 1) + "% (paper: 51%)\n";
+    out += "HL events with a recorded panic: " + std::to_string(coal.hlWithPanic) +
+           " of " + std::to_string(coal.hlTotal) + "\n";
+    return out;
+}
+
+std::string renderTable3(const FieldStudyResults& results) {
+    const auto& corr = results.table3;
+    TextTable table{{"category", "voice call", "message", "unspecified"}};
+    for (const auto& row : corr.rows) {
+        table.addRow({std::string{symbos::toString(row.category)},
+                      std::to_string(row.voiceCall), std::to_string(row.message),
+                      std::to_string(row.unspecified)});
+    }
+    std::string out =
+        "Table 3 - panic-activity relationship (HL-related panics)\n" + table.render();
+    out += "activity split: voice " + TextTable::num(corr.voicePercent, 1) +
+           "% (paper 38.6), message " + TextTable::num(corr.messagePercent, 1) +
+           "% (paper 6.6), unspecified " + TextTable::num(corr.unspecifiedPercent, 1) +
+           "% (paper 54.8)\n";
+    return out;
+}
+
+std::string renderFig6(const FieldStudyResults& results) {
+    TextTable table{{"apps at panic time", "panics", "%"}};
+    const auto& counts = results.fig6AppCounts;
+    for (const auto& [n, count] : counts.entries()) {
+        table.addRow({std::to_string(n), std::to_string(count),
+                      TextTable::num(100.0 * counts.fraction(n), 1)});
+    }
+    std::string out = "Figure 6 - running applications at panic time\n" + table.render();
+    out += "mean: " + TextTable::num(counts.mean()) +
+           " (paper: mode at one application)\n";
+    return out;
+}
+
+std::string renderTable4(const FieldStudyResults& results) {
+    TextTable table{{"category", "HL outcome", "application", "count",
+                     "% of all panics"}};
+    auto relationName = [](analysis::PanicRelation r) -> std::string {
+        switch (r) {
+            case analysis::PanicRelation::Freeze: return "freeze";
+            case analysis::PanicRelation::SelfShutdown: return "self-shutdown";
+            case analysis::PanicRelation::Isolated: return "none";
+        }
+        return "?";
+    };
+    for (const auto& row : results.table4) {
+        table.addRow({std::string{symbos::toString(row.category)},
+                      relationName(row.relation), row.app, std::to_string(row.count),
+                      TextTable::num(row.percentOfAllPanics)});
+    }
+    std::string out =
+        "Table 4 - panic vs running applications (cells >= 0.2% of panics)\n" +
+        table.render();
+    const auto totals = analysis::appTotals(results.dataset);
+    if (!totals.empty()) {
+        out += "most implicated application: " + totals.front().app + " (" +
+               TextTable::num(totals.front().percentOfAllPanics, 1) +
+               "% of panics; paper: Messages, 8.18%)\n";
+    }
+    return out;
+}
+
+std::string renderHeadline(const FieldStudyResults& results) {
+    const auto& mtbf = results.mtbf;
+    std::string out = "Headline dependability figures\n";
+    out += "  observed phone-time: " + TextTable::num(mtbf.observedPhoneHours, 0) +
+           " h (paper: ~112,680 h)\n";
+    out += "  freezes: " + std::to_string(mtbf.freezeCount) +
+           " (paper: 360), self-shutdowns: " + std::to_string(mtbf.selfShutdownCount) +
+           " (paper: 471)\n";
+    out += "  MTBFr: " + TextTable::num(mtbf.mtbfFreezeHours, 0) +
+           " h = a freeze every " + TextTable::num(mtbf.mtbfFreezeHours / 24.0, 1) +
+           " days (paper: 313 h, ~13 days)\n";
+    out += "  MTBS:  " + TextTable::num(mtbf.mtbfSelfShutdownHours, 0) +
+           " h = a self-shutdown every " +
+           TextTable::num(mtbf.mtbfSelfShutdownHours / 24.0, 1) +
+           " days (paper: 250 h, ~10 days)\n";
+    out += "  (the paper summarizes the two as \"a failure every 11 days on "
+           "average\"; the combined interarrival is " +
+           TextTable::num(mtbf.failureEveryDays(), 1) + " days here)\n";
+    return out;
+}
+
+std::string renderPerPhone(const FieldStudyResults& results) {
+    const auto rows = analysis::perPhoneMtbf(results.dataset, results.classification);
+    TextTable table{{"phone", "observed h", "freezes", "self-shutdowns",
+                     "failures/30d"}};
+    for (const auto& row : rows) {
+        const double per30d =
+            row.observedHours <= 0.0
+                ? 0.0
+                : static_cast<double>(row.freezes + row.selfShutdowns) /
+                      row.observedHours * 24.0 * 30.0;
+        table.addRow({row.phoneName, TextTable::num(row.observedHours, 0),
+                      std::to_string(row.freezes), std::to_string(row.selfShutdowns),
+                      TextTable::num(per30d, 1)});
+    }
+    return "Per-phone dispersion\n" + table.render();
+}
+
+std::string renderEvaluation(const FieldStudyResults& results) {
+    const auto& eval = results.evaluation;
+    std::string out = "Ground-truth evaluation of the methodology\n";
+    out += "  freeze detection: precision " +
+           TextTable::num(100.0 * eval.freezeDetection.precision(), 1) + "%, recall " +
+           TextTable::num(100.0 * eval.freezeDetection.recall(), 1) + "%\n";
+    out += "  self-shutdown discrimination: precision " +
+           TextTable::num(100.0 * eval.selfShutdownDetection.precision(), 1) +
+           "%, recall " +
+           TextTable::num(100.0 * eval.selfShutdownDetection.recall(), 1) + "%\n";
+    out += "  panic capture: " + std::to_string(eval.panicsLogged) + " logged of " +
+           std::to_string(eval.panicsInjected) + " injected (" +
+           TextTable::num(100.0 * eval.panicCaptureRate(), 1) + "%)\n";
+    return out;
+}
+
+}  // namespace symfail::core

@@ -1,0 +1,50 @@
+// Text renderers for every regenerated table and figure, with the paper's
+// values side by side where the paper reports them.
+#pragma once
+
+#include <string>
+
+#include "core/study.hpp"
+
+namespace symfail::core {
+
+/// Table 1: failure type x recovery action (% of failure reports).
+[[nodiscard]] std::string renderTable1(const forum::ForumStudyResult& result);
+
+/// Section 4 companion stats: type marginals, severity, activities,
+/// smart-phone share, classifier quality.
+[[nodiscard]] std::string renderForumSummary(const forum::ForumStudyResult& result);
+
+/// Figure 2: reboot-duration distribution (full range + <500 s zoom).
+[[nodiscard]] std::string renderFig2(const FieldStudyResults& results);
+
+/// Table 2: panic classification, measured vs paper share.
+[[nodiscard]] std::string renderTable2(const FieldStudyResults& results);
+
+/// Figure 3: distribution of subsequent panics.
+[[nodiscard]] std::string renderFig3(const FieldStudyResults& results);
+
+/// Figure 5: panics vs HL events, overall and per category.
+[[nodiscard]] std::string renderFig5(const FieldStudyResults& results);
+
+/// Table 3: panic-activity relationship.
+[[nodiscard]] std::string renderTable3(const FieldStudyResults& results);
+
+/// Figure 6: running applications at panic time.
+[[nodiscard]] std::string renderFig6(const FieldStudyResults& results);
+
+/// Table 4: panic-running applications relationship.
+[[nodiscard]] std::string renderTable4(const FieldStudyResults& results);
+
+/// Headline numbers: MTBFr/MTBS, failure every N days, event counts.
+[[nodiscard]] std::string renderHeadline(const FieldStudyResults& results);
+
+/// Ground-truth evaluation of the methodology.
+[[nodiscard]] std::string renderEvaluation(const FieldStudyResults& results);
+
+/// Per-phone dispersion: observed hours, freezes and self-shutdowns for
+/// each phone (field studies report aggregate MTBFs; the per-phone view
+/// shows how unevenly failures distribute across users).
+[[nodiscard]] std::string renderPerPhone(const FieldStudyResults& results);
+
+}  // namespace symfail::core

@@ -1,0 +1,42 @@
+#include "core/study.hpp"
+
+namespace symfail::core {
+
+forum::ForumStudyResult FailureStudy::runForumStudy() const {
+    return forum::runForumStudy(config_.forumConfig, config_.forumSeed);
+}
+
+void FailureStudy::runPipeline(FieldStudyResults& results) const {
+    const analysis::ShutdownDiscriminator discriminator{
+        config_.selfShutdownThresholdSeconds};
+    results.classification = discriminator.classify(results.dataset);
+    results.mtbf = analysis::estimateMtbf(results.dataset, results.classification);
+    results.table2 = analysis::panicTable(results.dataset);
+    results.fig3BurstLengths = analysis::burstLengths(results.dataset);
+    results.fig5Coalescence =
+        analysis::coalesce(results.dataset, results.classification,
+                           config_.coalescenceWindowSeconds);
+    results.table3 = analysis::activityCorrelation(results.fig5Coalescence);
+    results.fig6AppCounts = analysis::runningAppCounts(results.dataset);
+    results.table4 = analysis::appCorrelation(results.fig5Coalescence);
+}
+
+FieldStudyResults FailureStudy::runFieldStudy() const {
+    FieldStudyResults results;
+    results.fleet = fleet::runCampaign(config_.fleetConfig);
+    results.dataset = analysis::LogDataset::build(results.fleet.logs);
+    runPipeline(results);
+    results.evaluation = analysis::evaluate(results.dataset, results.classification,
+                                            results.fleet.truthMap());
+    return results;
+}
+
+FieldStudyResults FailureStudy::analyzeLogs(std::vector<analysis::PhoneLog> logs) const {
+    FieldStudyResults results;
+    results.fleet.logs = std::move(logs);
+    results.dataset = analysis::LogDataset::build(results.fleet.logs);
+    runPipeline(results);
+    return results;
+}
+
+}  // namespace symfail::core

@@ -1,0 +1,69 @@
+#include "faults/catalog.hpp"
+
+#include <array>
+
+#include "phone/apps.hpp"
+
+namespace symfail::faults {
+
+std::span<const FaultClassSpec> faultCatalog() {
+    using namespace symfail::symbos;
+    // Columns: panic, share%, pVoice, pMessage, pBackground,
+    //          pFreeze, pShutdown, cascadeProb.
+    static constexpr std::array<FaultClassSpec, 20> kCatalog{{
+        {kKernExecBadHandle, 6.31, 0.25, 0.05, 0.70, 0.55, 0.10, 0.25},
+        {kKernExecAccessViolation, 56.31, 0.42, 0.05, 0.53, 0.28, 0.20, 0.25},
+        {kCBaseTimerOutstanding, 0.51, 0.30, 0.00, 0.70, 0.50, 0.00, 0.20},
+        {kCBaseObjectRefCount, 5.56, 0.20, 0.10, 0.70, 0.50, 0.05, 0.30},
+        {kCBaseStraySignal, 0.76, 0.30, 0.00, 0.70, 0.50, 0.00, 0.20},
+        {kCBaseSchedulerError, 0.25, 0.00, 0.00, 1.00, 0.50, 0.00, 0.20},
+        {kCBaseNoTrapHandler, 10.10, 0.25, 0.05, 0.70, 0.50, 0.05, 0.30},
+        {kCBaseUndocumented91, 0.51, 0.00, 0.00, 1.00, 0.50, 0.00, 0.20},
+        {kCBaseUndocumented92, 0.76, 0.00, 0.00, 1.00, 0.50, 0.00, 0.20},
+        {kUserDesIndexOutOfRange, 1.52, 1.00, 0.00, 0.00, 0.50, 0.00, 0.20},
+        {kUserDesOverflow, 5.81, 1.00, 0.00, 0.00, 0.50, 0.00, 0.20},
+        {kUserNullMessageComplete, 0.76, 1.00, 0.00, 0.00, 0.50, 0.00, 0.20},
+        {kKernSvrBadHandleClose, 0.25, 0.00, 0.00, 1.00, 0.00, 0.00, 0.00},
+        {kViewSrvEventStarvation, 2.53, 1.00, 0.00, 0.00, 0.80, 0.00, 0.20},
+        {kListboxBadItemIndex, 0.25, 0.00, 0.00, 1.00, 0.00, 0.00, 0.00},
+        {kListboxNoView, 0.76, 0.00, 0.00, 1.00, 0.00, 0.00, 0.00},
+        {kPhoneAppInternal, 0.25, 0.00, 1.00, 0.00, 0.00, 1.00, 0.00},
+        {kEikcoctlCorruptEdwin, 0.25, 0.00, 0.50, 0.50, 0.00, 0.00, 0.00},
+        {kMsgsClientWriteFailed, 6.31, 0.10, 0.30, 0.60, 0.00, 1.00, 0.10},
+        {kMmfAudioBadVolume, 0.25, 0.00, 0.00, 1.00, 0.00, 0.00, 0.00},
+    }};
+    return kCatalog;
+}
+
+std::span<const AppAffinity> appAffinities() {
+    using namespace symfail::phone;
+    // Weights shaped on Table 4: Messages is the most implicated
+    // application, followed by camera/log/clock use.
+    static constexpr std::array<AppAffinity, 10> kAffinities{{
+        {kAppMessages, 8.2},
+        {kAppCamera, 6.8},
+        {kAppLog, 5.5},
+        {kAppClock, 4.5},
+        {kAppContacts, 3.0},
+        {kAppBtBrowser, 1.4},
+        {kAppFExplorer, 1.3},
+        {kAppTomTom, 1.3},
+        {kAppMediaPlayer, 1.0},
+        {kAppWebBrowser, 1.0},
+    }};
+    return kAffinities;
+}
+
+double cascadeInflationFactor() {
+    double meanCascade = 0.0;
+    double totalShare = 0.0;
+    for (const auto& spec : faultCatalog()) {
+        meanCascade += spec.sharePercent * spec.cascadeProb;
+        totalShare += spec.sharePercent;
+    }
+    meanCascade /= totalShare;
+    const double meanExtra = meanCascade * (1.0 / kCascadeGeomP);
+    return 1.0 + meanExtra;
+}
+
+}  // namespace symfail::faults

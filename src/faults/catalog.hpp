@@ -1,0 +1,67 @@
+// The fault catalog.
+//
+// One entry per Table 2 panic.  Each entry fixes:
+//   * the panic and its target share of the panic population (Table 2);
+//   * the trigger-context split — what fraction of activations happen
+//     during a voice call, during message handling, or in the background
+//     (shapes Table 3: USER and ViewSrv panics occur only during calls,
+//     Phone.app only during messaging);
+//   * the outcome law — the probability that an activation escalates to a
+//     device freeze or self-shutdown (shapes Figure 5: application-level
+//     panics never escalate, Phone.app/MSGS always reboot, the kernel and
+//     CBase categories are mixed);
+//   * the burst probability — whether the activation starts a panic
+//     cascade (Figure 3: ~25% of panic groups have length >= 2).
+//
+// Outcomes are produced by *mechanism*, not by fiat: a freeze outcome
+// panics the window server (a UiServer process, whose death freezes the
+// device per kernel policy); a self-shutdown outcome panics a core app or
+// kernel-critical process (which the kernel answers with a reboot); a
+// harmless outcome panics an ordinary application process.
+#pragma once
+
+#include <span>
+#include <string_view>
+
+#include "symbos/panic.hpp"
+
+namespace symfail::faults {
+
+/// Trigger-context and outcome parameters of one fault class.
+struct FaultClassSpec {
+    symbos::PanicId panic;
+    /// Target share of the overall panic population, percent (Table 2).
+    double sharePercent;
+    /// Trigger-context split; sums to 1.
+    double pVoice;
+    double pMessage;
+    double pBackground;
+    /// Outcome law; pFreeze + pShutdown <= 1, remainder is "app terminated,
+    /// device unaffected".
+    double pFreeze;
+    double pShutdown;
+    /// Probability that an activation opens a panic cascade.
+    double cascadeProb;
+};
+
+/// The twenty-class catalog, aligned row-by-row with Table 2.
+[[nodiscard]] std::span<const FaultClassSpec> faultCatalog();
+
+/// Relative likelihood that an application is the one in use when a panic
+/// strikes (shapes Table 4's running-application correlation; Messages is
+/// the most implicated application in the paper's data).
+struct AppAffinity {
+    std::string_view app;
+    double weight;
+};
+[[nodiscard]] std::span<const AppAffinity> appAffinities();
+
+/// Geometric parameter for cascade lengths: extra panics in a burst are
+/// 1 + Geometric(kCascadeGeomP) beyond the first.
+inline constexpr double kCascadeGeomP = 0.55;
+
+/// Expected panics per activation, accounting for cascades:
+/// 1 + mean(cascadeProb) * E[Geometric(kCascadeGeomP)].
+[[nodiscard]] double cascadeInflationFactor();
+
+}  // namespace symfail::faults

@@ -1,0 +1,72 @@
+#include "faults/rates.hpp"
+
+#include <algorithm>
+
+namespace symfail::faults {
+namespace {
+
+double totalShare() {
+    double total = 0.0;
+    for (const auto& spec : faultCatalog()) total += spec.sharePercent;
+    return total;
+}
+
+}  // namespace
+
+double expectedPanicFreezes(double primaryActivations) {
+    const double total = totalShare();
+    double expected = 0.0;
+    for (const auto& spec : faultCatalog()) {
+        expected += primaryActivations * (spec.sharePercent / total) * spec.pFreeze;
+    }
+    return expected;
+}
+
+double expectedPanicShutdowns(double primaryActivations) {
+    const double total = totalShare();
+    double expected = 0.0;
+    for (const auto& spec : faultCatalog()) {
+        expected += primaryActivations * (spec.sharePercent / total) * spec.pShutdown;
+    }
+    return expected;
+}
+
+FaultRates deriveRates(const StudyPlan& plan) {
+    FaultRates rates;
+    const double total = totalShare();
+    // Cascades add secondary panics on top of primary activations, so the
+    // primary budget is the target deflated by the inflation factor.
+    const double primaries = plan.targetPanics / cascadeInflationFactor();
+
+    for (const auto& spec : faultCatalog()) {
+        const double classPrimaries = primaries * spec.sharePercent / total;
+        ClassRates cr;
+        cr.spec = spec;
+        if (plan.expectedCalls > 0.0) {
+            cr.perCall = classPrimaries * spec.pVoice / plan.expectedCalls;
+        }
+        if (plan.expectedMessages > 0.0) {
+            cr.perMessage = classPrimaries * spec.pMessage / plan.expectedMessages;
+        }
+        if (plan.expectedOnHours > 0.0) {
+            cr.perOnHour = classPrimaries * spec.pBackground / plan.expectedOnHours;
+        }
+        rates.classes.push_back(cr);
+    }
+
+    // No-panic hangs and spontaneous reboots fill the gap between the
+    // panic-driven device failures and the paper's totals.
+    const double panicFreezes = expectedPanicFreezes(primaries);
+    const double panicShutdowns = expectedPanicShutdowns(primaries);
+    const double hangs = std::max(0.0, plan.targetFreezes - panicFreezes);
+    const double spontaneous = std::max(0.0, plan.targetSelfShutdowns - panicShutdowns);
+    if (plan.expectedOnHours > 0.0) {
+        rates.hangPerOnHour = hangs / plan.expectedOnHours;
+        rates.spontaneousPerOnHour = spontaneous / plan.expectedOnHours;
+        rates.outputFailurePerOnHour =
+            std::max(0.0, plan.targetOutputFailures) / plan.expectedOnHours;
+    }
+    return rates;
+}
+
+}  // namespace symfail::faults

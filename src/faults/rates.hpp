@@ -1,0 +1,67 @@
+// Calibration: turning the paper's measured frequencies into activation
+// rates.
+//
+// The paper reports *counts* over its campaign (≈396 panics, 360 freezes,
+// 471 self-shutdowns across ≈112,680 observed phone-hours).  To inject
+// faults we need per-trigger probabilities: "panic class c fires during a
+// voice call with probability p".  `deriveRates` computes those from a
+// StudyPlan describing the expected workload volume, such that the
+// campaign's *expected* counts land on the paper's, scaled to the plan's
+// observation time.
+#pragma once
+
+#include <vector>
+
+#include "faults/catalog.hpp"
+
+namespace symfail::faults {
+
+/// Expected workload volume of a campaign (fleet-wide totals).
+struct StudyPlan {
+    /// Expected voice calls over the whole campaign.
+    double expectedCalls = 28'000;
+    /// Expected text messages over the whole campaign.
+    double expectedMessages = 37'000;
+    /// Expected powered-on phone-hours over the whole campaign.
+    double expectedOnHours = 90'000;
+
+    /// Target total panic population (the paper's ≈396).
+    double targetPanics = 396;
+    /// Target freeze count (the paper's 360); panic-driven freezes are
+    /// produced by the catalog, the remainder by no-panic hangs.
+    double targetFreezes = 360;
+    /// Target self-shutdown count (the paper's 471); the remainder beyond
+    /// panic-driven reboots comes from no-panic spontaneous reboots.
+    double targetSelfShutdowns = 471;
+    /// Target output (value) failures — wrong output with no crash.  The
+    /// paper could not measure these automatically (its stated future
+    /// work); the default rate makes them the most common failure type,
+    /// as the forum study found (36.3% of reports).
+    double targetOutputFailures = 900;
+};
+
+/// Concrete activation rates for one fault class.
+struct ClassRates {
+    FaultClassSpec spec;
+    double perCall{0.0};     ///< P(activation | one voice call)
+    double perMessage{0.0};  ///< P(activation | one text message)
+    double perOnHour{0.0};   ///< background Poisson rate per powered-on hour
+};
+
+/// Everything the injector needs.
+struct FaultRates {
+    std::vector<ClassRates> classes;
+    double hangPerOnHour{0.0};           ///< no-panic freeze rate
+    double spontaneousPerOnHour{0.0};    ///< no-panic self-reboot rate
+    double outputFailurePerOnHour{0.0};  ///< value-failure rate (no crash)
+};
+
+/// Derives activation rates from a plan; pure and deterministic.
+[[nodiscard]] FaultRates deriveRates(const StudyPlan& plan);
+
+/// Expected panic-driven freezes/self-shutdowns implied by the catalog for
+/// a given primary-activation total (used by deriveRates and tests).
+[[nodiscard]] double expectedPanicFreezes(double primaryActivations);
+[[nodiscard]] double expectedPanicShutdowns(double primaryActivations);
+
+}  // namespace symfail::faults

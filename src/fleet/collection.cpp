@@ -1,0 +1,20 @@
+#include "fleet/collection.hpp"
+
+namespace symfail::fleet {
+
+void CollectionServer::receive(const std::string& phoneName,
+                               const std::string& logFileContent) {
+    latest_[phoneName] = logFileContent;
+    ++uploads_;
+}
+
+std::vector<analysis::PhoneLog> CollectionServer::collectedLogs() const {
+    std::vector<analysis::PhoneLog> logs;
+    logs.reserve(latest_.size());
+    for (const auto& [name, content] : latest_) {
+        logs.push_back(analysis::PhoneLog{name, content});
+    }
+    return logs;
+}
+
+}  // namespace symfail::fleet

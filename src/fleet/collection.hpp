@@ -1,0 +1,39 @@
+// Log collection server.
+//
+// The paper's companion tool paper describes an automated infrastructure
+// that transfers Log Files off the phones.  This server is its model: the
+// logger's upload agent pushes each phone's current Log File content, and
+// the server keeps the latest copy per phone — so analysis can run on
+// uploaded data even for phones that died before campaign end.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/dataset.hpp"
+
+namespace symfail::fleet {
+
+/// Latest-copy-per-phone collection store.
+class CollectionServer {
+public:
+    /// Receives an upload (idempotent: replaces the previous copy).
+    void receive(const std::string& phoneName, const std::string& logFileContent);
+
+    [[nodiscard]] std::size_t phoneCount() const { return latest_.size(); }
+    [[nodiscard]] std::uint64_t uploadsReceived() const { return uploads_; }
+    [[nodiscard]] bool has(const std::string& phoneName) const {
+        return latest_.contains(phoneName);
+    }
+
+    /// Snapshot usable by the analysis pipeline.
+    [[nodiscard]] std::vector<analysis::PhoneLog> collectedLogs() const;
+
+private:
+    std::map<std::string, std::string> latest_;
+    std::uint64_t uploads_{0};
+};
+
+}  // namespace symfail::fleet

@@ -1,0 +1,129 @@
+#include "fleet/fleet.hpp"
+
+#include <memory>
+
+#include "faults/injector.hpp"
+#include "simkernel/simulator.hpp"
+
+namespace symfail::fleet {
+
+analysis::TruthMap FleetResult::truthMap() const {
+    analysis::TruthMap map;
+    for (std::size_t i = 0; i < phoneNames.size(); ++i) {
+        map.emplace(phoneNames[i], &truths[i]);
+    }
+    return map;
+}
+
+double expectedObservedHours(const FleetConfig& config) {
+    // Phone i joins at (i + 0.5)/n * enrollmentWindow and is observed to
+    // campaign end.
+    double total = 0.0;
+    for (int i = 0; i < config.phoneCount; ++i) {
+        const double join = (static_cast<double>(i) + 0.5) /
+                            static_cast<double>(config.phoneCount) *
+                            config.enrollmentWindow.asHoursF();
+        total += config.campaign.asHoursF() - join;
+    }
+    return total;
+}
+
+faults::StudyPlan derivePlan(const FleetConfig& config) {
+    const double wallHours = expectedObservedHours(config);
+    const double onHours = wallHours * config.assumedOnFraction;
+    faults::StudyPlan plan;
+    // Typical profile: ~6 calls and ~8 messages per powered-on day.
+    plan.expectedCalls = onHours / 24.0 * 6.0;
+    plan.expectedMessages = onHours / 24.0 * 8.0;
+    plan.expectedOnHours = onHours;
+    plan.targetPanics = config.panicsPerHour * wallHours;
+    plan.targetFreezes = config.freezesPerHour * wallHours;
+    plan.targetSelfShutdowns = config.selfShutdownsPerHour * wallHours;
+    plan.targetOutputFailures = config.outputFailuresPerHour * wallHours;
+    return plan;
+}
+
+FleetResult runCampaign(const FleetConfig& config) {
+    sim::Simulator simulator;
+    sim::Rng fleetRng{config.seed};
+
+    const auto rates = faults::deriveRates(derivePlan(config));
+
+    struct PhoneUnit {
+        // Destruction order matters: the device's destructor may run
+        // power-down hooks that call back into the logger and injector,
+        // so the device (declared last) must be destroyed first.
+        std::unique_ptr<logger::FailureLogger> logger;
+        std::unique_ptr<logger::UserReportChannel> userReports;
+        std::unique_ptr<faults::FaultInjector> injector;
+        std::unique_ptr<phone::PhoneDevice> device;
+    };
+    std::vector<PhoneUnit> units;
+    units.reserve(static_cast<std::size_t>(config.phoneCount));
+
+    FleetResult result;
+    result.derivedRates = rates;
+
+    for (int i = 0; i < config.phoneCount; ++i) {
+        phone::PhoneDevice::Config deviceConfig;
+        deviceConfig.name = "phone-" + std::to_string(i);
+        deviceConfig.symbianVersion =
+            config.versionPool[static_cast<std::size_t>(i) % config.versionPool.size()];
+        deviceConfig.seed = fleetRng.nextU64();
+
+        // Per-user variation around the typical profile.
+        phone::UserProfile& profile = deviceConfig.profile;
+        profile.callsPerDay = fleetRng.lognormalMedian(6.0, 0.4);
+        profile.smsPerDay = fleetRng.lognormalMedian(8.0, 0.5);
+        profile.appSessionsPerDay = fleetRng.lognormalMedian(10.0, 0.4);
+        profile.nightOffProb = fleetRng.uniform(0.10, 0.45);
+        profile.cameraPerDay = fleetRng.lognormalMedian(0.5, 0.6);
+        profile.bluetoothPerDay = fleetRng.lognormalMedian(0.3, 0.6);
+        profile.webPerDay = fleetRng.lognormalMedian(1.0, 0.6);
+        profile.freezeNoticeMedian =
+            sim::Duration::fromSecondsF(fleetRng.lognormalMedian(12.0 * 60.0, 0.4));
+
+        auto device = std::make_unique<phone::PhoneDevice>(simulator, deviceConfig);
+        auto loggerApp =
+            std::make_unique<logger::FailureLogger>(*device, config.loggerConfig);
+        auto userReports = std::make_unique<logger::UserReportChannel>(
+            *device, config.userReportConfig, fleetRng.nextU64());
+        auto injector = std::make_unique<faults::FaultInjector>(*device, rates,
+                                                                fleetRng.nextU64());
+
+        // Staggered enrollment: the phone powers on when its user joins
+        // the study.
+        const double joinHours = (static_cast<double>(i) + 0.5) /
+                                 static_cast<double>(config.phoneCount) *
+                                 config.enrollmentWindow.asHoursF();
+        phone::PhoneDevice* devicePtr = device.get();
+        simulator.scheduleAt(
+            sim::TimePoint::origin() + sim::Duration::fromSecondsF(joinHours * 3'600.0),
+            [devicePtr]() { devicePtr->powerOn(); });
+
+        units.push_back(PhoneUnit{std::move(loggerApp), std::move(userReports),
+                                  std::move(injector), std::move(device)});
+    }
+
+    simulator.runUntil(sim::TimePoint::origin() + config.campaign);
+
+    for (auto& unit : units) {
+        // End of campaign: collect the Log File and the ground truth, then
+        // drop the simulation objects.
+        result.logs.push_back(analysis::PhoneLog{unit.device->name(),
+                                                 unit.logger->logFileContent()});
+        result.phoneNames.push_back(unit.device->name());
+        result.truths.push_back(unit.device->groundTruth());
+        const auto& stats = unit.injector->stats();
+        result.panicsInjected += stats.primaryPanics + stats.secondaryPanics;
+        result.hangsInjected += stats.hangs;
+        result.spontaneousRebootsInjected += stats.spontaneousReboots;
+        result.outputFailuresInjected += stats.outputFailures;
+        result.userReportsFiled += unit.userReports->reportsFiled();
+        result.totalBoots += unit.device->bootCount();
+    }
+    result.simulatorEvents = simulator.eventsFired();
+    return result;
+}
+
+}  // namespace symfail::fleet

@@ -1,0 +1,101 @@
+#include "forum/classifier.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <string>
+
+namespace symfail::forum {
+namespace {
+
+std::string lowered(std::string_view text) {
+    std::string out{text};
+    std::transform(out.begin(), out.end(), out.begin(),
+                   [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+    return out;
+}
+
+bool containsAny(const std::string& text, std::initializer_list<std::string_view> keys) {
+    return std::any_of(keys.begin(), keys.end(), [&](std::string_view key) {
+        return text.find(key) != std::string::npos;
+    });
+}
+
+std::optional<FailureType> detectType(const std::string& text) {
+    // Order matters: the most specific signatures first.
+    if (containsAny(text, {"freez", "froze", "locks up", "lock up", "hangs",
+                           "stuck", "unresponsive"})) {
+        return FailureType::Freeze;
+    }
+    if (containsAny(text, {"turns itself off", "shuts down by itself", "powers off",
+                           "switched itself off", "shutting itself"})) {
+        return FailureType::SelfShutdown;
+    }
+    if (containsAny(text, {"by itself", "by themselves", "flicker", "flashing",
+                           "erratic", "random", "vibrates"})) {
+        return FailureType::UnstableBehavior;
+    }
+    if (containsAny(text, {"no effect", "do not work", "does nothing", "ignored"})) {
+        return FailureType::InputFailure;
+    }
+    if (containsAny(text, {"wrong", "different from", "resets itself", "indicator"})) {
+        return FailureType::OutputFailure;
+    }
+    return std::nullopt;
+}
+
+RecoveryAction detectRecovery(const std::string& text) {
+    if (containsAny(text, {"service center", "master reset", "firmware", "warranty",
+                           "dealer", "replace the unit"})) {
+        return RecoveryAction::ServicePhone;
+    }
+    if (containsAny(text, {"battery out", "pulling the battery", "removing the battery"})) {
+        return RecoveryAction::RemoveBattery;
+    }
+    if (containsAny(text, {"power cycle", "power cycling", "off and on", "reset fixes",
+                           "quick reset"})) {
+        return RecoveryAction::Reboot;
+    }
+    if (containsAny(text, {"few minutes", "waiting a while", "leave it alone"})) {
+        return RecoveryAction::Wait;
+    }
+    if (containsAny(text, {"again worked", "second time", "repeat the action"})) {
+        return RecoveryAction::RepeatAction;
+    }
+    return RecoveryAction::Unreported;
+}
+
+ReportedActivity detectActivity(const std::string& text) {
+    if (containsAny(text, {"voice call", "phone call", "answer a call", "long calls"})) {
+        return ReportedActivity::VoiceCall;
+    }
+    if (containsAny(text, {"text message", "sms", "composing a text"})) {
+        return ReportedActivity::TextMessage;
+    }
+    if (containsAny(text, {"bluetooth"})) {
+        return ReportedActivity::Bluetooth;
+    }
+    if (containsAny(text, {"picture", "photo", "image gallery"})) {
+        return ReportedActivity::Images;
+    }
+    return ReportedActivity::Unspecified;
+}
+
+}  // namespace
+
+Classification classifyReport(std::string_view rawText) {
+    const std::string text = lowered(rawText);
+    Classification result;
+    const auto type = detectType(text);
+    if (!type) {
+        result.isFailureReport = false;
+        return result;
+    }
+    result.isFailureReport = true;
+    result.type = *type;
+    result.recovery = detectRecovery(text);
+    result.activity = detectActivity(text);
+    return result;
+}
+
+}  // namespace symfail::forum

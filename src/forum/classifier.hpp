@@ -1,0 +1,30 @@
+// Rule-based report classifier.
+//
+// Mirrors the manual filtering/classification step of the paper's forum
+// study: decide whether a post is a failure report at all, then extract
+// the failure type, the recovery action, and the activity context from
+// the free text.  Keyword rules, ordered by specificity; deliberately
+// imperfect (e.g. "power cycling" in an instability description reads
+// like a reboot) — the study scores it against ground truth.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+#include "forum/report.hpp"
+
+namespace symfail::forum {
+
+/// Classifier verdict for one post.
+struct Classification {
+    bool isFailureReport{false};
+    FailureType type{FailureType::Freeze};
+    RecoveryAction recovery{RecoveryAction::Unreported};
+    ReportedActivity activity{ReportedActivity::Unspecified};
+    [[nodiscard]] Severity severity() const { return severityOf(recovery); }
+};
+
+/// Classifies one post's text.
+[[nodiscard]] Classification classifyReport(std::string_view text);
+
+}  // namespace symfail::forum

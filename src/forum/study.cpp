@@ -1,0 +1,93 @@
+#include "forum/study.hpp"
+
+namespace symfail::forum {
+
+double ForumStudyResult::percent(FailureType t, RecoveryAction r) const {
+    if (classifiedFailures == 0) return 0.0;
+    return 100.0 *
+           static_cast<double>(
+               counts[static_cast<std::size_t>(t)][static_cast<std::size_t>(r)]) /
+           static_cast<double>(classifiedFailures);
+}
+
+double ForumStudyResult::typePercent(FailureType t) const {
+    if (classifiedFailures == 0) return 0.0;
+    std::size_t total = 0;
+    for (const auto c : counts[static_cast<std::size_t>(t)]) total += c;
+    return 100.0 * static_cast<double>(total) /
+           static_cast<double>(classifiedFailures);
+}
+
+double ForumStudyResult::severityPercent(Severity s) const {
+    if (classifiedFailures == 0) return 0.0;
+    std::size_t total = 0;
+    for (std::size_t t = 0; t < kFailureTypeCount; ++t) {
+        for (std::size_t r = 0; r < kRecoveryActionCount; ++r) {
+            if (severityOf(static_cast<RecoveryAction>(r)) == s) total += counts[t][r];
+        }
+    }
+    return 100.0 * static_cast<double>(total) /
+           static_cast<double>(classifiedFailures);
+}
+
+double ForumStudyResult::activityPercent(ReportedActivity a) const {
+    if (classifiedFailures == 0) return 0.0;
+    return 100.0 *
+           static_cast<double>(activityCounts[static_cast<std::size_t>(a)]) /
+           static_cast<double>(classifiedFailures);
+}
+
+ForumStudyResult runForumStudy(const CorpusConfig& config, std::uint64_t seed) {
+    const auto corpus = generateCorpus(config, seed);
+
+    ForumStudyResult result;
+    result.corpusSize = corpus.size();
+
+    std::size_t keptTrue = 0;       // classified as failure, truly one
+    std::size_t keptFalse = 0;      // classified as failure, actually noise
+    std::size_t missed = 0;         // true failure filtered out
+    std::size_t typeCorrect = 0;
+    std::size_t recoveryCorrect = 0;
+    std::size_t smartKept = 0;
+
+    for (const auto& report : corpus) {
+        const Classification verdict = classifyReport(report.text);
+        if (!verdict.isFailureReport) {
+            if (report.label.isFailureReport) ++missed;
+            continue;
+        }
+        if (!report.label.isFailureReport) {
+            ++keptFalse;
+            continue;  // noise that slipped through: not tabulated further
+        }
+        ++keptTrue;
+        if (report.smartPhone) ++smartKept;
+
+        ++result.counts[static_cast<std::size_t>(verdict.type)]
+                       [static_cast<std::size_t>(verdict.recovery)];
+        ++result.activityCounts[static_cast<std::size_t>(verdict.activity)];
+        if (verdict.type == report.label.type) ++typeCorrect;
+        if (verdict.recovery == report.label.recovery) ++recoveryCorrect;
+    }
+
+    result.classifiedFailures = keptTrue;
+    if (keptTrue + keptFalse > 0) {
+        result.filterPrecision = static_cast<double>(keptTrue) /
+                                 static_cast<double>(keptTrue + keptFalse);
+    }
+    if (keptTrue + missed > 0) {
+        result.filterRecall =
+            static_cast<double>(keptTrue) / static_cast<double>(keptTrue + missed);
+    }
+    if (keptTrue > 0) {
+        result.typeAccuracy =
+            static_cast<double>(typeCorrect) / static_cast<double>(keptTrue);
+        result.recoveryAccuracy =
+            static_cast<double>(recoveryCorrect) / static_cast<double>(keptTrue);
+        result.smartPhoneShare =
+            static_cast<double>(smartKept) / static_cast<double>(keptTrue);
+    }
+    return result;
+}
+
+}  // namespace symfail::forum

@@ -1,0 +1,47 @@
+// The Section 4 study end-to-end: generate the corpus, run the classifier
+// over the raw text, and compute Table 1 plus the section's headline
+// statistics — along with the classifier's accuracy against ground truth.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "forum/classifier.hpp"
+#include "forum/generator.hpp"
+
+namespace symfail::forum {
+
+/// Regenerated Table 1 and companion statistics.
+struct ForumStudyResult {
+    /// counts[type][recovery] over classified failure reports.
+    std::array<std::array<std::size_t, kRecoveryActionCount>, kFailureTypeCount>
+        counts{};
+    std::size_t classifiedFailures{0};
+    std::size_t corpusSize{0};
+
+    /// Percentage of classified failures in a (type, recovery) cell.
+    [[nodiscard]] double percent(FailureType t, RecoveryAction r) const;
+    /// Failure-type marginal percentage.
+    [[nodiscard]] double typePercent(FailureType t) const;
+    /// Severity distribution percentage.
+    [[nodiscard]] double severityPercent(Severity s) const;
+
+    /// Activity correlation over classified failures.
+    std::array<std::size_t, kReportedActivityCount> activityCounts{};
+    [[nodiscard]] double activityPercent(ReportedActivity a) const;
+
+    /// Share of classified failure reports from smart phones.
+    double smartPhoneShare{0.0};
+
+    // Classifier quality against ground truth.
+    double filterPrecision{0.0};
+    double filterRecall{0.0};
+    double typeAccuracy{0.0};      ///< among true failure reports kept
+    double recoveryAccuracy{0.0};  ///< among true failure reports kept
+};
+
+/// Runs the whole study.
+[[nodiscard]] ForumStudyResult runForumStudy(const CorpusConfig& config,
+                                             std::uint64_t seed);
+
+}  // namespace symfail::forum

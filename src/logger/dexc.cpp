@@ -1,0 +1,55 @@
+#include "logger/dexc.hpp"
+
+#include <charconv>
+#include <stdexcept>
+
+#include "logger/records.hpp"
+
+namespace symfail::logger {
+
+DExcTool::DExcTool(phone::PhoneDevice& device) : device_{&device} {
+    device_->kernel().addPanicHook([this](const symbos::PanicEvent& event) {
+        if (device_->state() != phone::PhoneDevice::PowerState::On) return;
+        device_->flash().appendLine(
+            kDexcFile, "DEXC|" + std::to_string(event.time.micros()) + "|" +
+                           std::string{symbos::toString(event.id.category)} + "|" +
+                           std::to_string(event.id.type));
+        ++captured_;
+    });
+}
+
+const std::string& DExcTool::logContent() const {
+    return device_->flash().content(kDexcFile);
+}
+
+std::vector<DExcTool::Entry> DExcTool::parse(std::string_view content) {
+    std::vector<Entry> out;
+    std::size_t start = 0;
+    while (start < content.size()) {
+        std::size_t nl = content.find('\n', start);
+        if (nl == std::string_view::npos) nl = content.size();
+        const std::string_view line = content.substr(start, nl - start);
+        start = nl + 1;
+        const auto fields = splitFields(line, '|');
+        if (fields.size() != 4 || fields[0] != "DEXC") continue;
+        std::int64_t us = 0;
+        std::int64_t type = 0;
+        const auto r1 =
+            std::from_chars(fields[1].data(), fields[1].data() + fields[1].size(), us);
+        const auto r2 = std::from_chars(fields[3].data(),
+                                        fields[3].data() + fields[3].size(), type);
+        if (r1.ec != std::errc{} || r2.ec != std::errc{}) continue;
+        Entry entry;
+        entry.time = sim::TimePoint::fromMicros(us);
+        try {
+            entry.panic.category = symbos::panicCategoryFromString(fields[2]);
+        } catch (const std::invalid_argument&) {
+            continue;
+        }
+        entry.panic.type = static_cast<int>(type);
+        out.push_back(entry);
+    }
+    return out;
+}
+
+}  // namespace symfail::logger

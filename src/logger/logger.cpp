@@ -1,0 +1,198 @@
+#include "logger/logger.hpp"
+
+#include <utility>
+
+#include "symbos/err.hpp"
+
+namespace symfail::logger {
+
+using phone::PhoneDevice;
+using symbos::ExecContext;
+
+FailureLogger::FailureLogger(PhoneDevice& device, LoggerConfig config)
+    : device_{&device}, config_{config}, enabled_{config.startEnabled} {
+    device_->addBootHook([this]() { onBoot(); });
+    device_->addShutdownHook([this](phone::ShutdownKind kind) { onShutdown(kind); });
+    device_->addPowerDownHook([this]() { teardownDaemon(); });
+    device_->setLoggerToggleHook([this](bool on) { setEnabled(on); });
+    device_->kernel().addPanicHook(
+        [this](const symbos::PanicEvent& event) { onPanic(event); });
+}
+
+FailureLogger::FailureLogger(PhoneDevice& device)
+    : FailureLogger{device, LoggerConfig{}} {}
+
+FailureLogger::~FailureLogger() {
+    teardownDaemon();
+}
+
+const std::string& FailureLogger::logFileContent() const {
+    return device_->flash().content(kLogFile);
+}
+
+void FailureLogger::setUploadSink(UploadSink sink, sim::Duration uploadPeriod) {
+    uploadSink_ = std::move(sink);
+    uploadPeriod_ = uploadPeriod;
+}
+
+void FailureLogger::setEnabled(bool enabled) {
+    if (enabled == enabled_) return;
+    enabled_ = enabled;
+    if (!enabled) {
+        // The user deliberately turns the logger off: record MAOFF so the
+        // next boot is not misclassified as a freeze.
+        if (device_->isOn() && daemonPid_ != 0) writeBeat(BeatKind::Maoff);
+        teardownDaemon();
+    } else if (device_->isOn()) {
+        onBoot();
+    }
+}
+
+void FailureLogger::writeBeat(BeatKind kind) {
+    // Only the most recent event matters (Section 5.2); the beats file is
+    // compacted to its last line to keep a 14-month campaign bounded.
+    device_->flash().replaceWithLine(
+        kBeatsFile, serialize(BeatRecord{device_->simulator().now(), kind}));
+    if (kind == BeatKind::Alive) ++heartbeats_;
+}
+
+ActivityContext FailureLogger::currentActivityContext() const {
+    // The Log Engine mirrors the activity database; an open voice-call row
+    // (start without end) marks the voice-call context, likewise for
+    // messages.  Voice calls win ties, as in the paper's Table 3.
+    if (device_->activityActive(symbos::ActivityKind::VoiceCall)) {
+        return ActivityContext::VoiceCall;
+    }
+    if (device_->activityActive(symbos::ActivityKind::TextMessage)) {
+        return ActivityContext::Message;
+    }
+    return ActivityContext::Unspecified;
+}
+
+void FailureLogger::onPanic(const symbos::PanicEvent& event) {
+    if (!enabled_ || daemonPid_ == 0) return;
+    if (device_->state() != PhoneDevice::PowerState::On) return;
+    PanicRecord record;
+    record.time = event.time;
+    record.panic = event.id;
+    record.runningApps = device_->runningUserApps();
+    record.activity = currentActivityContext();
+    record.batteryPercent = device_->systemAgent().batteryPercent();
+    device_->flash().appendLine(kLogFile, serialize(record));
+    ++panicsLogged_;
+}
+
+void FailureLogger::onBoot() {
+    if (!enabled_) return;
+    auto& flash = device_->flash();
+
+    // First start on this phone: record device metadata.
+    if (bootsLogged_ == 0 && !flash.exists(kLogFile)) {
+        flash.appendLine(kLogFile,
+                         serialize(MetaRecord{device_->simulator().now(),
+                                              device_->symbianVersion()}));
+    }
+
+    // Classify the previous shutdown from the last heartbeat event.
+    BootRecord boot;
+    boot.time = device_->simulator().now();
+    const std::string lastBeatLine = flash.lastLine(kBeatsFile);
+    if (lastBeatLine.empty()) {
+        boot.prior = PriorShutdown::None;
+        boot.lastBeatAt = sim::TimePoint::origin();
+    } else if (const auto beat = parseBeat(lastBeatLine)) {
+        boot.lastBeatAt = beat->time;
+        switch (beat->kind) {
+            case BeatKind::Alive: boot.prior = PriorShutdown::Freeze; break;
+            case BeatKind::Reboot: boot.prior = PriorShutdown::Reboot; break;
+            case BeatKind::Lowbt: boot.prior = PriorShutdown::LowBattery; break;
+            case BeatKind::Maoff: boot.prior = PriorShutdown::ManualOff; break;
+        }
+    } else {
+        // Torn write: treat as a freeze (the write was interrupted by a
+        // power loss with no graceful marker).
+        boot.prior = PriorShutdown::Freeze;
+        boot.lastBeatAt = sim::TimePoint::origin();
+    }
+    flash.appendLine(kLogFile, serialize(boot));
+    ++bootsLogged_;
+
+    // Start the daemon: one background process hosting the AOs.
+    daemonPid_ = device_->kernel().createProcess("FailureLogger",
+                                                 symbos::ProcessKind::SystemServer);
+    writeBeat(BeatKind::Alive);
+
+    startPeriodicAo("heartbeat", config_.heartbeatPeriod,
+                    [this]() { writeBeat(BeatKind::Alive); });
+    startPeriodicAo("runapp-detector", config_.runappPeriod, [this]() {
+        device_->flash().appendLine(
+            kRunappFile, serializeRunapp(device_->simulator().now(),
+                                         device_->runningUserApps()));
+        ++snapshots_;
+    });
+    startPeriodicAo("log-engine", config_.activityPeriod, [this]() {
+        const auto rows = device_->dbLog().eventsSince(lastActivityCopied_);
+        for (const auto& row : rows) {
+            device_->flash().appendLine(
+                kActivityFile,
+                serializeActivity(row.time, symbos::toString(row.kind), row.incoming,
+                                  row.isStart));
+            if (row.time + sim::Duration::micros(1) > lastActivityCopied_) {
+                lastActivityCopied_ = row.time + sim::Duration::micros(1);
+            }
+        }
+    });
+    startPeriodicAo("power-manager", config_.powerPeriod, [this]() {
+        device_->flash().appendLine(
+            kPowerFile,
+            serializePower(device_->simulator().now(),
+                           device_->systemAgent().batteryPercent(),
+                           device_->systemAgent().charging()));
+    });
+    if (uploadSink_ && !uploadPeriod_.isZero()) {
+        startPeriodicAo("upload-agent", uploadPeriod_, [this]() {
+            uploadSink_(device_->name(), logFileContent());
+        });
+    }
+}
+
+void FailureLogger::startPeriodicAo(std::string name, sim::Duration period,
+                                    std::function<void()> body) {
+    auto& scheduler = device_->kernel().schedulerOf(daemonPid_);
+    // RunL runs the body and re-arms the timer — the standard Symbian
+    // periodic-service idiom.  The timer pointer is filled in just after
+    // construction (AO and timer reference each other).
+    auto timerSlot = std::make_shared<symbos::RTimer*>(nullptr);
+    auto ao = std::make_unique<symbos::FunctionAo>(
+        scheduler, std::move(name),
+        [body = std::move(body), timerSlot, period](ExecContext& ctx, int status) {
+            if (status != symbos::KErrNone) return;
+            body();
+            if (*timerSlot != nullptr) (*timerSlot)->after(ctx, period);
+        });
+    auto timer = std::make_unique<symbos::RTimer>(*ao);
+    *timerSlot = timer.get();
+    ao->setCancelFn([timerSlot]() {
+        if (*timerSlot != nullptr) (*timerSlot)->cancel();
+    });
+    // Arm the first tick from the daemon's context.
+    device_->kernel().runInProcess(
+        daemonPid_, [&](ExecContext& ctx) { (*timerSlot)->after(ctx, period); });
+    aos_.push_back(std::move(ao));
+    timers_.push_back(std::move(timer));
+}
+
+void FailureLogger::onShutdown(phone::ShutdownKind kind) {
+    if (!enabled_ || daemonPid_ == 0) return;
+    writeBeat(kind == phone::ShutdownKind::LowBattery ? BeatKind::Lowbt
+                                                      : BeatKind::Reboot);
+}
+
+void FailureLogger::teardownDaemon() {
+    timers_.clear();
+    aos_.clear();
+    daemonPid_ = 0;
+    lastActivityCopied_ = sim::TimePoint::origin();
+}
+
+}  // namespace symfail::logger

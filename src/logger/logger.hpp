@@ -1,0 +1,112 @@
+// The failure data logger — the paper's central artifact (Section 5).
+//
+// A daemon application that starts at phone boot and runs five active
+// objects (Figure 1 of the paper):
+//
+//   * Heartbeat — periodically writes ALIVE to the beats file; on a
+//     graceful shutdown writes REBOOT (or LOWBT for battery exhaustion,
+//     MAOFF when the user turns the logger off).  Because a frozen phone
+//     stops scheduling, a freeze leaves ALIVE as the final event — which
+//     is how freezes are detected at the next boot.
+//   * Running Applications Detector — periodically snapshots the running
+//     application list from the Application Architecture Server.
+//   * Log Engine — copies phone activity (calls, messages) from the
+//     Database Log Server.
+//   * Power Manager — records battery status from the System Agent, so
+//     low-battery shutdowns are separable from failures.
+//   * Panic Detector — subscribes to kernel panic notifications (the
+//     RDebug stand-in), writes a consolidated PANIC record (panic id,
+//     running applications, activity context, battery) the moment a panic
+//     is delivered, and at boot classifies the previous shutdown from the
+//     last heartbeat event and writes a BOOT record.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "logger/records.hpp"
+#include "phone/device.hpp"
+#include "symbos/function_ao.hpp"
+#include "symbos/timer.hpp"
+
+namespace symfail::logger {
+
+/// Logger tuning knobs (the heartbeat period is the paper's [1] tuning
+/// parameter: shorter periods sharpen freeze timestamps but cost writes).
+struct LoggerConfig {
+    sim::Duration heartbeatPeriod = sim::Duration::seconds(60);
+    sim::Duration runappPeriod = sim::Duration::seconds(120);
+    sim::Duration activityPeriod = sim::Duration::seconds(300);
+    sim::Duration powerPeriod = sim::Duration::seconds(600);
+    bool startEnabled = true;
+};
+
+/// The logger daemon.  One instance per phone; re-creates its active
+/// objects at every boot (like the real daemon restarting with the phone).
+class FailureLogger {
+public:
+    FailureLogger(phone::PhoneDevice& device, LoggerConfig config);
+    explicit FailureLogger(phone::PhoneDevice& device);
+    ~FailureLogger();
+    FailureLogger(const FailureLogger&) = delete;
+    FailureLogger& operator=(const FailureLogger&) = delete;
+
+    /// MAOFF handling: disabling writes the MAOFF marker and stops the
+    /// daemon; enabling restarts it (if the phone is on).
+    void setEnabled(bool enabled);
+    [[nodiscard]] bool enabled() const { return enabled_; }
+
+    /// The consolidated Log File content (what the collection
+    /// infrastructure uploads).
+    [[nodiscard]] const std::string& logFileContent() const;
+
+    /// Optional upload sink: when set, the Log File content is pushed to
+    /// it once per `uploadPeriod` (models the automated transfer
+    /// infrastructure of the paper's companion tool paper).
+    using UploadSink = std::function<void(const std::string& phoneName,
+                                          const std::string& logFileContent)>;
+    void setUploadSink(UploadSink sink, sim::Duration uploadPeriod);
+
+    // Statistics (used by tests and the overhead ablation).
+    [[nodiscard]] std::uint64_t heartbeatsWritten() const { return heartbeats_; }
+    [[nodiscard]] std::uint64_t panicsLogged() const { return panicsLogged_; }
+    [[nodiscard]] std::uint64_t bootsLogged() const { return bootsLogged_; }
+    [[nodiscard]] std::uint64_t snapshotsWritten() const { return snapshots_; }
+
+    [[nodiscard]] const LoggerConfig& config() const { return config_; }
+
+private:
+    void onBoot();
+    void onShutdown(phone::ShutdownKind kind);
+    void onPanic(const symbos::PanicEvent& event);
+    void teardownDaemon();
+    void writeBeat(BeatKind kind);
+    [[nodiscard]] ActivityContext currentActivityContext() const;
+
+    /// Creates a self-re-arming periodic AO driven by an RTimer.
+    void startPeriodicAo(std::string name, sim::Duration period,
+                         std::function<void()> body);
+
+    phone::PhoneDevice* device_;
+    LoggerConfig config_;
+    bool enabled_;
+
+    // Per-boot daemon state.
+    symbos::ProcessId daemonPid_{0};
+    std::vector<std::unique_ptr<symbos::FunctionAo>> aos_;
+    std::vector<std::unique_ptr<symbos::RTimer>> timers_;
+    sim::TimePoint lastActivityCopied_{};
+
+    UploadSink uploadSink_;
+    sim::Duration uploadPeriod_{};
+
+    std::uint64_t heartbeats_{0};
+    std::uint64_t panicsLogged_{0};
+    std::uint64_t bootsLogged_{0};
+    std::uint64_t snapshots_{0};
+};
+
+}  // namespace symfail::logger

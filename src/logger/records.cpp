@@ -1,0 +1,250 @@
+#include "logger/records.hpp"
+
+#include <charconv>
+#include <stdexcept>
+
+namespace symfail::logger {
+namespace {
+
+/// Parses a signed integer field; nullopt on malformed input.
+std::optional<std::int64_t> parseInt(std::string_view s) {
+    std::int64_t value = 0;
+    const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+    if (ec != std::errc{} || ptr != s.data() + s.size()) return std::nullopt;
+    return value;
+}
+
+}  // namespace
+
+std::string_view toString(BeatKind k) {
+    switch (k) {
+        case BeatKind::Alive: return "ALIVE";
+        case BeatKind::Reboot: return "REBOOT";
+        case BeatKind::Maoff: return "MAOFF";
+        case BeatKind::Lowbt: return "LOWBT";
+    }
+    return "?";
+}
+
+std::optional<BeatKind> beatKindFromString(std::string_view s) {
+    if (s == "ALIVE") return BeatKind::Alive;
+    if (s == "REBOOT") return BeatKind::Reboot;
+    if (s == "MAOFF") return BeatKind::Maoff;
+    if (s == "LOWBT") return BeatKind::Lowbt;
+    return std::nullopt;
+}
+
+std::string_view toString(ActivityContext c) {
+    switch (c) {
+        case ActivityContext::Unspecified: return "unspecified";
+        case ActivityContext::VoiceCall: return "voice-call";
+        case ActivityContext::Message: return "message";
+    }
+    return "?";
+}
+
+std::string_view toString(PriorShutdown p) {
+    switch (p) {
+        case PriorShutdown::None: return "NONE";
+        case PriorShutdown::Freeze: return "FREEZE";
+        case PriorShutdown::Reboot: return "REBOOT";
+        case PriorShutdown::LowBattery: return "LOWBT";
+        case PriorShutdown::ManualOff: return "MAOFF";
+    }
+    return "?";
+}
+
+std::vector<std::string_view> splitFields(std::string_view line, char delim) {
+    std::vector<std::string_view> out;
+    std::size_t start = 0;
+    while (true) {
+        const std::size_t pos = line.find(delim, start);
+        if (pos == std::string_view::npos) {
+            out.push_back(line.substr(start));
+            return out;
+        }
+        out.push_back(line.substr(start, pos - start));
+        start = pos + 1;
+    }
+}
+
+std::string serialize(const BeatRecord& r) {
+    return "BEAT|" + std::to_string(r.time.micros()) + "|" +
+           std::string{toString(r.kind)};
+}
+
+std::string serialize(const PanicRecord& r) {
+    std::string apps;
+    for (std::size_t i = 0; i < r.runningApps.size(); ++i) {
+        if (i != 0) apps += ',';
+        apps += r.runningApps[i];
+    }
+    return "PANIC|" + std::to_string(r.time.micros()) + "|" +
+           std::string{symbos::toString(r.panic.category)} + "|" +
+           std::to_string(r.panic.type) + "|" + apps + "|" +
+           std::string{toString(r.activity)} + "|" + std::to_string(r.batteryPercent);
+}
+
+std::string serialize(const BootRecord& r) {
+    return "BOOT|" + std::to_string(r.time.micros()) + "|" +
+           std::string{toString(r.prior)} + "|" +
+           std::to_string(r.lastBeatAt.micros());
+}
+
+std::string serialize(const UserReportRecord& r) {
+    // The symptom is free text; '|' and newlines are stripped to keep the
+    // line format parseable.
+    std::string clean;
+    for (const char c : r.symptom) {
+        if (c != '|' && c != '\n') clean += c;
+    }
+    return "UREP|" + std::to_string(r.time.micros()) + "|" + clean;
+}
+
+std::string serialize(const MetaRecord& r) {
+    std::string clean;
+    for (const char c : r.symbianVersion) {
+        if (c != '|' && c != '\n') clean += c;
+    }
+    return "META|" + std::to_string(r.time.micros()) + "|" + clean;
+}
+
+std::string serializeRunapp(sim::TimePoint t, const std::vector<std::string>& apps) {
+    std::string joined;
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+        if (i != 0) joined += ',';
+        joined += apps[i];
+    }
+    return "RUNAPP|" + std::to_string(t.micros()) + "|" + joined;
+}
+
+std::string serializePower(sim::TimePoint t, int percent, bool charging) {
+    return "POWER|" + std::to_string(t.micros()) + "|" + std::to_string(percent) +
+           "|" + (charging ? "1" : "0");
+}
+
+std::string serializeActivity(sim::TimePoint t, std::string_view kind, bool incoming,
+                              bool isStart) {
+    return "ACT|" + std::to_string(t.micros()) + "|" + std::string{kind} + "|" +
+           (incoming ? "in" : "out") + "|" + (isStart ? "start" : "end");
+}
+
+std::optional<BeatRecord> parseBeat(std::string_view line) {
+    const auto fields = splitFields(line, '|');
+    if (fields.size() != 3 || fields[0] != "BEAT") return std::nullopt;
+    const auto us = parseInt(fields[1]);
+    const auto kind = beatKindFromString(fields[2]);
+    if (!us || !kind) return std::nullopt;
+    return BeatRecord{sim::TimePoint::fromMicros(*us), *kind};
+}
+
+namespace {
+
+std::optional<LogFileEntry> parsePanicLine(const std::vector<std::string_view>& f) {
+    if (f.size() != 7) return std::nullopt;
+    const auto us = parseInt(f[1]);
+    const auto type = parseInt(f[3]);
+    const auto battery = parseInt(f[6]);
+    if (!us || !type || !battery) return std::nullopt;
+    LogFileEntry entry;
+    entry.type = LogFileEntry::Type::Panic;
+    entry.panic.time = sim::TimePoint::fromMicros(*us);
+    try {
+        entry.panic.panic.category = symbos::panicCategoryFromString(f[2]);
+    } catch (const std::invalid_argument&) {
+        return std::nullopt;
+    }
+    entry.panic.panic.type = static_cast<int>(*type);
+    if (!f[4].empty()) {
+        for (const auto app : splitFields(f[4], ',')) {
+            entry.panic.runningApps.emplace_back(app);
+        }
+    }
+    if (f[5] == "voice-call") {
+        entry.panic.activity = ActivityContext::VoiceCall;
+    } else if (f[5] == "message") {
+        entry.panic.activity = ActivityContext::Message;
+    } else if (f[5] == "unspecified") {
+        entry.panic.activity = ActivityContext::Unspecified;
+    } else {
+        return std::nullopt;
+    }
+    entry.panic.batteryPercent = static_cast<int>(*battery);
+    return entry;
+}
+
+std::optional<LogFileEntry> parseBootLine(const std::vector<std::string_view>& f) {
+    if (f.size() != 4) return std::nullopt;
+    const auto us = parseInt(f[1]);
+    const auto lastBeat = parseInt(f[3]);
+    if (!us || !lastBeat) return std::nullopt;
+    LogFileEntry entry;
+    entry.type = LogFileEntry::Type::Boot;
+    entry.boot.time = sim::TimePoint::fromMicros(*us);
+    if (f[2] == "NONE") {
+        entry.boot.prior = PriorShutdown::None;
+    } else if (f[2] == "FREEZE") {
+        entry.boot.prior = PriorShutdown::Freeze;
+    } else if (f[2] == "REBOOT") {
+        entry.boot.prior = PriorShutdown::Reboot;
+    } else if (f[2] == "LOWBT") {
+        entry.boot.prior = PriorShutdown::LowBattery;
+    } else if (f[2] == "MAOFF") {
+        entry.boot.prior = PriorShutdown::ManualOff;
+    } else {
+        return std::nullopt;
+    }
+    entry.boot.lastBeatAt = sim::TimePoint::fromMicros(*lastBeat);
+    return entry;
+}
+
+}  // namespace
+
+std::vector<LogFileEntry> parseLogFile(std::string_view content, std::size_t* malformed) {
+    std::vector<LogFileEntry> out;
+    std::size_t bad = 0;
+    std::size_t start = 0;
+    while (start < content.size()) {
+        std::size_t nl = content.find('\n', start);
+        if (nl == std::string_view::npos) nl = content.size();
+        const std::string_view line = content.substr(start, nl - start);
+        start = nl + 1;
+        if (line.empty()) continue;
+        const auto fields = splitFields(line, '|');
+        std::optional<LogFileEntry> entry;
+        if (fields[0] == "PANIC") {
+            entry = parsePanicLine(fields);
+        } else if (fields[0] == "BOOT") {
+            entry = parseBootLine(fields);
+        } else if (fields[0] == "UREP") {
+            if (fields.size() == 3) {
+                if (const auto us = parseInt(fields[1])) {
+                    LogFileEntry rep;
+                    rep.type = LogFileEntry::Type::UserReport;
+                    rep.userReport.time = sim::TimePoint::fromMicros(*us);
+                    rep.userReport.symptom = std::string{fields[2]};
+                    entry = std::move(rep);
+                }
+            }
+        } else if (fields[0] == "META") {
+            if (fields.size() == 3) {
+                if (const auto us = parseInt(fields[1])) {
+                    LogFileEntry meta;
+                    meta.type = LogFileEntry::Type::Meta;
+                    meta.meta.time = sim::TimePoint::fromMicros(*us);
+                    meta.meta.symbianVersion = std::string{fields[2]};
+                    entry = std::move(meta);
+                }
+            }
+        }
+        if (entry) {
+            out.push_back(std::move(*entry));
+        } else {
+            ++bad;
+        }
+    }
+    if (malformed != nullptr) *malformed = bad;
+    return out;
+}
+
+}  // namespace symfail::logger

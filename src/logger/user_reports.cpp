@@ -1,0 +1,27 @@
+#include "logger/user_reports.hpp"
+
+namespace symfail::logger {
+
+UserReportChannel::UserReportChannel(phone::PhoneDevice& device,
+                                     UserReportConfig config, std::uint64_t seed)
+    : device_{&device}, config_{config}, rng_{seed} {
+    device_->addOutputFailureHook([this](const std::string& symptom) {
+        ++seen_;
+        if (!rng_.bernoulli(config_.reportProbability)) return;
+        const auto delay = rng_.lognormalDuration(config_.reportDelayMedian,
+                                                  config_.reportDelaySigma);
+        const auto bootCount = device_->bootCount();
+        device_->simulator().scheduleAfter(
+            delay, [this, bootCount, symptom]() {
+                // The user forgets if the phone rebooted or froze meanwhile.
+                if (device_->bootCount() != bootCount || !device_->isOn()) return;
+                UserReportRecord record;
+                record.time = device_->simulator().now();
+                record.symptom = symptom;
+                device_->flash().appendLine(kLogFile, serialize(record));
+                ++filed_;
+            });
+    });
+}
+
+}  // namespace symfail::logger

@@ -1,0 +1,312 @@
+#include "phone/device.hpp"
+
+#include <cassert>
+#include <utility>
+
+#include "phone/user.hpp"
+
+namespace symfail::phone {
+
+std::string_view toString(ShutdownKind k) {
+    switch (k) {
+        case ShutdownKind::UserOff: return "user-off";
+        case ShutdownKind::NightOff: return "night-off";
+        case ShutdownKind::LowBattery: return "low-battery";
+        case ShutdownKind::SelfReboot: return "self-reboot";
+    }
+    return "?";
+}
+
+PhoneDevice::PhoneDevice(sim::Simulator& simulator, Config config)
+    : simulator_{&simulator},
+      config_{std::move(config)},
+      rng_{config_.seed},
+      kernel_{std::make_unique<symbos::Kernel>(simulator, config_.kernelConfig)} {
+    user_ = std::make_unique<UserModel>(*this, rng_.fork());
+
+    // Kernel recovery policy lands here: core-app/kernel-critical panics
+    // reboot the device; a dead UI server freezes it.
+    kernel_->setActionHandler([this](symbos::KernelAction action,
+                                     const symbos::PanicEvent& event) {
+        if (action == symbos::KernelAction::RebootDevice) {
+            selfReboot("panic " + toString(event.id) + " in " + event.processName);
+        } else {
+            freeze("panic " + toString(event.id) + " in " + event.processName);
+        }
+    });
+
+    // Application processes that die (panic or kill) leave the running list.
+    kernel_->addTerminationHook([this](symbos::ProcessId pid, const std::string& name,
+                                       symbos::TerminationReason reason) {
+        (void)reason;
+        const auto it = sessions_.find(name);
+        if (it != sessions_.end() && it->second.pid == pid) {
+            if (it->second.closeEvent.valid()) simulator_->cancel(it->second.closeEvent);
+            sessions_.erase(it);
+            appArch_.appStopped(name);
+        }
+    });
+
+    systemAgent_.addLowBatteryHook([this]() {
+        if (!isOn()) return;
+        requestShutdown(ShutdownKind::LowBattery);
+        // The user finds a charger; the phone comes back with a healthy
+        // battery a couple of hours later.
+        const auto chargeDelay = rng_.lognormalDuration(sim::Duration::hours(2), 0.5);
+        simulator_->scheduleAfter(chargeDelay, [this]() {
+            batteryPercent_ = 80.0;
+            charging_ = false;
+            powerOn();
+        });
+    });
+
+    user_->start();
+}
+
+PhoneDevice::~PhoneDevice() {
+    // Companion components (logger, injector) may already be gone, and
+    // each cleans up its own per-boot objects in its own destructor — so
+    // never call back into them from here.
+    shutdownHooks_.clear();
+    powerDownHooks_.clear();
+    bootHooks_.clear();
+    activityHooks_.clear();
+    outputFailureHooks_.clear();
+    loggerToggle_ = nullptr;
+    if (state_ != PowerState::Off) {
+        tearDown(false, ShutdownKind::UserOff);
+    }
+}
+
+void PhoneDevice::createResidentProcesses() {
+    using symbos::ProcessKind;
+    residents_.clear();
+    residents_.emplace(std::string{kProcWindowServer},
+                       kernel_->createProcess(std::string{kProcWindowServer},
+                                              ProcessKind::UiServer));
+    residents_.emplace(std::string{kProcFileServer},
+                       kernel_->createProcess(std::string{kProcFileServer},
+                                              ProcessKind::KernelCritical));
+    residents_.emplace(std::string{kProcSystemAgent},
+                       kernel_->createProcess(std::string{kProcSystemAgent},
+                                              ProcessKind::SystemServer));
+    residents_.emplace(std::string{kAppTelephone},
+                       kernel_->createProcess(std::string{kAppTelephone},
+                                              ProcessKind::CoreApp));
+    residents_.emplace(std::string{kProcMsgServer},
+                       kernel_->createProcess(std::string{kProcMsgServer},
+                                              ProcessKind::CoreApp));
+}
+
+void PhoneDevice::powerOn() {
+    if (state_ != PowerState::Off) return;
+    state_ = PowerState::On;
+    ++bootEpoch_;
+    ++bootCount_;
+    lastBootAt_ = simulator_->now();
+    createResidentProcesses();
+    systemAgent_.setBattery(static_cast<int>(batteryPercent_), charging_);
+    truth_.record(simulator_->now(), TruthKind::Boot);
+    for (const auto& hook : bootHooks_) hook();
+    user_->deviceBooted();
+    startBatteryChain();
+}
+
+void PhoneDevice::requestShutdown(ShutdownKind kind, std::string detail) {
+    if (state_ != PowerState::On) return;
+    TruthKind truthKind{};
+    switch (kind) {
+        case ShutdownKind::UserOff: truthKind = TruthKind::UserShutdown; break;
+        case ShutdownKind::NightOff: truthKind = TruthKind::NightShutdown; break;
+        case ShutdownKind::LowBattery: truthKind = TruthKind::LowBatteryShutdown; break;
+        case ShutdownKind::SelfReboot: truthKind = TruthKind::SelfShutdown; break;
+    }
+    truth_.record(simulator_->now(), truthKind, std::move(detail));
+    tearDown(true, kind);
+}
+
+void PhoneDevice::abruptPowerOff() {
+    if (state_ == PowerState::Off) return;
+    tearDown(false, ShutdownKind::UserOff);
+}
+
+void PhoneDevice::freeze(std::string cause) {
+    if (state_ != PowerState::On) return;
+    truth_.record(simulator_->now(), TruthKind::Freeze, std::move(cause));
+    state_ = PowerState::Frozen;
+    ++bootEpoch_;  // invalidates all in-flight behaviour
+    kernel_->setSuspended(true);
+    user_->deviceFroze();
+}
+
+void PhoneDevice::selfReboot(std::string cause) {
+    if (state_ != PowerState::On) return;
+    requestShutdown(ShutdownKind::SelfReboot, std::move(cause));
+    const auto offTime =
+        rng_.lognormalDuration(config_.selfRebootMedian, config_.selfRebootSigma);
+    simulator_->scheduleAfter(offTime, [this]() { powerOn(); });
+}
+
+void PhoneDevice::tearDown(bool graceful, ShutdownKind kind) {
+    assert(state_ != PowerState::Off);
+    if (graceful) {
+        // Symbian lets applications complete their tasks before the power
+        // goes: the logger's heartbeat uses this window to write its
+        // REBOOT/LOWBT marker.
+        for (const auto& hook : shutdownHooks_) hook(kind);
+    }
+    // RAM contents are gone either way; components free their per-boot
+    // objects here (registered by the logger, the fault injector, …).
+    for (const auto& hook : powerDownHooks_) hook();
+    for (auto& [name, session] : sessions_) {
+        if (session.closeEvent.valid()) simulator_->cancel(session.closeEvent);
+    }
+    sessions_.clear();
+    activeActivities_.clear();
+    kernel_->shutdownAll();
+    kernel_->setSuspended(false);
+    appArch_.reset();
+    accumulatedOnTime_ += simulator_->now() - lastBootAt_;
+    state_ = PowerState::Off;
+    ++bootEpoch_;
+}
+
+symbos::ProcessId PhoneDevice::startAppSession(std::string_view app,
+                                               sim::Duration duration) {
+    if (!isOn()) return 0;
+    if (sessions_.find(app) != sessions_.end()) return 0;
+    const AppInfo& info = appInfo(app);
+    const auto pid = kernel_->createProcess(std::string{app}, info.kind);
+    AppSession session;
+    session.pid = pid;
+    const std::string appName{app};
+    const auto epoch = bootEpoch_;
+    session.closeEvent = simulator_->scheduleAfter(duration, [this, appName, epoch]() {
+        if (epoch != bootEpoch_) return;
+        closeAppSession(appName);
+    });
+    sessions_.emplace(appName, session);
+    appArch_.appStarted(appName);
+    return pid;
+}
+
+void PhoneDevice::closeAppSession(std::string_view app) {
+    const auto it = sessions_.find(app);
+    if (it == sessions_.end()) return;
+    const auto pid = it->second.pid;
+    if (it->second.closeEvent.valid()) simulator_->cancel(it->second.closeEvent);
+    sessions_.erase(it);
+    appArch_.appStopped(std::string{app});
+    kernel_->killProcess(pid, symbos::TerminationReason::Killed);
+}
+
+symbos::ProcessId PhoneDevice::pidOf(std::string_view processName) const {
+    if (const auto it = sessions_.find(processName); it != sessions_.end()) {
+        return it->second.pid;
+    }
+    if (const auto it = residents_.find(processName); it != residents_.end()) {
+        return kernel_->alive(it->second) ? it->second : 0;
+    }
+    return 0;
+}
+
+std::vector<std::string> PhoneDevice::runningUserApps() const {
+    return appArch_.running();
+}
+
+void PhoneDevice::outputFailureOccurred(std::string symptom) {
+    if (!isOn()) return;
+    truth_.record(simulator_->now(), TruthKind::OutputFailureInjected, symptom);
+    for (const auto& hook : outputFailureHooks_) hook(symptom);
+}
+
+void PhoneDevice::activityBegin(symbos::ActivityKind kind, bool incoming) {
+    if (!isOn()) return;
+    ++activeActivities_[kind];
+    dbLog_.record(symbos::ActivityEvent{simulator_->now(), kind, incoming, true});
+    // The core app handling the activity may surface in the running list:
+    // the Messages UI opens for every text, while the Telephone app only
+    // occasionally registers a foreground session (see UserProfile).
+    if (kind == symbos::ActivityKind::VoiceCall) {
+        if (rng_.bernoulli(config_.profile.telephoneForegroundProb)) {
+            appArch_.appStarted(std::string{kAppTelephone});
+        }
+    } else if (kind == symbos::ActivityKind::TextMessage) {
+        appArch_.appStarted(std::string{kAppMessages});
+    }
+    for (const auto& hook : activityHooks_) hook(kind, true);
+}
+
+void PhoneDevice::activityEnd(symbos::ActivityKind kind, bool incoming) {
+    if (!isOn()) return;
+    auto it = activeActivities_.find(kind);
+    if (it == activeActivities_.end() || it->second == 0) return;
+    if (--it->second == 0) activeActivities_.erase(it);
+    dbLog_.record(symbos::ActivityEvent{simulator_->now(), kind, incoming, false});
+    if (!activityActive(kind)) {
+        if (kind == symbos::ActivityKind::VoiceCall) {
+            appArch_.appStopped(std::string{kAppTelephone});
+        } else if (kind == symbos::ActivityKind::TextMessage) {
+            appArch_.appStopped(std::string{kAppMessages});
+        }
+    }
+    for (const auto& hook : activityHooks_) hook(kind, false);
+}
+
+bool PhoneDevice::activityActive(symbos::ActivityKind kind) const {
+    const auto it = activeActivities_.find(kind);
+    return it != activeActivities_.end() && it->second > 0;
+}
+
+void PhoneDevice::toggleLogger(bool enabled) {
+    truth_.record(simulator_->now(),
+                  enabled ? TruthKind::LoggerManualOn : TruthKind::LoggerManualOff);
+    if (loggerToggle_) loggerToggle_(enabled);
+}
+
+sim::Duration PhoneDevice::totalOnTime() const {
+    auto total = accumulatedOnTime_;
+    if (state_ == PowerState::On) total += simulator_->now() - lastBootAt_;
+    return total;
+}
+
+void PhoneDevice::startBatteryChain() {
+    const auto epoch = bootEpoch_;
+    constexpr auto kTick = sim::Duration::minutes(30);
+    simulator_->scheduleAfter(kTick, [this, epoch]() {
+        if (epoch != bootEpoch_ || !isOn()) return;
+        batteryTick();
+        startBatteryChain();
+    });
+}
+
+void PhoneDevice::batteryTick() {
+    // Idle drain empties a full battery in about two days; calls and media
+    // use cost extra.
+    double drain = 0.9;
+    if (activityActive(symbos::ActivityKind::VoiceCall)) drain += 2.0;
+    if (!sessions_.empty()) drain += 0.4;
+
+    if (charging_) {
+        batteryPercent_ += 15.0;
+        if (batteryPercent_ >= 100.0) {
+            batteryPercent_ = 100.0;
+            charging_ = false;
+        }
+    } else {
+        batteryPercent_ -= drain;
+        if (batteryPercent_ < 0.0) batteryPercent_ = 0.0;
+        // Charging habits: plug in when low, or overnight.
+        const auto hour = simulator_->now().timeOfDay().totalSeconds() / 3600;
+        const bool nightWindow =
+            hour >= config_.profile.sleepHour - 1 || hour < config_.profile.wakeHour;
+        if (batteryPercent_ < 25.0 && rng_.bernoulli(0.5)) {
+            charging_ = true;
+        } else if (nightWindow && batteryPercent_ < 90.0 && rng_.bernoulli(0.25)) {
+            charging_ = true;
+        }
+    }
+    systemAgent_.setBattery(static_cast<int>(batteryPercent_), charging_);
+}
+
+}  // namespace symfail::phone

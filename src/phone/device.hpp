@@ -1,0 +1,267 @@
+// The simulated smart phone.
+//
+// A PhoneDevice ties together the Symbian kernel model, the system servers
+// the logger reads from, persistent flash storage, a battery, and the user
+// behaviour model.  It implements the device-level failure semantics the
+// paper measures:
+//
+//   * freeze  — the device stops responding; nothing more is written to
+//     flash (the heartbeat's last record stays ALIVE); the user eventually
+//     notices and pulls the battery;
+//   * self-shutdown — the kernel reboots the device after a core-app or
+//     kernel-critical panic (or a spontaneous fault); shutdown hooks run
+//     first, so the heartbeat records REBOOT; the phone restarts on its
+//     own within a few minutes (median ≈80 s in the paper's data);
+//   * user shutdowns — deliberate power-offs (night, meetings, quick
+//     cycles) also record REBOOT; only the off-duration distinguishes
+//     them from self-shutdowns, which is exactly the discrimination
+//     problem the paper's Figure 2 addresses;
+//   * low-battery shutdowns — record LOWBT.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "phone/apps.hpp"
+#include "phone/flash.hpp"
+#include "phone/ground_truth.hpp"
+#include "simkernel/rng.hpp"
+#include "simkernel/simulator.hpp"
+#include "symbos/kernel.hpp"
+#include "symbos/sysservers.hpp"
+
+namespace symfail::phone {
+
+class UserModel;
+
+/// Graceful shutdown categories (the abrupt battery pull is not one: it
+/// runs no shutdown hooks, which is how freezes stay detectable).
+enum class ShutdownKind : std::uint8_t {
+    UserOff,     ///< Deliberate daytime power-off.
+    NightOff,    ///< Overnight power-off.
+    LowBattery,  ///< Battery exhausted.
+    SelfReboot,  ///< Kernel-initiated reboot (self-shutdown).
+};
+
+[[nodiscard]] std::string_view toString(ShutdownKind k);
+
+/// Tunable user behaviour.  Defaults describe a typical phone in the
+/// study's population; the fleet draws per-phone variations around them.
+struct UserProfile {
+    double callsPerDay = 6.0;
+    sim::Duration callMedian = sim::Duration::seconds(90);
+    double callSigma = 0.8;
+    double smsPerDay = 8.0;
+    sim::Duration smsHandlingMedian = sim::Duration::seconds(30);
+    double cameraPerDay = 0.5;
+    double bluetoothPerDay = 0.3;
+    double webPerDay = 1.0;
+    double appSessionsPerDay = 10.0;
+
+    double nightOffProb = 0.28;
+    sim::Duration nightOffMedian = sim::Duration::seconds(30'000);
+    double nightOffSigma = 0.25;
+    double daytimeOffPerDay = 0.12;
+    sim::Duration daytimeOffMedian = sim::Duration::minutes(40);
+    double daytimeOffSigma = 0.7;
+    double quickCyclesPerDay = 0.04;
+    sim::Duration quickCycleMedian = sim::Duration::minutes(10);
+    double quickCycleSigma = 0.6;
+
+    /// How long until the user notices a frozen phone and pulls the
+    /// battery (clamped into waking hours).
+    sim::Duration freezeNoticeMedian = sim::Duration::minutes(12);
+    double freezeNoticeSigma = 0.9;
+    sim::Duration batteryPullOffMedian = sim::Duration::seconds(45);
+    double batteryPullOffSigma = 0.4;
+
+    /// Fraction of closed app sessions that linger in the running list
+    /// (users leave applications open).
+    double appLingerProb = 0.35;
+
+    /// Probability that the Telephone application registers a foreground
+    /// UI session during a voice call.  The paper's Table 4 lists
+    /// Telephone among running applications far less often than calls
+    /// occur — the phone app is a resident system component and mostly
+    /// stays out of the application registry.
+    double telephoneForegroundProb = 0.15;
+
+    /// MAOFF events: the user turning the logger application off.
+    double loggerTogglesPerMonth = 0.15;
+    sim::Duration loggerOffMedian = sim::Duration::hours(5);
+
+    int wakeHour = 8;
+    int sleepHour = 23;
+};
+
+/// The device.
+class PhoneDevice {
+public:
+    struct Config {
+        std::string name = "phone-0";
+        std::string symbianVersion = "8.0";
+        UserProfile profile{};
+        std::uint64_t seed = 1;
+        /// Median self-reboot (off-time) duration; paper's data peaks ~80 s
+        /// (the lognormal's histogram mode is median * exp(-sigma^2)).
+        sim::Duration selfRebootMedian = sim::Duration::seconds(90);
+        double selfRebootSigma = 0.35;
+        symbos::Kernel::Config kernelConfig{};
+    };
+
+    enum class PowerState : std::uint8_t { Off, On, Frozen };
+
+    PhoneDevice(sim::Simulator& simulator, Config config);
+    ~PhoneDevice();
+    PhoneDevice(const PhoneDevice&) = delete;
+    PhoneDevice& operator=(const PhoneDevice&) = delete;
+
+    // -- Identity & components ---------------------------------------------
+
+    [[nodiscard]] const std::string& name() const { return config_.name; }
+    [[nodiscard]] const std::string& symbianVersion() const {
+        return config_.symbianVersion;
+    }
+    [[nodiscard]] sim::Simulator& simulator() { return *simulator_; }
+    [[nodiscard]] symbos::Kernel& kernel() { return *kernel_; }
+    [[nodiscard]] symbos::AppArchServer& appArch() { return appArch_; }
+    [[nodiscard]] symbos::DbLogServer& dbLog() { return dbLog_; }
+    [[nodiscard]] symbos::SystemAgentServer& systemAgent() { return systemAgent_; }
+    [[nodiscard]] FlashStore& flash() { return flash_; }
+    [[nodiscard]] GroundTruth& groundTruth() { return truth_; }
+    [[nodiscard]] const GroundTruth& groundTruth() const { return truth_; }
+    [[nodiscard]] const UserProfile& profile() const { return config_.profile; }
+    [[nodiscard]] sim::Rng& rng() { return rng_; }
+
+    // -- Power ---------------------------------------------------------------
+
+    [[nodiscard]] PowerState state() const { return state_; }
+    [[nodiscard]] bool isOn() const { return state_ == PowerState::On; }
+
+    /// Boots the device (no-op unless Off).
+    void powerOn();
+
+    /// Graceful shutdown: hooks run (the logger records its last-event
+    /// marker), processes die, device is Off.  Restart is the caller's or
+    /// user model's business except for SelfReboot, which self-restarts.
+    void requestShutdown(ShutdownKind kind, std::string detail = {});
+
+    /// Abrupt power loss (battery pull): no hooks, straight to Off.
+    void abruptPowerOff();
+
+    /// Device stops responding.  The user model schedules the battery
+    /// pull + restart.
+    void freeze(std::string cause);
+
+    /// Kernel- or fault-initiated reboot: graceful SelfReboot shutdown,
+    /// then an automatic restart after the self-reboot off-time.
+    void selfReboot(std::string cause);
+
+    // -- Applications ---------------------------------------------------------
+
+    /// Opens an application session (creates its process, registers it
+    /// with the Application Architecture Server) and schedules its close.
+    /// Returns 0 if the device is not On or the app is already running.
+    symbos::ProcessId startAppSession(std::string_view app, sim::Duration duration);
+    /// Closes a running app session now (no-op if absent).
+    void closeAppSession(std::string_view app);
+    /// Pid of a running application or resident process; 0 if absent.
+    [[nodiscard]] symbos::ProcessId pidOf(std::string_view processName) const;
+    /// Names of running *user* applications (what the paper's Running
+    /// Applications Detector reports).
+    [[nodiscard]] std::vector<std::string> runningUserApps() const;
+
+    // -- Activities ------------------------------------------------------------
+
+    /// A value failure: the device delivers wrong output (volume, charge
+    /// indicator, …) without crashing.  Recorded in the ground truth and
+    /// surfaced to output-failure hooks — the only way the extended logger
+    /// can learn about it is through the user (the paper's future work).
+    void outputFailureOccurred(std::string symptom);
+
+    /// Marks an activity window; used by the user model.  Registered
+    /// activity hooks (the fault injector's trigger source) fire on start.
+    void activityBegin(symbos::ActivityKind kind, bool incoming);
+    void activityEnd(symbos::ActivityKind kind, bool incoming);
+    [[nodiscard]] bool activityActive(symbos::ActivityKind kind) const;
+
+    // -- Hooks -------------------------------------------------------------------
+
+    using BootHook = std::function<void()>;
+    using ShutdownHook = std::function<void(ShutdownKind)>;
+    using PowerDownHook = std::function<void()>;
+    using ActivityHook = std::function<void(symbos::ActivityKind, bool started)>;
+    using OutputFailureHook = std::function<void(const std::string& symptom)>;
+    using LoggerToggleHook = std::function<void(bool enabled)>;
+
+    void addBootHook(BootHook hook) { bootHooks_.push_back(std::move(hook)); }
+    void addShutdownHook(ShutdownHook hook) { shutdownHooks_.push_back(std::move(hook)); }
+    /// Runs on *every* power loss (graceful or battery pull), before the
+    /// kernel tears processes down: components free their per-boot objects
+    /// here (RAM contents are lost either way).
+    void addPowerDownHook(PowerDownHook hook) {
+        powerDownHooks_.push_back(std::move(hook));
+    }
+    void addActivityHook(ActivityHook hook) { activityHooks_.push_back(std::move(hook)); }
+    void addOutputFailureHook(OutputFailureHook hook) {
+        outputFailureHooks_.push_back(std::move(hook));
+    }
+    void setLoggerToggleHook(LoggerToggleHook hook) { loggerToggle_ = std::move(hook); }
+    /// Invoked by the user model for MAOFF events; no-op without a hook.
+    void toggleLogger(bool enabled);
+
+    // -- Statistics ---------------------------------------------------------------
+
+    [[nodiscard]] sim::Duration totalOnTime() const;
+    [[nodiscard]] std::uint64_t bootCount() const { return bootCount_; }
+
+private:
+    friend class UserModel;
+
+    void createResidentProcesses();
+    void tearDown(bool graceful, ShutdownKind kind);
+    void batteryTick();
+    void startBatteryChain();
+
+    sim::Simulator* simulator_;
+    Config config_;
+    sim::Rng rng_;
+    std::unique_ptr<symbos::Kernel> kernel_;
+    symbos::AppArchServer appArch_;
+    symbos::DbLogServer dbLog_;
+    symbos::SystemAgentServer systemAgent_;
+    FlashStore flash_;
+    GroundTruth truth_;
+    std::unique_ptr<UserModel> user_;
+
+    PowerState state_{PowerState::Off};
+    std::uint64_t bootEpoch_{0};  ///< Increments each boot; stale events check it.
+    std::uint64_t bootCount_{0};
+    sim::TimePoint lastBootAt_{};
+    sim::Duration accumulatedOnTime_{};
+
+    struct AppSession {
+        symbos::ProcessId pid{0};
+        sim::EventId closeEvent{};
+    };
+    std::map<std::string, AppSession, std::less<>> sessions_;
+    std::map<std::string, symbos::ProcessId, std::less<>> residents_;
+    std::map<symbos::ActivityKind, int> activeActivities_;
+
+    std::vector<BootHook> bootHooks_;
+    std::vector<ShutdownHook> shutdownHooks_;
+    std::vector<PowerDownHook> powerDownHooks_;
+    std::vector<ActivityHook> activityHooks_;
+    std::vector<OutputFailureHook> outputFailureHooks_;
+    LoggerToggleHook loggerToggle_;
+
+    double batteryPercent_{100.0};
+    bool charging_{false};
+};
+
+}  // namespace symfail::phone

@@ -1,0 +1,92 @@
+#include "phone/flash.hpp"
+
+#include <stdexcept>
+
+namespace symfail::phone {
+
+void FlashStore::appendLine(std::string_view file, std::string_view line) {
+    auto it = files_.find(file);
+    if (it == files_.end()) {
+        it = files_.emplace(std::string{file}, std::string{}).first;
+    }
+    it->second.append(line);
+    it->second.push_back('\n');
+    ++writes_;
+    if (rotateLimit_ != 0 && it->second.size() > rotateLimit_) {
+        std::string& text = it->second;
+        std::size_t cut = text.find('\n', text.size() / 2);
+        cut = cut == std::string::npos ? text.size() : cut + 1;
+        text.erase(0, cut);
+    }
+}
+
+void FlashStore::replaceWithLine(std::string_view file, std::string_view line) {
+    auto it = files_.find(file);
+    if (it == files_.end()) {
+        it = files_.emplace(std::string{file}, std::string{}).first;
+    }
+    it->second.assign(line);
+    it->second.push_back('\n');
+    ++writes_;
+}
+
+bool FlashStore::exists(std::string_view file) const {
+    return files_.find(file) != files_.end();
+}
+
+const std::string& FlashStore::content(std::string_view file) const {
+    const auto it = files_.find(file);
+    if (it == files_.end()) {
+        static const std::string kEmpty;
+        return kEmpty;
+    }
+    return it->second;
+}
+
+std::vector<std::string> FlashStore::lines(std::string_view file) const {
+    std::vector<std::string> out;
+    const std::string& text = content(file);
+    std::size_t start = 0;
+    while (start < text.size()) {
+        const std::size_t nl = text.find('\n', start);
+        if (nl == std::string::npos) {
+            out.push_back(text.substr(start));
+            break;
+        }
+        out.push_back(text.substr(start, nl - start));
+        start = nl + 1;
+    }
+    return out;
+}
+
+std::string FlashStore::lastLine(std::string_view file) const {
+    const std::string& text = content(file);
+    if (text.empty()) return {};
+    // Skip a trailing newline, then find the previous one.
+    std::size_t end = text.size();
+    if (text.back() == '\n') --end;
+    if (end == 0) return {};
+    const std::size_t prev = text.rfind('\n', end - 1);
+    const std::size_t start = prev == std::string::npos ? 0 : prev + 1;
+    return text.substr(start, end - start);
+}
+
+void FlashStore::remove(std::string_view file) {
+    const auto it = files_.find(file);
+    if (it != files_.end()) files_.erase(it);
+}
+
+void FlashStore::tearTail(std::string_view file, std::size_t bytes) {
+    const auto it = files_.find(file);
+    if (it == files_.end()) return;
+    std::string& text = it->second;
+    text.resize(text.size() >= bytes ? text.size() - bytes : 0);
+}
+
+std::size_t FlashStore::totalBytes() const {
+    std::size_t total = 0;
+    for (const auto& [name, content] : files_) total += content.size();
+    return total;
+}
+
+}  // namespace symfail::phone

@@ -1,0 +1,58 @@
+// Persistent flash filesystem model.
+//
+// The logger's files (beats, runapp, activity, power, the consolidated Log
+// File) live here and survive reboots and battery pulls, as flash storage
+// does.  Files are line-oriented append streams; the model supports the
+// logger's one fragile spot — a battery pull can tear the final,
+// in-flight line (exercised by the logger's failure-injection tests).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace symfail::phone {
+
+/// Simple name -> append-only text file store.
+class FlashStore {
+public:
+    /// Appends one line (a trailing newline is added).
+    void appendLine(std::string_view file, std::string_view line);
+
+    /// Replaces a file's content with a single line.  The beats file uses
+    /// this: only its most recent event matters, and compacting it keeps a
+    /// 14-month campaign's memory bounded.
+    void replaceWithLine(std::string_view file, std::string_view line);
+
+    [[nodiscard]] bool exists(std::string_view file) const;
+    [[nodiscard]] const std::string& content(std::string_view file) const;
+    /// Content split into lines (no trailing empty line).
+    [[nodiscard]] std::vector<std::string> lines(std::string_view file) const;
+    /// Last line of the file, or empty if absent/empty.
+    [[nodiscard]] std::string lastLine(std::string_view file) const;
+
+    void remove(std::string_view file);
+    void clear() { files_.clear(); }
+
+    /// Caps per-file size; when an append pushes a file past the limit,
+    /// the oldest half is dropped on a line boundary (log rotation, as
+    /// phones do to bound flash use).  0 disables rotation.
+    void setRotateLimit(std::size_t bytes) { rotateLimit_ = bytes; }
+
+    /// Truncates the file by `bytes` from the end — models a torn write
+    /// after an abrupt power loss.
+    void tearTail(std::string_view file, std::size_t bytes);
+
+    [[nodiscard]] std::size_t fileCount() const { return files_.size(); }
+    [[nodiscard]] std::size_t totalBytes() const;
+    [[nodiscard]] std::uint64_t writeCount() const { return writes_; }
+
+private:
+    std::map<std::string, std::string, std::less<>> files_;
+    std::uint64_t writes_{0};
+    std::size_t rotateLimit_{8 * 1024 * 1024};
+};
+
+}  // namespace symfail::phone

@@ -1,0 +1,44 @@
+#include "phone/ground_truth.hpp"
+
+#include <algorithm>
+
+namespace symfail::phone {
+
+std::string_view toString(TruthKind k) {
+    switch (k) {
+        case TruthKind::Boot: return "boot";
+        case TruthKind::Freeze: return "freeze";
+        case TruthKind::BatteryPull: return "battery-pull";
+        case TruthKind::SelfShutdown: return "self-shutdown";
+        case TruthKind::UserShutdown: return "user-shutdown";
+        case TruthKind::NightShutdown: return "night-shutdown";
+        case TruthKind::LowBatteryShutdown: return "low-battery-shutdown";
+        case TruthKind::LoggerManualOff: return "logger-manual-off";
+        case TruthKind::LoggerManualOn: return "logger-manual-on";
+        case TruthKind::PanicInjected: return "panic-injected";
+        case TruthKind::HangInjected: return "hang-injected";
+        case TruthKind::SpontaneousReboot: return "spontaneous-reboot";
+        case TruthKind::OutputFailureInjected: return "output-failure";
+    }
+    return "?";
+}
+
+void GroundTruth::record(sim::TimePoint time, TruthKind kind, std::string detail) {
+    events_.push_back(TruthEvent{time, kind, std::move(detail)});
+}
+
+std::size_t GroundTruth::countOf(TruthKind kind) const {
+    return static_cast<std::size_t>(
+        std::count_if(events_.begin(), events_.end(),
+                      [&](const TruthEvent& e) { return e.kind == kind; }));
+}
+
+std::vector<TruthEvent> GroundTruth::eventsOf(TruthKind kind) const {
+    std::vector<TruthEvent> out;
+    for (const auto& e : events_) {
+        if (e.kind == kind) out.push_back(e);
+    }
+    return out;
+}
+
+}  // namespace symfail::phone

@@ -1,0 +1,301 @@
+#include "phone/user.hpp"
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "phone/device.hpp"
+
+namespace symfail::phone {
+namespace {
+
+constexpr double kSecondsPerDay = 86'400.0;
+
+/// Converts an events-per-day rate into a mean gap in active seconds.
+double activeGapSeconds(sim::Rng& rng, double perDay, double activeHours) {
+    const double perActiveSecond = perDay / (activeHours * 3'600.0);
+    return rng.exponential(1.0 / perActiveSecond);
+}
+
+}  // namespace
+
+UserModel::UserModel(PhoneDevice& device, sim::Rng rng)
+    : device_{&device}, rng_{rng} {}
+
+void UserModel::start() {
+    // First night routine at tonight's sleep hour (plus up to 90 minutes of
+    // jitter); repeats daily regardless of power state.
+    const auto& profile = device_->profile();
+    const auto now = device_->simulator().now();
+    auto tonight = sim::TimePoint::fromMicros(0) +
+                   sim::Duration::days(now.dayIndex()) +
+                   sim::Duration::hours(profile.sleepHour) +
+                   sim::Duration::fromSecondsF(rng_.uniform(0.0, 5'400.0));
+    if (tonight <= now) tonight += sim::Duration::days(1);
+    scheduleNightRoutine(tonight);
+    scheduleNextLoggerToggle();
+}
+
+void UserModel::deviceBooted() {
+    scheduleNextCall();
+    scheduleNextMessage();
+    scheduleNextMediaSession();
+    scheduleNextAppSession();
+    scheduleNextDaytimeOff();
+    scheduleNextQuickCycle();
+}
+
+bool UserModel::isNight(sim::TimePoint t) const {
+    const auto& profile = device_->profile();
+    const auto hour = t.timeOfDay().totalSeconds() / 3'600;
+    return hour < profile.wakeHour || hour >= profile.sleepHour;
+}
+
+sim::TimePoint UserModel::nextWake(sim::TimePoint t) const {
+    const auto& profile = device_->profile();
+    auto wake = sim::TimePoint::fromMicros(0) + sim::Duration::days(t.dayIndex()) +
+                sim::Duration::hours(profile.wakeHour);
+    if (wake <= t) wake += sim::Duration::days(1);
+    return wake;
+}
+
+sim::TimePoint UserModel::advanceActiveTime(sim::TimePoint from,
+                                            double activeSeconds) const {
+    const auto& profile = device_->profile();
+    auto t = from;
+    double remaining = activeSeconds;
+    for (int guard = 0; guard < 4'000; ++guard) {
+        if (isNight(t)) {
+            t = nextWake(t);
+            continue;
+        }
+        const auto sleepToday = sim::TimePoint::fromMicros(0) +
+                                sim::Duration::days(t.dayIndex()) +
+                                sim::Duration::hours(profile.sleepHour);
+        const double available = (sleepToday - t).asSecondsF();
+        if (remaining <= available) {
+            return t + sim::Duration::fromSecondsF(remaining);
+        }
+        remaining -= available;
+        t = sleepToday;
+    }
+    // Astronomical gap (rate ~0): far future.
+    return from + sim::Duration::fromSecondsF(activeSeconds + kSecondsPerDay);
+}
+
+void UserModel::scheduleOnChain(double activeGapSec, const std::function<void()>& body) {
+    auto& simulator = device_->simulator();
+    const auto at = advanceActiveTime(simulator.now(), activeGapSec);
+    const auto epoch = device_->bootEpoch_;
+    simulator.scheduleAt(at, [this, epoch, body]() {
+        if (epoch != device_->bootEpoch_ || !device_->isOn()) return;
+        body();
+    });
+}
+
+// -- Calls --------------------------------------------------------------------
+
+void UserModel::scheduleNextCall() {
+    const auto& profile = device_->profile();
+    if (profile.callsPerDay <= 0.0) return;
+    const double activeHours = profile.sleepHour - profile.wakeHour;
+    scheduleOnChain(activeGapSeconds(rng_, profile.callsPerDay, activeHours),
+                    [this]() { fireCall(); });
+}
+
+void UserModel::fireCall() {
+    const auto& profile = device_->profile();
+    ++calls_;
+    const bool incoming = rng_.bernoulli(0.5);
+    device_->activityBegin(symbos::ActivityKind::VoiceCall, incoming);
+    const auto duration = rng_.lognormalDuration(profile.callMedian, profile.callSigma);
+    const auto epoch = device_->bootEpoch_;
+    device_->simulator().scheduleAfter(duration, [this, epoch, incoming]() {
+        if (epoch != device_->bootEpoch_) return;
+        device_->activityEnd(symbos::ActivityKind::VoiceCall, incoming);
+    });
+    scheduleNextCall();
+}
+
+// -- Messages ------------------------------------------------------------------
+
+void UserModel::scheduleNextMessage() {
+    const auto& profile = device_->profile();
+    if (profile.smsPerDay <= 0.0) return;
+    const double activeHours = profile.sleepHour - profile.wakeHour;
+    scheduleOnChain(activeGapSeconds(rng_, profile.smsPerDay, activeHours),
+                    [this]() { fireMessage(); });
+}
+
+void UserModel::fireMessage() {
+    const auto& profile = device_->profile();
+    ++messages_;
+    const bool incoming = rng_.bernoulli(0.45);
+    device_->activityBegin(symbos::ActivityKind::TextMessage, incoming);
+    const auto handling = rng_.lognormalDuration(profile.smsHandlingMedian, 0.5);
+    const auto epoch = device_->bootEpoch_;
+    device_->simulator().scheduleAfter(handling, [this, epoch, incoming]() {
+        if (epoch != device_->bootEpoch_) return;
+        device_->activityEnd(symbos::ActivityKind::TextMessage, incoming);
+    });
+    scheduleNextMessage();
+}
+
+// -- Camera / Bluetooth / web sessions ----------------------------------------
+
+void UserModel::scheduleNextMediaSession() {
+    const auto& profile = device_->profile();
+    const double totalPerDay =
+        profile.cameraPerDay + profile.bluetoothPerDay + profile.webPerDay;
+    if (totalPerDay <= 0.0) return;
+    const double activeHours = profile.sleepHour - profile.wakeHour;
+    scheduleOnChain(activeGapSeconds(rng_, totalPerDay, activeHours), [this]() {
+        const auto& p = device_->profile();
+        const std::array<double, 3> weights{p.cameraPerDay, p.bluetoothPerDay,
+                                            p.webPerDay};
+        const auto pick = rng_.discrete(weights);
+        symbos::ActivityKind kind{};
+        std::string_view app;
+        switch (pick) {
+            case 0: kind = symbos::ActivityKind::Camera, app = kAppCamera; break;
+            case 1: kind = symbos::ActivityKind::Bluetooth, app = kAppBtBrowser; break;
+            default: kind = symbos::ActivityKind::WebBrowsing, app = kAppWebBrowser; break;
+        }
+        const auto duration =
+            rng_.lognormalDuration(appInfo(app).sessionMedian, 0.6);
+        device_->activityBegin(kind, false);
+        device_->startAppSession(app, duration);
+        const auto epoch = device_->bootEpoch_;
+        device_->simulator().scheduleAfter(duration, [this, epoch, kind]() {
+            if (epoch != device_->bootEpoch_) return;
+            device_->activityEnd(kind, false);
+        });
+        scheduleNextMediaSession();
+    });
+}
+
+// -- Generic app sessions -------------------------------------------------------
+
+void UserModel::scheduleNextAppSession() {
+    const auto& profile = device_->profile();
+    if (profile.appSessionsPerDay <= 0.0) return;
+    const double activeHours = profile.sleepHour - profile.wakeHour;
+    scheduleOnChain(activeGapSeconds(rng_, profile.appSessionsPerDay, activeHours),
+                    [this]() { fireAppSession(); });
+}
+
+void UserModel::fireAppSession() {
+    ++appSessions_;
+    // Weighted pick over launchable catalog apps.
+    std::vector<double> weights;
+    std::vector<std::string_view> names;
+    for (const AppInfo& info : appCatalog()) {
+        if (info.launchWeight > 0.0) {
+            weights.push_back(info.launchWeight);
+            names.push_back(info.name);
+        }
+    }
+    const auto pick = rng_.discrete(weights);
+    const AppInfo& info = appInfo(names[pick]);
+    auto duration = rng_.lognormalDuration(info.sessionMedian, 0.7);
+    // Users leave apps open: some sessions linger long after active use.
+    if (rng_.bernoulli(device_->profile().appLingerProb)) {
+        duration = duration * 8;
+    }
+    device_->startAppSession(info.name, duration);
+    scheduleNextAppSession();
+}
+
+// -- Power habits ---------------------------------------------------------------
+
+void UserModel::scheduleNextDaytimeOff() {
+    const auto& profile = device_->profile();
+    if (profile.daytimeOffPerDay <= 0.0) return;
+    const double activeHours = profile.sleepHour - profile.wakeHour;
+    scheduleOnChain(activeGapSeconds(rng_, profile.daytimeOffPerDay, activeHours),
+                    [this]() {
+                        const auto& p = device_->profile();
+                        device_->requestShutdown(ShutdownKind::UserOff, "meeting/cinema");
+                        const auto off = rng_.lognormalDuration(p.daytimeOffMedian,
+                                                                p.daytimeOffSigma);
+                        device_->simulator().scheduleAfter(
+                            off, [this]() { device_->powerOn(); });
+                    });
+}
+
+void UserModel::scheduleNextQuickCycle() {
+    const auto& profile = device_->profile();
+    if (profile.quickCyclesPerDay <= 0.0) return;
+    const double activeHours = profile.sleepHour - profile.wakeHour;
+    scheduleOnChain(activeGapSeconds(rng_, profile.quickCyclesPerDay, activeHours),
+                    [this]() {
+                        const auto& p = device_->profile();
+                        device_->requestShutdown(ShutdownKind::UserOff, "quick power cycle");
+                        const auto off = rng_.lognormalDuration(p.quickCycleMedian,
+                                                                p.quickCycleSigma);
+                        device_->simulator().scheduleAfter(
+                            off, [this]() { device_->powerOn(); });
+                    });
+}
+
+void UserModel::scheduleNightRoutine(sim::TimePoint at) {
+    device_->simulator().scheduleAt(at, [this, at]() {
+        const auto& profile = device_->profile();
+        if (device_->isOn() && rng_.bernoulli(profile.nightOffProb)) {
+            device_->requestShutdown(ShutdownKind::NightOff, "night");
+            const auto off =
+                rng_.lognormalDuration(profile.nightOffMedian, profile.nightOffSigma);
+            device_->simulator().scheduleAfter(off, [this]() { device_->powerOn(); });
+        }
+        scheduleNightRoutine(at + sim::Duration::days(1) +
+                             sim::Duration::fromSecondsF(rng_.uniform(-1'800.0, 1'800.0)));
+    });
+}
+
+void UserModel::scheduleNextLoggerToggle() {
+    const auto& profile = device_->profile();
+    if (profile.loggerTogglesPerMonth <= 0.0) return;
+    const double perDay = profile.loggerTogglesPerMonth / 30.0;
+    const double activeHours = profile.sleepHour - profile.wakeHour;
+    const double gap = activeGapSeconds(rng_, perDay, activeHours);
+    auto& simulator = device_->simulator();
+    const auto at = advanceActiveTime(simulator.now(), gap);
+    simulator.scheduleAt(at, [this]() {
+        if (device_->isOn()) {
+            device_->toggleLogger(false);
+            const auto& p = device_->profile();
+            const auto offFor = rng_.lognormalDuration(p.loggerOffMedian, 0.6);
+            device_->simulator().scheduleAfter(offFor, [this]() {
+                if (device_->isOn()) device_->toggleLogger(true);
+            });
+        }
+        scheduleNextLoggerToggle();
+    });
+}
+
+// -- Freeze recovery ---------------------------------------------------------------
+
+void UserModel::deviceFroze() {
+    const auto& profile = device_->profile();
+    const auto notice =
+        rng_.lognormalDuration(profile.freezeNoticeMedian, profile.freezeNoticeSigma);
+    auto& simulator = device_->simulator();
+    auto at = simulator.now() + notice;
+    // Nobody pulls a battery in their sleep: push night-time notices to
+    // the next morning.
+    if (isNight(at)) {
+        at = nextWake(at) + sim::Duration::fromSecondsF(rng_.uniform(0.0, 3'600.0));
+    }
+    simulator.scheduleAt(at, [this]() {
+        if (device_->state() != PhoneDevice::PowerState::Frozen) return;
+        device_->groundTruth().record(device_->simulator().now(),
+                                      TruthKind::BatteryPull);
+        device_->abruptPowerOff();
+        const auto& p = device_->profile();
+        const auto off =
+            rng_.lognormalDuration(p.batteryPullOffMedian, p.batteryPullOffSigma);
+        device_->simulator().scheduleAfter(off, [this]() { device_->powerOn(); });
+    });
+}
+
+}  // namespace symfail::phone

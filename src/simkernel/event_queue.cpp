@@ -1,0 +1,67 @@
+#include "simkernel/event_queue.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace symfail::sim {
+
+bool EventQueue::heapLess(const Entry& a, const Entry& b) {
+    if (a.at != b.at) return a.at > b.at;
+    return a.seq > b.seq;
+}
+
+EventId EventQueue::schedule(TimePoint at, Action action) {
+    const std::uint64_t seq = nextSeq_++;
+    heap_.push_back(Entry{at, seq, std::move(action)});
+    std::push_heap(heap_.begin(), heap_.end(), &heapLess);
+    ++live_;
+    return EventId{seq};
+}
+
+bool EventQueue::cancel(EventId id) {
+    if (!id.valid() || id.value >= nextSeq_) return false;
+    if (cancelled_.contains(id.value)) return false;
+    // Only pending entries may be cancelled; a fired entry's seq is no
+    // longer in the heap, so probe for it.
+    const bool pending = std::any_of(heap_.begin(), heap_.end(), [&](const Entry& e) {
+        return e.seq == id.value;
+    });
+    if (!pending) return false;
+    cancelled_.insert(id.value);
+    assert(live_ > 0);
+    --live_;
+    return true;
+}
+
+void EventQueue::dropCancelledHead() const {
+    while (!heap_.empty() && cancelled_.contains(heap_.front().seq)) {
+        cancelled_.erase(heap_.front().seq);
+        std::pop_heap(heap_.begin(), heap_.end(), &heapLess);
+        heap_.pop_back();
+    }
+}
+
+std::optional<TimePoint> EventQueue::nextTime() const {
+    dropCancelledHead();
+    if (heap_.empty()) return std::nullopt;
+    return heap_.front().at;
+}
+
+EventQueue::Fired EventQueue::pop() {
+    dropCancelledHead();
+    assert(!heap_.empty());
+    std::pop_heap(heap_.begin(), heap_.end(), &heapLess);
+    Entry e = std::move(heap_.back());
+    heap_.pop_back();
+    assert(live_ > 0);
+    --live_;
+    return Fired{e.at, EventId{e.seq}, std::move(e.action)};
+}
+
+void EventQueue::clear() {
+    heap_.clear();
+    cancelled_.clear();
+    live_ = 0;
+}
+
+}  // namespace symfail::sim

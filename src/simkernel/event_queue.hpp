@@ -1,0 +1,78 @@
+// Pending-event set for the discrete-event simulator.
+//
+// A binary heap keyed on (time, sequence number) so that events scheduled
+// for the same instant fire in scheduling order — a requirement for
+// deterministic replay.  Cancellation is lazy: cancelled entries stay in
+// the heap and are skipped at pop time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "simkernel/time.hpp"
+
+namespace symfail::sim {
+
+/// Opaque handle identifying a scheduled event; used for cancellation.
+struct EventId {
+    std::uint64_t value{0};
+    [[nodiscard]] bool valid() const { return value != 0; }
+    friend bool operator==(EventId, EventId) = default;
+};
+
+/// Time-ordered pending-event set.
+class EventQueue {
+public:
+    using Action = std::function<void()>;
+
+    /// Schedules `action` at `at`; returns a handle usable with cancel().
+    EventId schedule(TimePoint at, Action action);
+
+    /// Cancels a pending event.  Returns false if the event already fired,
+    /// was already cancelled, or the id is unknown.
+    bool cancel(EventId id);
+
+    [[nodiscard]] bool empty() const { return live_ == 0; }
+    [[nodiscard]] std::size_t size() const { return live_; }
+
+    /// Time of the earliest pending event, if any.
+    [[nodiscard]] std::optional<TimePoint> nextTime() const;
+
+    /// Removes and returns the earliest pending event.  Precondition:
+    /// !empty().
+    struct Fired {
+        TimePoint at;
+        EventId id;
+        Action action;
+    };
+    Fired pop();
+
+    /// Drops every pending event.
+    void clear();
+
+private:
+    struct Entry {
+        TimePoint at;
+        std::uint64_t seq{0};
+        Action action;
+    };
+    // Min-heap ordering: the *later* entry compares less so that
+    // std::push_heap/pop_heap (max-heap primitives) keep the earliest
+    // event at the front.
+    static bool heapLess(const Entry& a, const Entry& b);
+
+    /// Garbage-collects cancelled entries at the heap front.  Logically
+    /// const (the pending-event set is unchanged), hence the mutable
+    /// containers.
+    void dropCancelledHead() const;
+
+    mutable std::vector<Entry> heap_;
+    mutable std::unordered_set<std::uint64_t> cancelled_;
+    std::uint64_t nextSeq_{1};
+    std::size_t live_{0};
+};
+
+}  // namespace symfail::sim

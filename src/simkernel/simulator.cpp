@@ -1,0 +1,69 @@
+#include "simkernel/simulator.hpp"
+
+#include <utility>
+
+namespace symfail::sim {
+
+EventId Simulator::scheduleAt(TimePoint at, EventQueue::Action action) {
+    if (at < now_) at = now_;
+    return queue_.schedule(at, std::move(action));
+}
+
+EventId Simulator::scheduleAfter(Duration delay, EventQueue::Action action) {
+    if (delay.isNegative()) delay = Duration{};
+    return queue_.schedule(now_ + delay, std::move(action));
+}
+
+PeriodicHandle Simulator::schedulePeriodic(Duration period, PeriodicAction action) {
+    auto stopped = std::make_shared<bool>(false);
+    // The firing closure re-arms itself through a weak self-reference so
+    // that once the series stops and the last pending firing runs, the
+    // whole chain is freed (no shared_ptr cycle).
+    auto self = std::make_shared<std::function<void()>>();
+    *self = [this, period, action = std::move(action), stopped,
+             weak = std::weak_ptr<std::function<void()>>(self)]() {
+        if (*stopped) return;
+        Periodic control;
+        action(control);
+        if (control.stopped) {
+            *stopped = true;
+            return;
+        }
+        if (auto s = weak.lock()) {
+            scheduleAfter(period, [s]() { (*s)(); });
+        }
+    };
+    scheduleAfter(period, [self]() { (*self)(); });
+    return PeriodicHandle{stopped};
+}
+
+std::uint64_t Simulator::runUntil(TimePoint until) {
+    stopRequested_ = false;
+    std::uint64_t n = 0;
+    while (!stopRequested_) {
+        const auto next = queue_.nextTime();
+        if (!next || *next > until) break;
+        auto fired = queue_.pop();
+        now_ = fired.at;
+        fired.action();
+        ++fired_;
+        ++n;
+    }
+    if (now_ < until && !stopRequested_) now_ = until;
+    return n;
+}
+
+std::uint64_t Simulator::runAll() {
+    stopRequested_ = false;
+    std::uint64_t n = 0;
+    while (!stopRequested_ && !queue_.empty()) {
+        auto fired = queue_.pop();
+        now_ = fired.at;
+        fired.action();
+        ++fired_;
+        ++n;
+    }
+    return n;
+}
+
+}  // namespace symfail::sim

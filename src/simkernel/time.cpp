@@ -1,0 +1,63 @@
+#include "simkernel/time.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace symfail::sim {
+
+Duration Duration::fromSecondsF(double s) {
+    return Duration::micros(static_cast<std::int64_t>(std::llround(s * 1e6)));
+}
+
+std::string Duration::str() const {
+    std::int64_t us = us_;
+    std::string out;
+    if (us < 0) {
+        out += '-';
+        us = -us;
+    }
+    const std::int64_t days = us / (86'400LL * 1'000'000LL);
+    us %= 86'400LL * 1'000'000LL;
+    const std::int64_t hours = us / (3'600LL * 1'000'000LL);
+    us %= 3'600LL * 1'000'000LL;
+    const std::int64_t mins = us / (60LL * 1'000'000LL);
+    us %= 60LL * 1'000'000LL;
+    const double secs = static_cast<double>(us) / 1e6;
+
+    char buf[64];
+    bool emitted = false;
+    if (days != 0) {
+        std::snprintf(buf, sizeof buf, "%lldd ", static_cast<long long>(days));
+        out += buf;
+        emitted = true;
+    }
+    if (hours != 0 || emitted) {
+        std::snprintf(buf, sizeof buf, "%lldh ", static_cast<long long>(hours));
+        out += buf;
+        emitted = true;
+    }
+    if (mins != 0 || emitted) {
+        std::snprintf(buf, sizeof buf, "%lldm ", static_cast<long long>(mins));
+        out += buf;
+    }
+    std::snprintf(buf, sizeof buf, "%.3fs", secs);
+    out += buf;
+    return out;
+}
+
+std::string TimePoint::str() const {
+    const std::int64_t day = dayIndex();
+    const std::int64_t tod = timeOfDay().totalMicros();
+    const std::int64_t h = tod / (3'600LL * 1'000'000LL);
+    const std::int64_t m = (tod / (60LL * 1'000'000LL)) % 60;
+    const std::int64_t s = (tod / 1'000'000LL) % 60;
+    const std::int64_t ms = (tod / 1'000LL) % 1'000;
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "[%lld+%02lld:%02lld:%02lld.%03lld]",
+                  static_cast<long long>(day), static_cast<long long>(h),
+                  static_cast<long long>(m), static_cast<long long>(s),
+                  static_cast<long long>(ms));
+    return buf;
+}
+
+}  // namespace symfail::sim

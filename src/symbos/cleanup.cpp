@@ -1,0 +1,78 @@
+#include "symbos/cleanup.hpp"
+
+#include <utility>
+
+#include "symbos/err.hpp"
+#include "symbos/kernel.hpp"
+
+namespace symfail::symbos {
+
+void CleanupStack::pushL(const ExecContext& ctx, Op op) {
+    if (!trapActive()) {
+        ctx.panic(kCBaseNoTrapHandler,
+                  "cleanup stack used with no trap handler installed");
+    }
+    items_.push_back(std::move(op));
+}
+
+std::size_t CleanupStack::frameDepth() const {
+    const std::size_t mark = trapMarks_.empty() ? 0 : trapMarks_.back();
+    return items_.size() - mark;
+}
+
+void CleanupStack::pop(const ExecContext& ctx, std::size_t n) {
+    if (n > frameDepth()) {
+        ctx.panic(kCBaseUndocumented92,
+                  "cleanup stack pop underflows the current trap frame");
+    }
+    items_.resize(items_.size() - n);
+}
+
+void CleanupStack::popAndDestroy(const ExecContext& ctx, std::size_t n) {
+    if (n > frameDepth()) {
+        ctx.panic(kCBaseUndocumented92,
+                  "cleanup stack pop-and-destroy underflows the current trap frame");
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        Op op = std::move(items_.back());
+        items_.pop_back();
+        if (op) op();
+    }
+}
+
+void CleanupStack::unwindTo(std::size_t mark) {
+    while (items_.size() > mark) {
+        Op op = std::move(items_.back());
+        items_.pop_back();
+        if (op) op();
+    }
+}
+
+int trap(ExecContext& ctx, const std::function<void(ExecContext&)>& body) {
+    CleanupStack& stack = ctx.cleanupStack();
+    const std::size_t mark = stack.items_.size();
+    stack.trapMarks_.push_back(mark);
+    try {
+        body(ctx);
+    } catch (const LeaveError& leave) {
+        stack.unwindTo(mark);
+        stack.trapMarks_.pop_back();
+        return leave.code;
+    } catch (...) {
+        // Panics (and anything else) propagate, but the trap frame must not
+        // linger on the stack.
+        stack.trapMarks_.pop_back();
+        throw;
+    }
+    stack.trapMarks_.pop_back();
+    if (stack.items_.size() != mark) {
+        // Completing a trap with unbalanced pushes is a programming error;
+        // modelled as the paper's (undocumented) E32USER-CBase 91.
+        stack.unwindTo(mark);
+        ctx.panic(kCBaseUndocumented91,
+                  "trap completed with unbalanced cleanup stack");
+    }
+    return KErrNone;
+}
+
+}  // namespace symfail::symbos

@@ -1,0 +1,66 @@
+// Cleanup stack and trap/leave — Symbian's memory-safety mechanisms.
+//
+// Symbian code pushes references to heap objects onto a per-thread cleanup
+// stack; when an exceptional condition makes a function "leave" (Symbian's
+// lightweight exception, User::Leave), the trap harness unwinds the cleanup
+// stack down to the trap mark, destroying everything pushed inside the trap
+// and so preventing leaks.  The model reproduces the semantics, including
+// the panics raised on misuse:
+//   * using the cleanup stack with no trap handler installed
+//       -> E32USER-CBase 69
+//   * popping more items than were pushed inside the current trap
+//       -> E32USER-CBase 92 (undocumented in the paper's Table 2; this
+//         model assigns it the "cleanup stack underflow" misuse)
+//   * leaving a trap with unbalanced pushes still on the stack
+//       -> E32USER-CBase 91 (undocumented in the paper's Table 2; this
+//         model assigns it the "unbalanced cleanup stack" misuse)
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace symfail::symbos {
+
+class ExecContext;
+
+/// Per-process cleanup stack.
+class CleanupStack {
+public:
+    using Op = std::function<void()>;
+
+    /// Pushes a cleanup operation.  Panics (E32USER-CBase 69) when no trap
+    /// is active — the model's equivalent of a missing CTrapCleanup.
+    void pushL(const ExecContext& ctx, Op op);
+
+    /// Pops `n` items without running them.  Panics (E32USER-CBase 92) on
+    /// underflow of the current trap frame.
+    void pop(const ExecContext& ctx, std::size_t n = 1);
+
+    /// Pops `n` items and runs their cleanup operations (newest first).
+    /// Panics (E32USER-CBase 92) on underflow of the current trap frame.
+    void popAndDestroy(const ExecContext& ctx, std::size_t n = 1);
+
+    [[nodiscard]] bool trapActive() const { return !trapMarks_.empty(); }
+    [[nodiscard]] std::size_t depth() const { return items_.size(); }
+
+private:
+    friend int trap(ExecContext& ctx, const std::function<void(ExecContext&)>& body);
+
+    /// Items pushed within the current trap frame.
+    [[nodiscard]] std::size_t frameDepth() const;
+    /// Destroys items above `mark` (newest first).
+    void unwindTo(std::size_t mark);
+
+    std::vector<Op> items_;
+    std::vector<std::size_t> trapMarks_;
+};
+
+/// Runs `body` under a trap harness (Symbian's TRAP macro).  Returns
+/// KErrNone on normal completion, or the leave code when `body` leaves; in
+/// the latter case everything pushed on the cleanup stack inside the trap
+/// has been destroyed.  A body completing with unbalanced cleanup pushes
+/// panics with E32USER-CBase 91.
+int trap(ExecContext& ctx, const std::function<void(ExecContext&)>& body);
+
+}  // namespace symfail::symbos

@@ -1,0 +1,20 @@
+#include "symbos/cobject.hpp"
+
+#include "symbos/kernel.hpp"
+
+namespace symfail::symbos {
+
+bool CObjectModel::close() {
+    if (accessCount_ > 0) --accessCount_;
+    return accessCount_ == 0;
+}
+
+void CObjectModel::destroyCheck(const ExecContext& ctx) const {
+    if (accessCount_ != 0) {
+        ctx.panic(kCBaseObjectRefCount,
+                  "CObject '" + name_ + "' destroyed with access count " +
+                      std::to_string(accessCount_));
+    }
+}
+
+}  // namespace symfail::symbos

@@ -1,0 +1,81 @@
+#include "symbos/descriptor.hpp"
+
+#include <algorithm>
+
+#include "symbos/kernel.hpp"
+
+namespace symfail::symbos {
+
+void Descriptor::requireFits(const ExecContext& ctx, std::size_t newLength) const {
+    if (newLength > max_) {
+        ctx.panic(kUserDesOverflow,
+                  "descriptor operation grows length to " + std::to_string(newLength) +
+                      " past maximum " + std::to_string(max_));
+    }
+}
+
+void Descriptor::requirePos(const ExecContext& ctx, std::size_t pos,
+                            std::size_t limit) const {
+    if (pos > limit) {
+        ctx.panic(kUserDesIndexOutOfRange,
+                  "descriptor position " + std::to_string(pos) + " out of bounds (limit " +
+                      std::to_string(limit) + ")");
+    }
+}
+
+void Descriptor::copy(const ExecContext& ctx, std::string_view s) {
+    requireFits(ctx, s.size());
+    data_.assign(s);
+}
+
+void Descriptor::append(const ExecContext& ctx, std::string_view s) {
+    requireFits(ctx, data_.size() + s.size());
+    data_.append(s);
+}
+
+void Descriptor::insert(const ExecContext& ctx, std::size_t pos, std::string_view s) {
+    requirePos(ctx, pos, data_.size());
+    requireFits(ctx, data_.size() + s.size());
+    data_.insert(pos, s);
+}
+
+void Descriptor::erase(const ExecContext& ctx, std::size_t pos, std::size_t n) {
+    requirePos(ctx, pos, data_.size());
+    data_.erase(pos, std::min(n, data_.size() - pos));
+}
+
+void Descriptor::replace(const ExecContext& ctx, std::size_t pos, std::size_t n,
+                         std::string_view s) {
+    requirePos(ctx, pos, data_.size());
+    requirePos(ctx, pos + n, data_.size());
+    requireFits(ctx, data_.size() - n + s.size());
+    data_.replace(pos, n, s);
+}
+
+void Descriptor::fill(const ExecContext& ctx, char c, std::size_t n) {
+    requireFits(ctx, n);
+    data_.assign(n, c);
+}
+
+void Descriptor::setLength(const ExecContext& ctx, std::size_t n) {
+    requireFits(ctx, n);
+    data_.resize(n, '\0');
+}
+
+std::string Descriptor::left(const ExecContext& ctx, std::size_t n) const {
+    requirePos(ctx, n, data_.size());
+    return data_.substr(0, n);
+}
+
+std::string Descriptor::right(const ExecContext& ctx, std::size_t n) const {
+    requirePos(ctx, n, data_.size());
+    return data_.substr(data_.size() - n);
+}
+
+std::string Descriptor::mid(const ExecContext& ctx, std::size_t pos, std::size_t n) const {
+    requirePos(ctx, pos, data_.size());
+    requirePos(ctx, pos + n, data_.size());
+    return data_.substr(pos, n);
+}
+
+}  // namespace symfail::symbos

@@ -1,0 +1,25 @@
+// Symbian system-wide error codes (the subset the model uses).
+//
+// Symbian reports errors as negative integers ("leave codes"); KErrNone (0)
+// means success.  These constants mirror e32std.h.
+#pragma once
+
+namespace symfail::symbos {
+
+inline constexpr int KErrNone = 0;
+inline constexpr int KErrNotFound = -1;
+inline constexpr int KErrGeneral = -2;
+inline constexpr int KErrCancel = -3;
+inline constexpr int KErrNoMemory = -4;
+inline constexpr int KErrNotSupported = -5;
+inline constexpr int KErrArgument = -6;
+inline constexpr int KErrBadHandle = -8;
+inline constexpr int KErrOverflow = -9;
+inline constexpr int KErrUnderflow = -10;
+inline constexpr int KErrAlreadyExists = -11;
+inline constexpr int KErrInUse = -14;
+inline constexpr int KErrServerTerminated = -15;
+inline constexpr int KErrDied = -13;
+inline constexpr int KErrTimedOut = -33;
+
+}  // namespace symfail::symbos

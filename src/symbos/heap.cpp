@@ -1,0 +1,32 @@
+#include "symbos/heap.hpp"
+
+#include "symbos/err.hpp"
+#include "symbos/kernel.hpp"
+
+namespace symfail::symbos {
+
+HeapCell HeapModel::allocL(const ExecContext& ctx, std::size_t size) {
+    if (failCountdown_ > 0 && --failCountdown_ == 0) {
+        ctx.leave(KErrNoMemory);
+    }
+    if (bytesInUse_ + size > capacity_) {
+        ctx.leave(KErrNoMemory);
+    }
+    const HeapCell cell = next_++;
+    cells_.emplace(cell, size);
+    bytesInUse_ += size;
+    ++totalAllocs_;
+    return cell;
+}
+
+void HeapModel::free(HeapCell cell) {
+    const auto it = cells_.find(cell);
+    if (it == cells_.end()) {
+        ++doubleFrees_;
+        return;
+    }
+    bytesInUse_ -= it->second;
+    cells_.erase(it);
+}
+
+}  // namespace symfail::symbos

@@ -1,0 +1,57 @@
+// Per-process heap model.
+//
+// Symbian phones are memory-constrained, and the paper identifies heap
+// mismanagement as a principal failure cause.  This model tracks live
+// allocation cells so that tests and examples can assert leak-freedom of
+// the cleanup-stack and two-phase-construction protocols, and supports the
+// deterministic allocation-failure injection of Symbian's __UHEAP_FAILNEXT
+// debug facility (an allocation failure *leaves* with KErrNoMemory).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+
+namespace symfail::symbos {
+
+class ExecContext;
+
+/// Heap cell handle; 0 is never a valid cell.
+using HeapCell = std::uint64_t;
+
+/// Allocation tracker with failure injection.
+class HeapModel {
+public:
+    /// Allocates a cell of `size` bytes; leaves with KErrNoMemory when a
+    /// scheduled failure triggers or the configured capacity is exceeded.
+    HeapCell allocL(const ExecContext& ctx, std::size_t size);
+
+    /// Frees a cell; freeing an unknown or already-freed cell is a no-op
+    /// that increments the double-free counter (real double frees corrupt
+    /// the heap silently; the counter lets tests detect them).
+    void free(HeapCell cell);
+
+    [[nodiscard]] bool live(HeapCell cell) const { return cells_.contains(cell); }
+    [[nodiscard]] std::size_t liveCount() const { return cells_.size(); }
+    [[nodiscard]] std::size_t bytesInUse() const { return bytesInUse_; }
+    [[nodiscard]] std::uint64_t doubleFrees() const { return doubleFrees_; }
+    [[nodiscard]] std::uint64_t totalAllocs() const { return totalAllocs_; }
+
+    /// The next `after`-th allocation leaves with KErrNoMemory
+    /// (__UHEAP_FAILNEXT; after == 1 fails the very next allocation).
+    void failNext(std::uint64_t after = 1) { failCountdown_ = after; }
+
+    /// Caps total bytes; further allocations leave with KErrNoMemory.
+    void setCapacity(std::size_t bytes) { capacity_ = bytes; }
+
+private:
+    std::unordered_map<HeapCell, std::size_t> cells_;
+    HeapCell next_{1};
+    std::size_t bytesInUse_{0};
+    std::size_t capacity_{SIZE_MAX};
+    std::uint64_t failCountdown_{0};
+    std::uint64_t doubleFrees_{0};
+    std::uint64_t totalAllocs_{0};
+};
+
+}  // namespace symfail::symbos

@@ -1,0 +1,33 @@
+#include "symbos/ipc.hpp"
+
+#include "symbos/err.hpp"
+
+namespace symfail::symbos {
+
+void Message::complete(const ExecContext& ctx, int code) {
+    if (!attached_ || completed_) {
+        ctx.panic(kUserNullMessageComplete,
+                  "request completed through a null RMessagePtr (op " +
+                      std::to_string(op_) + ")");
+    }
+    completed_ = true;
+    result_ = code;
+}
+
+Server::Server(Kernel& kernel, ProcessId host, std::string name)
+    : kernel_{&kernel}, host_{host}, name_{std::move(name)} {}
+
+int Server::sendReceive(int op, std::string payload) {
+    if (!kernel_->alive(host_)) return KErrServerTerminated;
+    if (!handler_) return KErrNotSupported;
+    Message msg{op, std::move(payload)};
+    const auto outcome = kernel_->runInProcess(host_, [&](ExecContext& ctx) {
+        handler_(ctx, msg);
+    });
+    if (outcome != Kernel::RunOutcome::Completed) return KErrServerTerminated;
+    ++served_;
+    if (!msg.completed()) return KErrGeneral;
+    return msg.result();
+}
+
+}  // namespace symfail::symbos

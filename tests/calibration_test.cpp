@@ -1,0 +1,119 @@
+// Calibration regression tests: a moderately sized campaign must land in
+// the paper's neighbourhood on every headline shape.  These bounds are
+// deliberately loose — they catch calibration regressions (a broken rate
+// derivation, a trigger gate dropped), not seed noise.
+#include <gtest/gtest.h>
+
+#include "analysis/panic_stats.hpp"
+#include "core/study.hpp"
+
+namespace symfail {
+namespace {
+
+/// One shared medium campaign (12 phones, 120 days at paper rates).
+const core::FieldStudyResults& campaign() {
+    static const core::FieldStudyResults kResults = []() {
+        core::StudyConfig config;
+        config.fleetConfig.phoneCount = 12;
+        config.fleetConfig.campaign = sim::Duration::days(120);
+        config.fleetConfig.enrollmentWindow = sim::Duration::days(30);
+        config.fleetConfig.seed = 20'070'601;
+        const core::FailureStudy study{config};
+        return study.runFieldStudy();
+    }();
+    return kResults;
+}
+
+TEST(Calibration, MtbfInPaperRange) {
+    const auto& mtbf = campaign().mtbf;
+    // Paper: MTBFr 313 h, MTBS 250 h.  Allow a factor ~1.6 either way.
+    EXPECT_GT(mtbf.mtbfFreezeHours, 195.0);
+    EXPECT_LT(mtbf.mtbfFreezeHours, 500.0);
+    EXPECT_GT(mtbf.mtbfSelfShutdownHours, 155.0);
+    EXPECT_LT(mtbf.mtbfSelfShutdownHours, 400.0);
+}
+
+TEST(Calibration, KernExec3Dominates) {
+    double ke3 = 0.0;
+    double heap = analysis::categoryShare(campaign().dataset,
+                                          symbos::PanicCategory::E32UserCBase);
+    for (const auto& row : campaign().table2) {
+        if (row.panic == symbos::kKernExecAccessViolation) ke3 = row.percent;
+    }
+    // Paper: 56.31% and 18.4%.
+    EXPECT_GT(ke3, 45.0);
+    EXPECT_LT(ke3, 67.0);
+    EXPECT_GT(heap, 11.0);
+    EXPECT_LT(heap, 27.0);
+}
+
+TEST(Calibration, BurstFractionNearQuarter) {
+    const double fraction =
+        analysis::burstFraction(campaign().fig3BurstLengths);
+    EXPECT_GT(fraction, 0.12);  // paper: ~0.25
+    EXPECT_LT(fraction, 0.38);
+}
+
+TEST(Calibration, CoalescenceNearHalf) {
+    const double related = campaign().fig5Coalescence.relatedFraction();
+    EXPECT_GT(related, 0.40);  // paper: 0.51
+    EXPECT_LT(related, 0.80);
+}
+
+TEST(Calibration, ActivitySplitShaped) {
+    const auto& table3 = campaign().table3;
+    // Paper: voice 38.6 > message 6.6, unspecified 54.8.  At this
+    // campaign size the voice/unspecified ordering can flip by sampling
+    // noise, so only the robust shape is asserted.
+    EXPECT_GT(table3.voicePercent, 20.0);
+    EXPECT_LT(table3.voicePercent, 55.0);
+    EXPECT_GT(table3.voicePercent, table3.messagePercent);
+    EXPECT_GT(table3.unspecifiedPercent, 30.0);
+}
+
+TEST(Calibration, RunningAppModeAtOne) {
+    const auto& counts = campaign().fig6AppCounts;
+    std::int64_t mode = -1;
+    std::uint64_t best = 0;
+    for (const auto& [n, count] : counts.entries()) {
+        if (count > best) {
+            best = count;
+            mode = n;
+        }
+    }
+    EXPECT_EQ(mode, 1);
+}
+
+TEST(Calibration, SelfShutdownPeakBelowThreshold) {
+    const auto zoom = analysis::ShutdownDiscriminator::rebootDurationHistogram(
+        campaign().dataset, 500.0, 25);
+    EXPECT_GT(zoom.modeMidpoint(), 30.0);  // paper peak ~80 s
+    EXPECT_LT(zoom.modeMidpoint(), 200.0);
+}
+
+TEST(Calibration, DetectorsStayAccurate) {
+    const auto& eval = campaign().evaluation;
+    EXPECT_GT(eval.freezeDetection.recall(), 0.9);
+    EXPECT_GT(eval.freezeDetection.precision(), 0.9);
+    EXPECT_GT(eval.selfShutdownDetection.recall(), 0.85);
+    EXPECT_GT(eval.selfShutdownDetection.precision(), 0.85);
+    EXPECT_GT(eval.panicCaptureRate(), 0.9);
+}
+
+TEST(Calibration, MessagesMostImplicatedApp) {
+    const auto totals = analysis::appTotals(campaign().dataset);
+    ASSERT_FALSE(totals.empty());
+    // Paper's Table 4: Messages tops the running-application correlation.
+    // Telephone may edge it out in some seeds (voice-gated panics), so
+    // accept either of the two core apps at the top, with Messages in the
+    // top three.
+    EXPECT_TRUE(totals[0].app == "Messages" || totals[0].app == "Telephone");
+    bool messagesTop3 = false;
+    for (std::size_t i = 0; i < std::min<std::size_t>(3, totals.size()); ++i) {
+        if (totals[i].app == "Messages") messagesTop3 = true;
+    }
+    EXPECT_TRUE(messagesTop3);
+}
+
+}  // namespace
+}  // namespace symfail

@@ -1,0 +1,110 @@
+// Tests for the symfail CLI and the disk log I/O it builds on.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "cli.hpp"
+#include "core/logio.hpp"
+#include "fleet/fleet.hpp"
+
+namespace symfail {
+namespace {
+
+class LogIoFixture : public ::testing::Test {
+protected:
+    LogIoFixture() : dir_{std::filesystem::temp_directory_path() / "symfail-logio"} {
+        std::filesystem::remove_all(dir_);
+    }
+    ~LogIoFixture() override { std::filesystem::remove_all(dir_); }
+    std::filesystem::path dir_;
+};
+
+TEST_F(LogIoFixture, SaveAndLoadRoundTrip) {
+    std::vector<analysis::PhoneLog> logs{
+        {"phone-0", "BOOT|1|NONE|0\n"},
+        {"phone-1", "BOOT|2|NONE|0\nPANIC|3|USER|11||unspecified|50\n"},
+    };
+    const auto written = core::saveLogs(logs, dir_.string());
+    EXPECT_EQ(written.size(), 2u);
+    const auto loaded = core::loadLogs(dir_.string());
+    ASSERT_EQ(loaded.size(), 2u);
+    EXPECT_EQ(loaded[0].phoneName, "phone-0");
+    EXPECT_EQ(loaded[0].logFileContent, logs[0].logFileContent);
+    EXPECT_EQ(loaded[1].phoneName, "phone-1");
+    EXPECT_EQ(loaded[1].logFileContent, logs[1].logFileContent);
+}
+
+TEST_F(LogIoFixture, LoadIgnoresForeignFiles) {
+    std::filesystem::create_directories(dir_);
+    std::ofstream{dir_ / "notes.txt"} << "not a log";
+    std::ofstream{dir_ / "a.log"} << "BOOT|1|NONE|0\n";
+    const auto loaded = core::loadLogs(dir_.string());
+    ASSERT_EQ(loaded.size(), 1u);
+    EXPECT_EQ(loaded[0].phoneName, "a");
+}
+
+TEST_F(LogIoFixture, LoadMissingDirectoryThrows) {
+    EXPECT_THROW((void)core::loadLogs((dir_ / "absent").string()),
+                 std::runtime_error);
+}
+
+TEST_F(LogIoFixture, CampaignLogsSurviveTheRoundTrip) {
+    fleet::FleetConfig config;
+    config.phoneCount = 2;
+    config.campaign = sim::Duration::days(10);
+    config.enrollmentWindow = sim::Duration::days(2);
+    config.seed = 71;
+    const auto result = fleet::runCampaign(config);
+    (void)core::saveLogs(result.logs, dir_.string());
+    const auto loaded = core::loadLogs(dir_.string());
+    const auto direct = analysis::LogDataset::build(result.logs);
+    const auto replayed = analysis::LogDataset::build(loaded);
+    EXPECT_EQ(direct.bootCount(), replayed.bootCount());
+    EXPECT_EQ(direct.panics().size(), replayed.panics().size());
+    EXPECT_EQ(direct.freezes().size(), replayed.freezes().size());
+}
+
+// -- CLI ------------------------------------------------------------------------
+
+TEST(Cli, HelpAndUnknownCommands) {
+    EXPECT_EQ(cli::runCli({"help"}), 0);
+    EXPECT_EQ(cli::runCli({}), 2);
+    EXPECT_EQ(cli::runCli({"frobnicate"}), 2);
+}
+
+TEST(Cli, TablesPrints) {
+    EXPECT_EQ(cli::runCli({"tables"}), 0);
+}
+
+TEST(Cli, ForumRuns) {
+    EXPECT_EQ(cli::runCli({"forum", "--reports", "120", "--seed", "4"}), 0);
+}
+
+TEST(Cli, ForumRejectsBadNumbers) {
+    EXPECT_EQ(cli::runCli({"forum", "--reports", "many"}), 1);
+}
+
+TEST(Cli, AnalyzeRequiresDirectory) {
+    EXPECT_EQ(cli::runCli({"analyze"}), 2);
+    EXPECT_EQ(cli::runCli({"analyze", "/definitely/not/there"}), 1);
+}
+
+TEST(Cli, CampaignAnalyzeWorkflow) {
+    const auto dir = std::filesystem::temp_directory_path() / "symfail-cli-flow";
+    std::filesystem::remove_all(dir);
+    // A small campaign dumping logs and JSON to disk...
+    const auto jsonPath = (dir / "results.json").string();
+    std::filesystem::create_directories(dir);
+    EXPECT_EQ(cli::runCli({"campaign", "--phones", "2", "--days", "12", "--seed",
+                           "9", "--logs", dir.string(), "--json", jsonPath}),
+              0);
+    ASSERT_TRUE(std::filesystem::exists(dir / "phone-0.log"));
+    EXPECT_TRUE(std::filesystem::exists(jsonPath));
+    // ...then the analysis-only pass over those logs.
+    EXPECT_EQ(cli::runCli({"analyze", dir.string()}), 0);
+    std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace symfail

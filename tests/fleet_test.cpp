@@ -1,0 +1,105 @@
+// Tests for the fleet campaign driver and the collection server.
+#include <gtest/gtest.h>
+
+#include "fleet/collection.hpp"
+#include "fleet/fleet.hpp"
+
+namespace symfail::fleet {
+namespace {
+
+TEST(FleetPlan, ExpectedHoursUnderStaggeredEnrollment) {
+    FleetConfig config;
+    config.phoneCount = 2;
+    config.campaign = sim::Duration::days(100);
+    config.enrollmentWindow = sim::Duration::days(40);
+    // Joins at 10 and 30 days: observed 90 + 70 = 160 days.
+    EXPECT_NEAR(expectedObservedHours(config), 160.0 * 24.0, 1.0);
+}
+
+TEST(FleetPlan, TargetsScaleWithRates) {
+    FleetConfig config;
+    const auto plan = derivePlan(config);
+    const double wallHours = expectedObservedHours(config);
+    EXPECT_NEAR(plan.targetFreezes, wallHours / 313.0, 1.0);
+    EXPECT_NEAR(plan.targetSelfShutdowns, wallHours / 250.0, 1.0);
+    EXPECT_NEAR(plan.targetPanics, wallHours * 396.0 / 112'680.0, 1.0);
+    EXPECT_NEAR(plan.expectedOnHours, wallHours * config.assumedOnFraction, 1.0);
+    EXPECT_GT(plan.expectedCalls, 0.0);
+}
+
+TEST(FleetCampaign, SmallRunProducesAllArtifacts) {
+    FleetConfig config;
+    config.phoneCount = 3;
+    config.campaign = sim::Duration::days(25);
+    config.enrollmentWindow = sim::Duration::days(6);
+    config.seed = 5;
+    config.freezesPerHour *= 8.0;
+    config.selfShutdownsPerHour *= 8.0;
+    config.panicsPerHour *= 8.0;
+    const auto result = runCampaign(config);
+
+    ASSERT_EQ(result.logs.size(), 3u);
+    ASSERT_EQ(result.truths.size(), 3u);
+    EXPECT_EQ(result.phoneNames.size(), 3u);
+    for (const auto& log : result.logs) {
+        EXPECT_FALSE(log.logFileContent.empty());
+    }
+    EXPECT_GT(result.panicsInjected, 5u);
+    EXPECT_GT(result.totalBoots, 10u);
+    EXPECT_GT(result.simulatorEvents, 10'000u);
+
+    const auto truthMap = result.truthMap();
+    EXPECT_EQ(truthMap.size(), 3u);
+    EXPECT_NE(truthMap.find("phone-0"), truthMap.end());
+}
+
+TEST(FleetCampaign, VersionPoolAssigned) {
+    FleetConfig config;
+    config.phoneCount = 6;
+    config.campaign = sim::Duration::days(2);
+    config.enrollmentWindow = sim::Duration::days(1);
+    const auto result = runCampaign(config);
+    EXPECT_EQ(result.phoneNames.size(), 6u);
+}
+
+TEST(CollectionServer, KeepsLatestCopy) {
+    CollectionServer server;
+    server.receive("a", "v1");
+    server.receive("a", "v2");
+    server.receive("b", "w1");
+    EXPECT_EQ(server.phoneCount(), 2u);
+    EXPECT_EQ(server.uploadsReceived(), 3u);
+    EXPECT_TRUE(server.has("a"));
+    EXPECT_FALSE(server.has("c"));
+    const auto logs = server.collectedLogs();
+    ASSERT_EQ(logs.size(), 2u);
+    EXPECT_EQ(logs[0].phoneName, "a");
+    EXPECT_EQ(logs[0].logFileContent, "v2");
+}
+
+TEST(CollectionServer, UploadPathDeliversParseableLogs) {
+    // Wire a real logger's upload agent to the collection server and check
+    // the uploaded content analyzes cleanly.
+    sim::Simulator simulator;
+    phone::PhoneDevice::Config config;
+    config.name = "uploader";
+    config.seed = 44;
+    phone::PhoneDevice device{simulator, config};
+    logger::FailureLogger loggerApp{device};
+    CollectionServer server;
+    loggerApp.setUploadSink(
+        [&server](const std::string& name, const std::string& content) {
+            server.receive(name, content);
+        },
+        sim::Duration::hours(12));
+    device.powerOn();
+    simulator.runUntil(sim::TimePoint::origin() + sim::Duration::days(3));
+
+    ASSERT_TRUE(server.has("uploader"));
+    const auto dataset = analysis::LogDataset::build(server.collectedLogs());
+    EXPECT_GE(dataset.bootCount(), 1u);
+    EXPECT_EQ(dataset.malformedLines(), 0u);
+}
+
+}  // namespace
+}  // namespace symfail::fleet

@@ -1,0 +1,90 @@
+// Tests for the panic early-warning analysis.
+#include <gtest/gtest.h>
+
+#include "analysis/prediction.hpp"
+
+namespace symfail::analysis {
+namespace {
+
+sim::TimePoint at(std::int64_t seconds) {
+    return sim::TimePoint::origin() + sim::Duration::seconds(seconds);
+}
+
+std::string bootLine(std::int64_t t, logger::PriorShutdown prior,
+                     std::int64_t lastBeatT) {
+    logger::BootRecord record;
+    record.time = at(t);
+    record.prior = prior;
+    record.lastBeatAt = at(lastBeatT);
+    return logger::serialize(record) + "\n";
+}
+
+std::string panicLine(std::int64_t t) {
+    logger::PanicRecord record;
+    record.time = at(t);
+    record.panic = symbos::kKernExecAccessViolation;
+    record.batteryPercent = 50;
+    return logger::serialize(record) + "\n";
+}
+
+TEST(Prediction, CountsFollowedPanics) {
+    std::string content;
+    content += bootLine(0, logger::PriorShutdown::None, 0);
+    content += panicLine(1'000);  // freeze at 1'030: followed within 60 s
+    content += bootLine(1'200, logger::PriorShutdown::Freeze, 1'030);
+    content += panicLine(50'000);  // nothing follows
+    content += bootLine(100'000, logger::PriorShutdown::None, 0);
+    const auto ds = LogDataset::build({PhoneLog{"p", content}});
+    const auto classification = ShutdownDiscriminator{}.classify(ds);
+
+    const auto sweep = panicWarningAnalysis(ds, classification, {60.0, 100'000.0});
+    ASSERT_EQ(sweep.size(), 2u);
+    EXPECT_EQ(sweep[0].panics, 2u);
+    EXPECT_DOUBLE_EQ(sweep[0].pFailureAfterPanic, 0.5);
+    // Huge horizon: still 0.5 here (the second panic has no later HL
+    // event at all).
+    EXPECT_DOUBLE_EQ(sweep[1].pFailureAfterPanic, 0.5);
+    // Base rate grows with the horizon.
+    EXPECT_LT(sweep[0].baseRate, sweep[1].baseRate);
+    EXPECT_GT(sweep[0].lift(), 1.0);
+}
+
+TEST(Prediction, EventBeforePanicDoesNotCount) {
+    std::string content;
+    content += bootLine(0, logger::PriorShutdown::None, 0);
+    content += bootLine(1'200, logger::PriorShutdown::Freeze, 1'000);
+    content += panicLine(2'000);  // after the freeze: nothing follows it
+    content += bootLine(90'000, logger::PriorShutdown::None, 0);
+    const auto ds = LogDataset::build({PhoneLog{"p", content}});
+    const auto classification = ShutdownDiscriminator{}.classify(ds);
+    const auto sweep = panicWarningAnalysis(ds, classification, {600.0});
+    ASSERT_EQ(sweep.size(), 1u);
+    EXPECT_DOUBLE_EQ(sweep[0].pFailureAfterPanic, 0.0);
+}
+
+TEST(Prediction, PhonesAreIndependent) {
+    std::string logA = bootLine(0, logger::PriorShutdown::None, 0) + panicLine(1'000) +
+                       bootLine(80'000, logger::PriorShutdown::None, 0);
+    std::string logB = bootLine(0, logger::PriorShutdown::None, 0) +
+                       bootLine(1'100, logger::PriorShutdown::Freeze, 1'010) +
+                       bootLine(80'000, logger::PriorShutdown::None, 0);
+    const auto ds =
+        LogDataset::build({PhoneLog{"a", logA}, PhoneLog{"b", logB}});
+    const auto classification = ShutdownDiscriminator{}.classify(ds);
+    // Phone a's panic must not match phone b's freeze.
+    const auto sweep = panicWarningAnalysis(ds, classification, {3'600.0});
+    ASSERT_EQ(sweep.size(), 1u);
+    EXPECT_DOUBLE_EQ(sweep[0].pFailureAfterPanic, 0.0);
+}
+
+TEST(Prediction, EmptyDataset) {
+    const auto ds = LogDataset::build({});
+    const auto sweep = panicWarningAnalysis(ds, ShutdownClassification{}, {60.0});
+    ASSERT_EQ(sweep.size(), 1u);
+    EXPECT_EQ(sweep[0].panics, 0u);
+    EXPECT_EQ(sweep[0].baseRate, 0.0);
+    EXPECT_EQ(sweep[0].lift(), 0.0);
+}
+
+}  // namespace
+}  // namespace symfail::analysis

@@ -1,0 +1,114 @@
+// Robustness fuzzing of the log parsers: no input — random bytes, bit
+// flips of valid logs, truncations — may crash the pipeline; damage is
+// counted, never fatal.  A deployment's logs pass through battery pulls,
+// flash rotation and transfer infrastructure; the analysis must shrug at
+// anything.
+#include <gtest/gtest.h>
+
+#include "analysis/dataset.hpp"
+#include "logger/dexc.hpp"
+#include "logger/records.hpp"
+#include "simkernel/rng.hpp"
+
+namespace symfail::logger {
+namespace {
+
+std::string randomBytes(sim::Rng& rng, std::size_t n) {
+    std::string out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        out += static_cast<char>(rng.uniformInt(0, 255));
+    }
+    return out;
+}
+
+std::string validLog() {
+    std::string content;
+    content += serialize(MetaRecord{sim::TimePoint::fromMicros(0), "8.0"}) + "\n";
+    BootRecord boot;
+    boot.time = sim::TimePoint::fromMicros(1'000'000);
+    boot.prior = PriorShutdown::Freeze;
+    boot.lastBeatAt = sim::TimePoint::fromMicros(900'000);
+    content += serialize(boot) + "\n";
+    PanicRecord panic;
+    panic.time = sim::TimePoint::fromMicros(2'000'000);
+    panic.panic = symbos::kKernExecAccessViolation;
+    panic.runningApps = {"Messages", "Camera"};
+    panic.activity = ActivityContext::VoiceCall;
+    panic.batteryPercent = 64;
+    content += serialize(panic) + "\n";
+    content += serialize(UserReportRecord{sim::TimePoint::fromMicros(3'000'000),
+                                          "wrong volume"}) +
+               "\n";
+    return content;
+}
+
+class RecordsFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RecordsFuzz, RandomBytesNeverCrashParsers) {
+    sim::Rng rng{GetParam()};
+    for (int round = 0; round < 50; ++round) {
+        const auto blob =
+            randomBytes(rng, static_cast<std::size_t>(rng.uniformInt(0, 2'000)));
+        std::size_t malformed = 0;
+        const auto entries = parseLogFile(blob, &malformed);
+        // Whatever parsed is accounted; nothing threw.
+        EXPECT_LE(entries.size() + malformed, 2'001u);
+        (void)parseBeat(blob.substr(0, std::min<std::size_t>(blob.size(), 64)));
+        (void)DExcTool::parse(blob);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RecordsFuzz, ::testing::Range<std::uint64_t>(1, 9));
+
+class RecordsMutation : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RecordsMutation, BitFlipsDegradeGracefully) {
+    sim::Rng rng{GetParam()};
+    const std::string original = validLog();
+    for (int round = 0; round < 200; ++round) {
+        std::string mutated = original;
+        const int flips = static_cast<int>(rng.uniformInt(1, 8));
+        for (int f = 0; f < flips; ++f) {
+            const auto pos = static_cast<std::size_t>(
+                rng.uniformInt(0, static_cast<std::int64_t>(mutated.size()) - 1));
+            mutated[pos] = static_cast<char>(mutated[pos] ^
+                                             (1 << rng.uniformInt(0, 7)));
+        }
+        std::size_t malformed = 0;
+        const auto entries = parseLogFile(mutated, &malformed);
+        EXPECT_LE(entries.size(), 4u);
+        // The dataset layer also survives the damaged input.
+        const auto ds = analysis::LogDataset::build(
+            {analysis::PhoneLog{"fuzz", mutated}});
+        EXPECT_LE(ds.panics().size(), 1u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RecordsMutation,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+class RecordsTruncation : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RecordsTruncation, EveryPrefixParses) {
+    const std::string original = validLog();
+    sim::Rng rng{GetParam()};
+    for (int round = 0; round < 100; ++round) {
+        const auto cut = static_cast<std::size_t>(
+            rng.uniformInt(0, static_cast<std::int64_t>(original.size())));
+        const auto prefix = original.substr(0, cut);
+        std::size_t malformed = 0;
+        const auto entries = parseLogFile(prefix, &malformed);
+        // Intact leading lines always survive a tail truncation.
+        if (cut >= original.size()) {
+            EXPECT_EQ(entries.size(), 4u);
+        }
+        EXPECT_LE(entries.size(), 4u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RecordsTruncation,
+                         ::testing::Range<std::uint64_t>(1, 5));
+
+}  // namespace
+}  // namespace symfail::logger

@@ -1,0 +1,120 @@
+// Tests for the TBF distribution-fitting extension.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/reliability.hpp"
+#include "simkernel/rng.hpp"
+
+namespace symfail::analysis {
+namespace {
+
+TEST(ExponentialFit, ExactOnKnownSample) {
+    const std::vector<double> sample{1.0, 2.0, 3.0, 4.0};
+    const auto fit = fitExponential(sample);
+    EXPECT_EQ(fit.samples, 4u);
+    EXPECT_DOUBLE_EQ(fit.meanHours, 2.5);
+    // logL = -n (log mean + 1)
+    EXPECT_NEAR(fit.logLikelihood, -4.0 * (std::log(2.5) + 1.0), 1e-9);
+}
+
+TEST(ExponentialFit, EmptySample) {
+    const auto fit = fitExponential({});
+    EXPECT_EQ(fit.samples, 0u);
+    EXPECT_EQ(fit.meanHours, 0.0);
+}
+
+TEST(ExponentialFit, RecoversMeanFromDraws) {
+    sim::Rng rng{5};
+    std::vector<double> sample;
+    for (int i = 0; i < 50'000; ++i) sample.push_back(rng.exponential(42.0));
+    const auto fit = fitExponential(sample);
+    EXPECT_NEAR(fit.meanHours, 42.0, 1.0);
+}
+
+/// Weibull MLE recovers the generating parameters across shapes.
+class WeibullRecovery : public ::testing::TestWithParam<double> {};
+
+TEST_P(WeibullRecovery, ShapeAndScaleRecovered) {
+    const double shape = GetParam();
+    const double scale = 120.0;
+    sim::Rng rng{17};
+    std::vector<double> sample;
+    for (int i = 0; i < 20'000; ++i) sample.push_back(rng.weibull(shape, scale));
+    const auto fit = fitWeibull(sample);
+    ASSERT_TRUE(fit.converged);
+    EXPECT_NEAR(fit.shape, shape, shape * 0.05);
+    EXPECT_NEAR(fit.scaleHours, scale, scale * 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, WeibullRecovery,
+                         ::testing::Values(0.5, 0.8, 1.0, 1.5, 2.5, 4.0));
+
+TEST(WeibullFit, TooFewSamples) {
+    const auto fit = fitWeibull(std::vector<double>{1.0, 2.0});
+    EXPECT_FALSE(fit.converged);
+    EXPECT_EQ(fit.samples, 2u);
+}
+
+TEST(WeibullFit, BeatsExponentialOnBurstyData) {
+    // Mixture of short and long gaps: clearly non-exponential.
+    sim::Rng rng{23};
+    std::vector<double> sample;
+    for (int i = 0; i < 10'000; ++i) {
+        sample.push_back(rng.bernoulli(0.5) ? rng.exponential(2.0)
+                                            : rng.exponential(300.0));
+    }
+    const auto expFit = fitExponential(sample);
+    const auto weiFit = fitWeibull(sample);
+    ASSERT_TRUE(weiFit.converged);
+    EXPECT_LT(weiFit.shape, 1.0);
+    EXPECT_LT(aic(weiFit.logLikelihood, 2), aic(expFit.logLikelihood, 1));
+}
+
+TEST(WeibullFit, ShapeOneMatchesExponentialLikelihood) {
+    sim::Rng rng{29};
+    std::vector<double> sample;
+    for (int i = 0; i < 30'000; ++i) sample.push_back(rng.exponential(50.0));
+    const auto expFit = fitExponential(sample);
+    const auto weiFit = fitWeibull(sample);
+    ASSERT_TRUE(weiFit.converged);
+    EXPECT_NEAR(weiFit.shape, 1.0, 0.03);
+    // With one extra parameter Weibull cannot beat exponential by the AIC
+    // margin on truly exponential data.
+    EXPECT_GT(aic(weiFit.logLikelihood, 2) + 2.0, aic(expFit.logLikelihood, 1));
+}
+
+TEST(TbfAnalysis, PoolsPerPhoneGaps) {
+    // Two phones; gaps must not cross phones.
+    logger::BootRecord freeze;
+    auto mkLog = [](std::initializer_list<std::int64_t> freezeTimes) {
+        std::string content;
+        for (const auto t : freezeTimes) {
+            logger::BootRecord boot;
+            boot.prior = logger::PriorShutdown::Freeze;
+            boot.lastBeatAt = sim::TimePoint::origin() + sim::Duration::seconds(t);
+            boot.time = boot.lastBeatAt + sim::Duration::seconds(600);
+            content += logger::serialize(boot) + "\n";
+        }
+        return content;
+    };
+    const std::vector<PhoneLog> logs{
+        {"a", mkLog({0, 3'600, 10'800})},  // gaps 1 h and 2 h
+        {"b", mkLog({7'200})},             // no gap
+    };
+    const auto ds = LogDataset::build(logs);
+    const auto classification = ShutdownDiscriminator{}.classify(ds);
+    const auto tbf = analyzeTimeBetweenFailures(ds, classification);
+    ASSERT_EQ(tbf.interarrivalsHours.size(), 2u);
+    EXPECT_NEAR(tbf.interarrivalsHours[0], 1.0, 1e-6);
+    EXPECT_NEAR(tbf.interarrivalsHours[1], 2.0, 1e-6);
+    EXPECT_NEAR(tbf.exponential.meanHours, 1.5, 1e-6);
+    (void)freeze;
+}
+
+TEST(Aic, Formula) {
+    EXPECT_DOUBLE_EQ(aic(-100.0, 2), 204.0);
+}
+
+}  // namespace
+}  // namespace symfail::analysis

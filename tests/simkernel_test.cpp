@@ -1,0 +1,286 @@
+// Unit tests for the discrete-event simulation substrate.
+#include <gtest/gtest.h>
+
+#include "simkernel/event_queue.hpp"
+#include "simkernel/histogram.hpp"
+#include "simkernel/rng.hpp"
+#include "simkernel/simulator.hpp"
+#include "simkernel/stats.hpp"
+#include "simkernel/time.hpp"
+
+namespace symfail::sim {
+namespace {
+
+TEST(Duration, UnitConversions) {
+    EXPECT_EQ(Duration::seconds(2).totalMicros(), 2'000'000);
+    EXPECT_EQ(Duration::minutes(3).totalSeconds(), 180);
+    EXPECT_EQ(Duration::hours(2).totalSeconds(), 7'200);
+    EXPECT_EQ(Duration::days(1).totalSeconds(), 86'400);
+    EXPECT_DOUBLE_EQ(Duration::hours(36).asDaysF(), 1.5);
+}
+
+TEST(Duration, Arithmetic) {
+    const auto d = Duration::seconds(90) - Duration::minutes(1);
+    EXPECT_EQ(d.totalSeconds(), 30);
+    EXPECT_EQ((Duration::seconds(10) * 6).totalSeconds(), 60);
+    EXPECT_EQ((Duration::minutes(1) / 2).totalSeconds(), 30);
+    EXPECT_TRUE((Duration::seconds(1) - Duration::seconds(2)).isNegative());
+    EXPECT_DOUBLE_EQ(Duration::minutes(1).ratio(Duration::seconds(30)), 2.0);
+}
+
+TEST(Duration, FromSecondsFRounds) {
+    EXPECT_EQ(Duration::fromSecondsF(1.0000004).totalMicros(), 1'000'000);
+    EXPECT_EQ(Duration::fromSecondsF(0.5).totalMicros(), 500'000);
+}
+
+TEST(Duration, Render) {
+    EXPECT_EQ(Duration::seconds(5).str(), "5.000s");
+    const auto d = Duration::days(2) + Duration::hours(3) + Duration::minutes(10) +
+                   Duration::seconds(5);
+    EXPECT_EQ(d.str(), "2d 3h 10m 5.000s");
+}
+
+TEST(TimePoint, DayArithmetic) {
+    const auto t = TimePoint::origin() + Duration::days(3) + Duration::hours(10);
+    EXPECT_EQ(t.dayIndex(), 3);
+    EXPECT_EQ(t.timeOfDay().totalSeconds(), 10 * 3'600);
+}
+
+TEST(TimePoint, Ordering) {
+    const auto a = TimePoint::origin() + Duration::seconds(1);
+    const auto b = TimePoint::origin() + Duration::seconds(2);
+    EXPECT_LT(a, b);
+    EXPECT_EQ((b - a).totalMicros(), 1'000'000);
+}
+
+TEST(Rng, Deterministic) {
+    Rng a{42};
+    Rng b{42};
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_EQ(a.nextU64(), b.nextU64());
+    }
+}
+
+TEST(Rng, ForkIndependence) {
+    Rng a{42};
+    Rng fork = a.fork();
+    // The fork should not replay the parent's stream.
+    Rng c{42};
+    (void)c.nextU64();  // parent consumed one draw for the fork
+    EXPECT_NE(fork.nextU64(), c.nextU64());
+}
+
+TEST(Rng, Uniform01Range) {
+    Rng rng{7};
+    for (int i = 0; i < 10'000; ++i) {
+        const double u = rng.uniform01();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformIntBounds) {
+    Rng rng{7};
+    for (int i = 0; i < 10'000; ++i) {
+        const auto v = rng.uniformInt(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+    }
+}
+
+TEST(Rng, ExponentialMean) {
+    Rng rng{11};
+    RunningStats stats;
+    for (int i = 0; i < 100'000; ++i) stats.add(rng.exponential(5.0));
+    EXPECT_NEAR(stats.mean(), 5.0, 0.1);
+}
+
+TEST(Rng, LognormalMedian) {
+    Rng rng{11};
+    std::vector<double> draws;
+    for (int i = 0; i < 50'001; ++i) draws.push_back(rng.lognormalMedian(80.0, 0.5));
+    std::nth_element(draws.begin(), draws.begin() + 25'000, draws.end());
+    EXPECT_NEAR(draws[25'000], 80.0, 2.0);
+}
+
+TEST(Rng, GeometricAtLeastOne) {
+    Rng rng{13};
+    double sum = 0.0;
+    for (int i = 0; i < 50'000; ++i) {
+        const int g = rng.geometric(0.55);
+        ASSERT_GE(g, 1);
+        sum += g;
+    }
+    EXPECT_NEAR(sum / 50'000.0, 1.0 / 0.55, 0.03);
+}
+
+TEST(Rng, DiscreteRespectsWeights) {
+    Rng rng{17};
+    const std::array<double, 3> weights{1.0, 0.0, 3.0};
+    int counts[3] = {0, 0, 0};
+    for (int i = 0; i < 40'000; ++i) ++counts[rng.discrete(weights)];
+    EXPECT_EQ(counts[1], 0);
+    EXPECT_NEAR(static_cast<double>(counts[2]) / static_cast<double>(counts[0]), 3.0,
+                0.3);
+}
+
+TEST(Rng, BernoulliRate) {
+    Rng rng{19};
+    int hits = 0;
+    for (int i = 0; i < 100'000; ++i) hits += rng.bernoulli(0.25) ? 1 : 0;
+    EXPECT_NEAR(hits / 100'000.0, 0.25, 0.01);
+}
+
+TEST(EventQueue, OrdersByTime) {
+    EventQueue queue;
+    std::vector<int> fired;
+    queue.schedule(TimePoint::fromMicros(30), [&]() { fired.push_back(3); });
+    queue.schedule(TimePoint::fromMicros(10), [&]() { fired.push_back(1); });
+    queue.schedule(TimePoint::fromMicros(20), [&]() { fired.push_back(2); });
+    while (!queue.empty()) queue.pop().action();
+    EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SameTimeFifo) {
+    EventQueue queue;
+    std::vector<int> fired;
+    for (int i = 0; i < 5; ++i) {
+        queue.schedule(TimePoint::fromMicros(100), [&fired, i]() { fired.push_back(i); });
+    }
+    while (!queue.empty()) queue.pop().action();
+    EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, Cancel) {
+    EventQueue queue;
+    bool fired = false;
+    const auto id = queue.schedule(TimePoint::fromMicros(10), [&]() { fired = true; });
+    EXPECT_TRUE(queue.cancel(id));
+    EXPECT_FALSE(queue.cancel(id));  // already cancelled
+    EXPECT_TRUE(queue.empty());
+    EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelUnknownId) {
+    EventQueue queue;
+    EXPECT_FALSE(queue.cancel(EventId{999}));
+    EXPECT_FALSE(queue.cancel(EventId{}));
+}
+
+TEST(Simulator, AdvancesClock) {
+    Simulator simulator;
+    TimePoint seen{};
+    simulator.scheduleAfter(Duration::seconds(5), [&]() { seen = simulator.now(); });
+    simulator.runUntil(TimePoint::origin() + Duration::seconds(10));
+    EXPECT_EQ(seen, TimePoint::origin() + Duration::seconds(5));
+    EXPECT_EQ(simulator.now(), TimePoint::origin() + Duration::seconds(10));
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary) {
+    Simulator simulator;
+    int fired = 0;
+    simulator.scheduleAfter(Duration::seconds(5), [&]() { ++fired; });
+    simulator.scheduleAfter(Duration::seconds(15), [&]() { ++fired; });
+    simulator.runUntil(TimePoint::origin() + Duration::seconds(10));
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(simulator.pendingEvents(), 1u);
+}
+
+TEST(Simulator, PeriodicFiresAndStops) {
+    Simulator simulator;
+    int ticks = 0;
+    auto handle = simulator.schedulePeriodic(Duration::seconds(1), [&](Periodic& p) {
+        ++ticks;
+        if (ticks == 3) p.stop();
+    });
+    simulator.runUntil(TimePoint::origin() + Duration::seconds(100));
+    EXPECT_EQ(ticks, 3);
+    EXPECT_FALSE(handle.active());
+}
+
+TEST(Simulator, PeriodicExternalStop) {
+    Simulator simulator;
+    int ticks = 0;
+    auto handle = simulator.schedulePeriodic(Duration::seconds(1),
+                                             [&](Periodic&) { ++ticks; });
+    simulator.scheduleAfter(Duration::fromSecondsF(2.5), [&]() { handle.stop(); });
+    simulator.runUntil(TimePoint::origin() + Duration::seconds(100));
+    EXPECT_EQ(ticks, 2);
+}
+
+TEST(Simulator, SchedulingInPastClamps) {
+    Simulator simulator;
+    bool fired = false;
+    simulator.scheduleAfter(Duration::seconds(1), [&]() {
+        simulator.scheduleAt(TimePoint::origin(), [&]() { fired = true; });
+    });
+    simulator.runUntil(TimePoint::origin() + Duration::seconds(2));
+    EXPECT_TRUE(fired);
+}
+
+TEST(Histogram, BinsAndFractions) {
+    Histogram hist{0.0, 100.0, 10};
+    hist.add(5.0);
+    hist.add(15.0);
+    hist.add(15.5);
+    hist.add(-1.0);
+    hist.add(200.0);
+    EXPECT_EQ(hist.binValue(0), 1u);
+    EXPECT_EQ(hist.binValue(1), 2u);
+    EXPECT_EQ(hist.underflow(), 1u);
+    EXPECT_EQ(hist.overflow(), 1u);
+    EXPECT_EQ(hist.total(), 5u);
+    EXPECT_DOUBLE_EQ(hist.fraction(1), 2.0 / 5.0);
+}
+
+TEST(Histogram, ModeMidpoint) {
+    Histogram hist{0.0, 100.0, 10};
+    for (int i = 0; i < 10; ++i) hist.add(75.0);
+    hist.add(5.0);
+    EXPECT_DOUBLE_EQ(hist.modeMidpoint(), 75.0);
+}
+
+TEST(Histogram, Quantile) {
+    Histogram hist{0.0, 100.0, 100};
+    for (int i = 0; i < 100; ++i) hist.add(static_cast<double>(i) + 0.5);
+    EXPECT_NEAR(hist.quantile(0.5), 50.0, 1.5);
+    EXPECT_NEAR(hist.quantile(0.9), 90.0, 1.5);
+}
+
+TEST(FreqCounter, CountsAndMean) {
+    FreqCounter counter;
+    counter.add(1, 3);
+    counter.add(2);
+    EXPECT_EQ(counter.total(), 4u);
+    EXPECT_EQ(counter.count(1), 3u);
+    EXPECT_DOUBLE_EQ(counter.fraction(2), 0.25);
+    EXPECT_DOUBLE_EQ(counter.mean(), (3.0 * 1 + 2) / 4.0);
+}
+
+TEST(RunningStats, WelfordBasics) {
+    RunningStats stats;
+    for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.add(x);
+    EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+    EXPECT_NEAR(stats.stddev(), 2.138, 0.001);
+    EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+    EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+    RunningStats a;
+    RunningStats b;
+    RunningStats all;
+    Rng rng{23};
+    for (int i = 0; i < 1'000; ++i) {
+        const double x = rng.normal(10.0, 3.0);
+        (i % 2 == 0 ? a : b).add(x);
+        all.add(x);
+    }
+    a.merge(b);
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+    EXPECT_EQ(a.count(), all.count());
+}
+
+}  // namespace
+}  // namespace symfail::sim

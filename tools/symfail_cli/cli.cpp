@@ -1,0 +1,185 @@
+#include "cli.hpp"
+
+#include <cstdio>
+#include <optional>
+#include <stdexcept>
+
+#include "analysis/version_stats.hpp"
+#include "core/export.hpp"
+#include "core/logio.hpp"
+#include "core/render.hpp"
+#include "core/study.hpp"
+
+namespace symfail::cli {
+namespace {
+
+void printUsage() {
+    std::printf(
+        "usage: symfail <command> [options]\n"
+        "\n"
+        "commands:\n"
+        "  campaign [--phones N] [--days D] [--seed S] [--logs DIR] [--csv DIR]\n"
+        "           [--json FILE]\n"
+        "           run a fleet campaign (defaults: the paper's 25 phones,\n"
+        "           425 days) and print every regenerated artifact\n"
+        "  analyze <logdir> [--csv DIR]\n"
+        "           run the analysis pipeline over *.log files on disk\n"
+        "  forum    [--reports N] [--seed S]\n"
+        "           run the web-forum study (Table 1)\n"
+        "  tables   print the paper's reference taxonomies\n"
+        "  help     show this message\n");
+}
+
+/// Pulls `--name value` from args; returns nullopt when absent.
+std::optional<std::string> option(const std::vector<std::string>& args,
+                                  const std::string& name) {
+    for (std::size_t i = 0; i + 1 < args.size(); ++i) {
+        if (args[i] == name) return args[i + 1];
+    }
+    return std::nullopt;
+}
+
+long long numericOption(const std::vector<std::string>& args, const std::string& name,
+                        long long fallback) {
+    const auto value = option(args, name);
+    if (!value) return fallback;
+    try {
+        return std::stoll(*value);
+    } catch (const std::exception&) {
+        throw std::runtime_error("invalid value for " + name + ": " + *value);
+    }
+}
+
+void printFieldResults(const core::FieldStudyResults& results, bool withEvaluation) {
+    std::printf("%s\n", core::renderHeadline(results).c_str());
+    std::printf("%s\n", core::renderFig2(results).c_str());
+    std::printf("%s\n", core::renderTable2(results).c_str());
+    std::printf("%s\n", core::renderFig3(results).c_str());
+    std::printf("%s\n", core::renderFig5(results).c_str());
+    std::printf("%s\n", core::renderTable3(results).c_str());
+    std::printf("%s\n", core::renderFig6(results).c_str());
+    std::printf("%s\n", core::renderTable4(results).c_str());
+    std::printf("%s\n", core::renderPerPhone(results).c_str());
+    if (withEvaluation) {
+        std::printf("%s\n", core::renderEvaluation(results).c_str());
+    }
+}
+
+int runCampaign(const std::vector<std::string>& args) {
+    core::StudyConfig config;
+    config.fleetConfig.phoneCount =
+        static_cast<int>(numericOption(args, "--phones", config.fleetConfig.phoneCount));
+    const auto days = numericOption(args, "--days", 425);
+    config.fleetConfig.campaign = sim::Duration::days(days);
+    if (config.fleetConfig.enrollmentWindow > config.fleetConfig.campaign) {
+        config.fleetConfig.enrollmentWindow = config.fleetConfig.campaign / 2;
+    }
+    config.fleetConfig.seed = static_cast<std::uint64_t>(
+        numericOption(args, "--seed", static_cast<long long>(config.fleetConfig.seed)));
+
+    std::printf("campaign: %d phones, %lld days, seed %llu\n\n",
+                config.fleetConfig.phoneCount, static_cast<long long>(days),
+                static_cast<unsigned long long>(config.fleetConfig.seed));
+    const core::FailureStudy study{config};
+    const auto results = study.runFieldStudy();
+    printFieldResults(results, /*withEvaluation=*/true);
+
+    if (const auto dir = option(args, "--logs")) {
+        const auto files = core::saveLogs(results.fleet.logs, *dir);
+        std::printf("wrote %zu log files to %s\n", files.size(), dir->c_str());
+    }
+    if (const auto dir = option(args, "--csv")) {
+        const auto files = core::exportFieldCsv(results, *dir);
+        std::printf("wrote %zu CSV files to %s\n", files.size(), dir->c_str());
+    }
+    if (const auto path = option(args, "--json")) {
+        core::exportFieldJson(results, *path);
+        std::printf("wrote JSON results to %s\n", path->c_str());
+    }
+    return 0;
+}
+
+int runAnalyze(const std::vector<std::string>& args) {
+    if (args.empty() || args[0].rfind("--", 0) == 0) {
+        std::fprintf(stderr, "analyze: missing <logdir>\n");
+        return 2;
+    }
+    const auto logs = core::loadLogs(args[0]);
+    if (logs.empty()) {
+        std::fprintf(stderr, "analyze: no *.log files in %s\n", args[0].c_str());
+        return 1;
+    }
+    std::printf("loaded %zu phone logs from %s\n\n", logs.size(), args[0].c_str());
+    const core::FailureStudy study{core::StudyConfig{}};
+    const auto results = study.analyzeLogs(logs);
+    printFieldResults(results, /*withEvaluation=*/false);
+
+    const auto versions =
+        analysis::versionBreakdown(results.dataset, results.classification);
+    std::printf("OS versions: ");
+    for (const auto& row : versions) {
+        std::printf("%s(%zu phones) ", row.version.c_str(), row.phones);
+    }
+    std::printf("\n");
+
+    if (const auto dir = option(args, "--csv")) {
+        const auto files = core::exportFieldCsv(results, *dir);
+        std::printf("wrote %zu CSV files to %s\n", files.size(), dir->c_str());
+    }
+    return 0;
+}
+
+int runForum(const std::vector<std::string>& args) {
+    core::StudyConfig config;
+    config.forumConfig.failureReports = static_cast<int>(
+        numericOption(args, "--reports", config.forumConfig.failureReports));
+    config.forumSeed = static_cast<std::uint64_t>(
+        numericOption(args, "--seed", static_cast<long long>(config.forumSeed)));
+    const core::FailureStudy study{config};
+    const auto result = study.runForumStudy();
+    std::printf("%s\n%s", core::renderTable1(result).c_str(),
+                core::renderForumSummary(result).c_str());
+    return 0;
+}
+
+int runTables() {
+    std::printf("Panic taxonomy (Table 2 of the paper):\n\n");
+    for (const auto& row : symbos::paperPanicTable()) {
+        std::printf("  %-20s %6.2f%%  %.70s\n", symbos::toString(row.id).c_str(),
+                    row.paperPercent,
+                    std::string{symbos::panicMeaning(row.id)}.c_str());
+    }
+    std::printf("\nFailure/recovery taxonomy (Table 1 of the paper):\n\n");
+    for (const auto& cell : forum::paperTable1()) {
+        if (cell.percent <= 0.0) continue;
+        std::printf("  %-18s via %-16s %6.2f%%\n",
+                    std::string{forum::toString(cell.type)}.c_str(),
+                    std::string{forum::toString(cell.recovery)}.c_str(), cell.percent);
+    }
+    return 0;
+}
+
+}  // namespace
+
+int runCli(const std::vector<std::string>& args) {
+    if (args.empty() || args[0] == "help" || args[0] == "--help") {
+        printUsage();
+        return args.empty() ? 2 : 0;
+    }
+    const std::string command = args[0];
+    const std::vector<std::string> rest{args.begin() + 1, args.end()};
+    try {
+        if (command == "campaign") return runCampaign(rest);
+        if (command == "analyze") return runAnalyze(rest);
+        if (command == "forum") return runForum(rest);
+        if (command == "tables") return runTables();
+    } catch (const std::exception& error) {
+        std::fprintf(stderr, "%s: %s\n", command.c_str(), error.what());
+        return 1;
+    }
+    std::fprintf(stderr, "unknown command: %s\n", command.c_str());
+    printUsage();
+    return 2;
+}
+
+}  // namespace symfail::cli

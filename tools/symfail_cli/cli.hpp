@@ -1,0 +1,22 @@
+// The symfail command-line tool.
+//
+// Subcommands:
+//   campaign  — run a fleet campaign, print the headline figures, and
+//               optionally dump the raw logs and CSV artifacts
+//   analyze   — re-run the full analysis pipeline over logs on disk
+//   forum     — run the web-forum study (Table 1)
+//   tables    — print the paper's reference taxonomies
+//
+// `runCli` is the testable entry point; main() forwards to it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace symfail::cli {
+
+/// Executes the tool.  `args` excludes the program name.  Output goes to
+/// stdout/stderr; the return value is the process exit code.
+int runCli(const std::vector<std::string>& args);
+
+}  // namespace symfail::cli
