@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_baseline_dexc.dir/bench_baseline_dexc.cpp.o"
+  "CMakeFiles/bench_baseline_dexc.dir/bench_baseline_dexc.cpp.o.d"
+  "bench_baseline_dexc"
+  "bench_baseline_dexc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baseline_dexc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_output_failures.dir/bench_ext_output_failures.cpp.o"
+  "CMakeFiles/bench_ext_output_failures.dir/bench_ext_output_failures.cpp.o.d"
+  "bench_ext_output_failures"
+  "bench_ext_output_failures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_output_failures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

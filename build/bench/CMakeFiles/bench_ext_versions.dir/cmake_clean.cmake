@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_versions.dir/bench_ext_versions.cpp.o"
+  "CMakeFiles/bench_ext_versions.dir/bench_ext_versions.cpp.o.d"
+  "bench_ext_versions"
+  "bench_ext_versions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_versions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

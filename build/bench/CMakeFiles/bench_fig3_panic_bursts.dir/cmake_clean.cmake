@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_panic_bursts.dir/bench_fig3_panic_bursts.cpp.o"
+  "CMakeFiles/bench_fig3_panic_bursts.dir/bench_fig3_panic_bursts.cpp.o.d"
+  "bench_fig3_panic_bursts"
+  "bench_fig3_panic_bursts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_panic_bursts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_coalescence.dir/bench_fig5_coalescence.cpp.o"
+  "CMakeFiles/bench_fig5_coalescence.dir/bench_fig5_coalescence.cpp.o.d"
+  "bench_fig5_coalescence"
+  "bench_fig5_coalescence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_coalescence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

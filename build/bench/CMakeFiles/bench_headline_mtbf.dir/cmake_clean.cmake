@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_headline_mtbf.dir/bench_headline_mtbf.cpp.o"
+  "CMakeFiles/bench_headline_mtbf.dir/bench_headline_mtbf.cpp.o.d"
+  "bench_headline_mtbf"
+  "bench_headline_mtbf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_headline_mtbf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

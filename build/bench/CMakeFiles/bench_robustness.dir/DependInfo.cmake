@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_robustness.cpp" "bench/CMakeFiles/bench_robustness.dir/bench_robustness.cpp.o" "gcc" "bench/CMakeFiles/bench_robustness.dir/bench_robustness.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/symfail_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fleet/CMakeFiles/symfail_fleet.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/symfail_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/faults/CMakeFiles/symfail_faults.dir/DependInfo.cmake"
+  "/root/repo/build/src/logger/CMakeFiles/symfail_logger.dir/DependInfo.cmake"
+  "/root/repo/build/src/phone/CMakeFiles/symfail_phone.dir/DependInfo.cmake"
+  "/root/repo/build/src/symbos/CMakeFiles/symfail_symbos.dir/DependInfo.cmake"
+  "/root/repo/build/src/forum/CMakeFiles/symfail_forum.dir/DependInfo.cmake"
+  "/root/repo/build/src/simkernel/CMakeFiles/symfail_simkernel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_forum.dir/bench_table1_forum.cpp.o"
+  "CMakeFiles/bench_table1_forum.dir/bench_table1_forum.cpp.o.d"
+  "bench_table1_forum"
+  "bench_table1_forum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_forum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_panics.dir/bench_table2_panics.cpp.o"
+  "CMakeFiles/bench_table2_panics.dir/bench_table2_panics.cpp.o.d"
+  "bench_table2_panics"
+  "bench_table2_panics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_panics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

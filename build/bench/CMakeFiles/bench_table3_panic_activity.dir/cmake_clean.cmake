@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_panic_activity.dir/bench_table3_panic_activity.cpp.o"
+  "CMakeFiles/bench_table3_panic_activity.dir/bench_table3_panic_activity.cpp.o.d"
+  "bench_table3_panic_activity"
+  "bench_table3_panic_activity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_panic_activity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

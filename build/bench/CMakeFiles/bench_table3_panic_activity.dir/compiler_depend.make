@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_table3_panic_activity.
+# This may be replaced when dependencies are built.

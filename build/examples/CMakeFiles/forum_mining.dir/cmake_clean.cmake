@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forum_mining.dir/forum_mining.cpp.o"
+  "CMakeFiles/forum_mining.dir/forum_mining.cpp.o.d"
+  "forum_mining"
+  "forum_mining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forum_mining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

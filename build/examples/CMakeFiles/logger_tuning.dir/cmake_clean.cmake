@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logger_tuning.dir/logger_tuning.cpp.o"
+  "CMakeFiles/logger_tuning.dir/logger_tuning.cpp.o.d"
+  "logger_tuning"
+  "logger_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logger_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

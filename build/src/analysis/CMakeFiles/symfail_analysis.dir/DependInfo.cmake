@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/apps_correlation.cpp" "src/analysis/CMakeFiles/symfail_analysis.dir/apps_correlation.cpp.o" "gcc" "src/analysis/CMakeFiles/symfail_analysis.dir/apps_correlation.cpp.o.d"
+  "/root/repo/src/analysis/coalescence.cpp" "src/analysis/CMakeFiles/symfail_analysis.dir/coalescence.cpp.o" "gcc" "src/analysis/CMakeFiles/symfail_analysis.dir/coalescence.cpp.o.d"
+  "/root/repo/src/analysis/dataset.cpp" "src/analysis/CMakeFiles/symfail_analysis.dir/dataset.cpp.o" "gcc" "src/analysis/CMakeFiles/symfail_analysis.dir/dataset.cpp.o.d"
+  "/root/repo/src/analysis/discriminator.cpp" "src/analysis/CMakeFiles/symfail_analysis.dir/discriminator.cpp.o" "gcc" "src/analysis/CMakeFiles/symfail_analysis.dir/discriminator.cpp.o.d"
+  "/root/repo/src/analysis/evaluator.cpp" "src/analysis/CMakeFiles/symfail_analysis.dir/evaluator.cpp.o" "gcc" "src/analysis/CMakeFiles/symfail_analysis.dir/evaluator.cpp.o.d"
+  "/root/repo/src/analysis/mtbf.cpp" "src/analysis/CMakeFiles/symfail_analysis.dir/mtbf.cpp.o" "gcc" "src/analysis/CMakeFiles/symfail_analysis.dir/mtbf.cpp.o.d"
+  "/root/repo/src/analysis/panic_stats.cpp" "src/analysis/CMakeFiles/symfail_analysis.dir/panic_stats.cpp.o" "gcc" "src/analysis/CMakeFiles/symfail_analysis.dir/panic_stats.cpp.o.d"
+  "/root/repo/src/analysis/prediction.cpp" "src/analysis/CMakeFiles/symfail_analysis.dir/prediction.cpp.o" "gcc" "src/analysis/CMakeFiles/symfail_analysis.dir/prediction.cpp.o.d"
+  "/root/repo/src/analysis/reliability.cpp" "src/analysis/CMakeFiles/symfail_analysis.dir/reliability.cpp.o" "gcc" "src/analysis/CMakeFiles/symfail_analysis.dir/reliability.cpp.o.d"
+  "/root/repo/src/analysis/tables.cpp" "src/analysis/CMakeFiles/symfail_analysis.dir/tables.cpp.o" "gcc" "src/analysis/CMakeFiles/symfail_analysis.dir/tables.cpp.o.d"
+  "/root/repo/src/analysis/version_stats.cpp" "src/analysis/CMakeFiles/symfail_analysis.dir/version_stats.cpp.o" "gcc" "src/analysis/CMakeFiles/symfail_analysis.dir/version_stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/logger/CMakeFiles/symfail_logger.dir/DependInfo.cmake"
+  "/root/repo/build/src/phone/CMakeFiles/symfail_phone.dir/DependInfo.cmake"
+  "/root/repo/build/src/symbos/CMakeFiles/symfail_symbos.dir/DependInfo.cmake"
+  "/root/repo/build/src/simkernel/CMakeFiles/symfail_simkernel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/symfail_analysis.dir/apps_correlation.cpp.o"
+  "CMakeFiles/symfail_analysis.dir/apps_correlation.cpp.o.d"
+  "CMakeFiles/symfail_analysis.dir/coalescence.cpp.o"
+  "CMakeFiles/symfail_analysis.dir/coalescence.cpp.o.d"
+  "CMakeFiles/symfail_analysis.dir/dataset.cpp.o"
+  "CMakeFiles/symfail_analysis.dir/dataset.cpp.o.d"
+  "CMakeFiles/symfail_analysis.dir/discriminator.cpp.o"
+  "CMakeFiles/symfail_analysis.dir/discriminator.cpp.o.d"
+  "CMakeFiles/symfail_analysis.dir/evaluator.cpp.o"
+  "CMakeFiles/symfail_analysis.dir/evaluator.cpp.o.d"
+  "CMakeFiles/symfail_analysis.dir/mtbf.cpp.o"
+  "CMakeFiles/symfail_analysis.dir/mtbf.cpp.o.d"
+  "CMakeFiles/symfail_analysis.dir/panic_stats.cpp.o"
+  "CMakeFiles/symfail_analysis.dir/panic_stats.cpp.o.d"
+  "CMakeFiles/symfail_analysis.dir/prediction.cpp.o"
+  "CMakeFiles/symfail_analysis.dir/prediction.cpp.o.d"
+  "CMakeFiles/symfail_analysis.dir/reliability.cpp.o"
+  "CMakeFiles/symfail_analysis.dir/reliability.cpp.o.d"
+  "CMakeFiles/symfail_analysis.dir/tables.cpp.o"
+  "CMakeFiles/symfail_analysis.dir/tables.cpp.o.d"
+  "CMakeFiles/symfail_analysis.dir/version_stats.cpp.o"
+  "CMakeFiles/symfail_analysis.dir/version_stats.cpp.o.d"
+  "libsymfail_analysis.a"
+  "libsymfail_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/symfail_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

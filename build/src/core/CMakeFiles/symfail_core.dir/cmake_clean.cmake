@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/symfail_core.dir/export.cpp.o"
+  "CMakeFiles/symfail_core.dir/export.cpp.o.d"
+  "CMakeFiles/symfail_core.dir/logio.cpp.o"
+  "CMakeFiles/symfail_core.dir/logio.cpp.o.d"
+  "CMakeFiles/symfail_core.dir/render.cpp.o"
+  "CMakeFiles/symfail_core.dir/render.cpp.o.d"
+  "CMakeFiles/symfail_core.dir/study.cpp.o"
+  "CMakeFiles/symfail_core.dir/study.cpp.o.d"
+  "libsymfail_core.a"
+  "libsymfail_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/symfail_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/faults/catalog.cpp" "src/faults/CMakeFiles/symfail_faults.dir/catalog.cpp.o" "gcc" "src/faults/CMakeFiles/symfail_faults.dir/catalog.cpp.o.d"
+  "/root/repo/src/faults/drivers.cpp" "src/faults/CMakeFiles/symfail_faults.dir/drivers.cpp.o" "gcc" "src/faults/CMakeFiles/symfail_faults.dir/drivers.cpp.o.d"
+  "/root/repo/src/faults/injector.cpp" "src/faults/CMakeFiles/symfail_faults.dir/injector.cpp.o" "gcc" "src/faults/CMakeFiles/symfail_faults.dir/injector.cpp.o.d"
+  "/root/repo/src/faults/rates.cpp" "src/faults/CMakeFiles/symfail_faults.dir/rates.cpp.o" "gcc" "src/faults/CMakeFiles/symfail_faults.dir/rates.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/phone/CMakeFiles/symfail_phone.dir/DependInfo.cmake"
+  "/root/repo/build/src/symbos/CMakeFiles/symfail_symbos.dir/DependInfo.cmake"
+  "/root/repo/build/src/simkernel/CMakeFiles/symfail_simkernel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

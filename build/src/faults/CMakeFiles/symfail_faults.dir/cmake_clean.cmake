@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/symfail_faults.dir/catalog.cpp.o"
+  "CMakeFiles/symfail_faults.dir/catalog.cpp.o.d"
+  "CMakeFiles/symfail_faults.dir/drivers.cpp.o"
+  "CMakeFiles/symfail_faults.dir/drivers.cpp.o.d"
+  "CMakeFiles/symfail_faults.dir/injector.cpp.o"
+  "CMakeFiles/symfail_faults.dir/injector.cpp.o.d"
+  "CMakeFiles/symfail_faults.dir/rates.cpp.o"
+  "CMakeFiles/symfail_faults.dir/rates.cpp.o.d"
+  "libsymfail_faults.a"
+  "libsymfail_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/symfail_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/symfail_fleet.dir/collection.cpp.o"
+  "CMakeFiles/symfail_fleet.dir/collection.cpp.o.d"
+  "CMakeFiles/symfail_fleet.dir/fleet.cpp.o"
+  "CMakeFiles/symfail_fleet.dir/fleet.cpp.o.d"
+  "libsymfail_fleet.a"
+  "libsymfail_fleet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/symfail_fleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

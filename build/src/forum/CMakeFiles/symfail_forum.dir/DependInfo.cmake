@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/forum/classifier.cpp" "src/forum/CMakeFiles/symfail_forum.dir/classifier.cpp.o" "gcc" "src/forum/CMakeFiles/symfail_forum.dir/classifier.cpp.o.d"
+  "/root/repo/src/forum/generator.cpp" "src/forum/CMakeFiles/symfail_forum.dir/generator.cpp.o" "gcc" "src/forum/CMakeFiles/symfail_forum.dir/generator.cpp.o.d"
+  "/root/repo/src/forum/study.cpp" "src/forum/CMakeFiles/symfail_forum.dir/study.cpp.o" "gcc" "src/forum/CMakeFiles/symfail_forum.dir/study.cpp.o.d"
+  "/root/repo/src/forum/taxonomy.cpp" "src/forum/CMakeFiles/symfail_forum.dir/taxonomy.cpp.o" "gcc" "src/forum/CMakeFiles/symfail_forum.dir/taxonomy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simkernel/CMakeFiles/symfail_simkernel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/symfail_forum.dir/classifier.cpp.o"
+  "CMakeFiles/symfail_forum.dir/classifier.cpp.o.d"
+  "CMakeFiles/symfail_forum.dir/generator.cpp.o"
+  "CMakeFiles/symfail_forum.dir/generator.cpp.o.d"
+  "CMakeFiles/symfail_forum.dir/study.cpp.o"
+  "CMakeFiles/symfail_forum.dir/study.cpp.o.d"
+  "CMakeFiles/symfail_forum.dir/taxonomy.cpp.o"
+  "CMakeFiles/symfail_forum.dir/taxonomy.cpp.o.d"
+  "libsymfail_forum.a"
+  "libsymfail_forum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/symfail_forum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

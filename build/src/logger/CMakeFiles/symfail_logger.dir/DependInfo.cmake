@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/logger/dexc.cpp" "src/logger/CMakeFiles/symfail_logger.dir/dexc.cpp.o" "gcc" "src/logger/CMakeFiles/symfail_logger.dir/dexc.cpp.o.d"
+  "/root/repo/src/logger/logger.cpp" "src/logger/CMakeFiles/symfail_logger.dir/logger.cpp.o" "gcc" "src/logger/CMakeFiles/symfail_logger.dir/logger.cpp.o.d"
+  "/root/repo/src/logger/records.cpp" "src/logger/CMakeFiles/symfail_logger.dir/records.cpp.o" "gcc" "src/logger/CMakeFiles/symfail_logger.dir/records.cpp.o.d"
+  "/root/repo/src/logger/user_reports.cpp" "src/logger/CMakeFiles/symfail_logger.dir/user_reports.cpp.o" "gcc" "src/logger/CMakeFiles/symfail_logger.dir/user_reports.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/phone/CMakeFiles/symfail_phone.dir/DependInfo.cmake"
+  "/root/repo/build/src/symbos/CMakeFiles/symfail_symbos.dir/DependInfo.cmake"
+  "/root/repo/build/src/simkernel/CMakeFiles/symfail_simkernel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

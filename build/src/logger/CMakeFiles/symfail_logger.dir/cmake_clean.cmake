@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/symfail_logger.dir/dexc.cpp.o"
+  "CMakeFiles/symfail_logger.dir/dexc.cpp.o.d"
+  "CMakeFiles/symfail_logger.dir/logger.cpp.o"
+  "CMakeFiles/symfail_logger.dir/logger.cpp.o.d"
+  "CMakeFiles/symfail_logger.dir/records.cpp.o"
+  "CMakeFiles/symfail_logger.dir/records.cpp.o.d"
+  "CMakeFiles/symfail_logger.dir/user_reports.cpp.o"
+  "CMakeFiles/symfail_logger.dir/user_reports.cpp.o.d"
+  "libsymfail_logger.a"
+  "libsymfail_logger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/symfail_logger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

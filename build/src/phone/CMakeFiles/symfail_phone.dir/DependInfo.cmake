@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phone/apps.cpp" "src/phone/CMakeFiles/symfail_phone.dir/apps.cpp.o" "gcc" "src/phone/CMakeFiles/symfail_phone.dir/apps.cpp.o.d"
+  "/root/repo/src/phone/device.cpp" "src/phone/CMakeFiles/symfail_phone.dir/device.cpp.o" "gcc" "src/phone/CMakeFiles/symfail_phone.dir/device.cpp.o.d"
+  "/root/repo/src/phone/flash.cpp" "src/phone/CMakeFiles/symfail_phone.dir/flash.cpp.o" "gcc" "src/phone/CMakeFiles/symfail_phone.dir/flash.cpp.o.d"
+  "/root/repo/src/phone/ground_truth.cpp" "src/phone/CMakeFiles/symfail_phone.dir/ground_truth.cpp.o" "gcc" "src/phone/CMakeFiles/symfail_phone.dir/ground_truth.cpp.o.d"
+  "/root/repo/src/phone/user.cpp" "src/phone/CMakeFiles/symfail_phone.dir/user.cpp.o" "gcc" "src/phone/CMakeFiles/symfail_phone.dir/user.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/symbos/CMakeFiles/symfail_symbos.dir/DependInfo.cmake"
+  "/root/repo/build/src/simkernel/CMakeFiles/symfail_simkernel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

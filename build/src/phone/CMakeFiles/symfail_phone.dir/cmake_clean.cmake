@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/symfail_phone.dir/apps.cpp.o"
+  "CMakeFiles/symfail_phone.dir/apps.cpp.o.d"
+  "CMakeFiles/symfail_phone.dir/device.cpp.o"
+  "CMakeFiles/symfail_phone.dir/device.cpp.o.d"
+  "CMakeFiles/symfail_phone.dir/flash.cpp.o"
+  "CMakeFiles/symfail_phone.dir/flash.cpp.o.d"
+  "CMakeFiles/symfail_phone.dir/ground_truth.cpp.o"
+  "CMakeFiles/symfail_phone.dir/ground_truth.cpp.o.d"
+  "CMakeFiles/symfail_phone.dir/user.cpp.o"
+  "CMakeFiles/symfail_phone.dir/user.cpp.o.d"
+  "libsymfail_phone.a"
+  "libsymfail_phone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/symfail_phone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

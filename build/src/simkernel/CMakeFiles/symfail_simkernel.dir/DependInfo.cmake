@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simkernel/event_queue.cpp" "src/simkernel/CMakeFiles/symfail_simkernel.dir/event_queue.cpp.o" "gcc" "src/simkernel/CMakeFiles/symfail_simkernel.dir/event_queue.cpp.o.d"
+  "/root/repo/src/simkernel/histogram.cpp" "src/simkernel/CMakeFiles/symfail_simkernel.dir/histogram.cpp.o" "gcc" "src/simkernel/CMakeFiles/symfail_simkernel.dir/histogram.cpp.o.d"
+  "/root/repo/src/simkernel/rng.cpp" "src/simkernel/CMakeFiles/symfail_simkernel.dir/rng.cpp.o" "gcc" "src/simkernel/CMakeFiles/symfail_simkernel.dir/rng.cpp.o.d"
+  "/root/repo/src/simkernel/simulator.cpp" "src/simkernel/CMakeFiles/symfail_simkernel.dir/simulator.cpp.o" "gcc" "src/simkernel/CMakeFiles/symfail_simkernel.dir/simulator.cpp.o.d"
+  "/root/repo/src/simkernel/stats.cpp" "src/simkernel/CMakeFiles/symfail_simkernel.dir/stats.cpp.o" "gcc" "src/simkernel/CMakeFiles/symfail_simkernel.dir/stats.cpp.o.d"
+  "/root/repo/src/simkernel/time.cpp" "src/simkernel/CMakeFiles/symfail_simkernel.dir/time.cpp.o" "gcc" "src/simkernel/CMakeFiles/symfail_simkernel.dir/time.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/symfail_simkernel.dir/event_queue.cpp.o"
+  "CMakeFiles/symfail_simkernel.dir/event_queue.cpp.o.d"
+  "CMakeFiles/symfail_simkernel.dir/histogram.cpp.o"
+  "CMakeFiles/symfail_simkernel.dir/histogram.cpp.o.d"
+  "CMakeFiles/symfail_simkernel.dir/rng.cpp.o"
+  "CMakeFiles/symfail_simkernel.dir/rng.cpp.o.d"
+  "CMakeFiles/symfail_simkernel.dir/simulator.cpp.o"
+  "CMakeFiles/symfail_simkernel.dir/simulator.cpp.o.d"
+  "CMakeFiles/symfail_simkernel.dir/stats.cpp.o"
+  "CMakeFiles/symfail_simkernel.dir/stats.cpp.o.d"
+  "CMakeFiles/symfail_simkernel.dir/time.cpp.o"
+  "CMakeFiles/symfail_simkernel.dir/time.cpp.o.d"
+  "libsymfail_simkernel.a"
+  "libsymfail_simkernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/symfail_simkernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/symbos/active.cpp" "src/symbos/CMakeFiles/symfail_symbos.dir/active.cpp.o" "gcc" "src/symbos/CMakeFiles/symfail_symbos.dir/active.cpp.o.d"
+  "/root/repo/src/symbos/cleanup.cpp" "src/symbos/CMakeFiles/symfail_symbos.dir/cleanup.cpp.o" "gcc" "src/symbos/CMakeFiles/symfail_symbos.dir/cleanup.cpp.o.d"
+  "/root/repo/src/symbos/cobject.cpp" "src/symbos/CMakeFiles/symfail_symbos.dir/cobject.cpp.o" "gcc" "src/symbos/CMakeFiles/symfail_symbos.dir/cobject.cpp.o.d"
+  "/root/repo/src/symbos/descriptor.cpp" "src/symbos/CMakeFiles/symfail_symbos.dir/descriptor.cpp.o" "gcc" "src/symbos/CMakeFiles/symfail_symbos.dir/descriptor.cpp.o.d"
+  "/root/repo/src/symbos/heap.cpp" "src/symbos/CMakeFiles/symfail_symbos.dir/heap.cpp.o" "gcc" "src/symbos/CMakeFiles/symfail_symbos.dir/heap.cpp.o.d"
+  "/root/repo/src/symbos/ipc.cpp" "src/symbos/CMakeFiles/symfail_symbos.dir/ipc.cpp.o" "gcc" "src/symbos/CMakeFiles/symfail_symbos.dir/ipc.cpp.o.d"
+  "/root/repo/src/symbos/kernel.cpp" "src/symbos/CMakeFiles/symfail_symbos.dir/kernel.cpp.o" "gcc" "src/symbos/CMakeFiles/symfail_symbos.dir/kernel.cpp.o.d"
+  "/root/repo/src/symbos/panic.cpp" "src/symbos/CMakeFiles/symfail_symbos.dir/panic.cpp.o" "gcc" "src/symbos/CMakeFiles/symfail_symbos.dir/panic.cpp.o.d"
+  "/root/repo/src/symbos/sysservers.cpp" "src/symbos/CMakeFiles/symfail_symbos.dir/sysservers.cpp.o" "gcc" "src/symbos/CMakeFiles/symfail_symbos.dir/sysservers.cpp.o.d"
+  "/root/repo/src/symbos/timer.cpp" "src/symbos/CMakeFiles/symfail_symbos.dir/timer.cpp.o" "gcc" "src/symbos/CMakeFiles/symfail_symbos.dir/timer.cpp.o.d"
+  "/root/repo/src/symbos/uiframework.cpp" "src/symbos/CMakeFiles/symfail_symbos.dir/uiframework.cpp.o" "gcc" "src/symbos/CMakeFiles/symfail_symbos.dir/uiframework.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simkernel/CMakeFiles/symfail_simkernel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

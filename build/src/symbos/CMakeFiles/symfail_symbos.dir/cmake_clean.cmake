@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/symfail_symbos.dir/active.cpp.o"
+  "CMakeFiles/symfail_symbos.dir/active.cpp.o.d"
+  "CMakeFiles/symfail_symbos.dir/cleanup.cpp.o"
+  "CMakeFiles/symfail_symbos.dir/cleanup.cpp.o.d"
+  "CMakeFiles/symfail_symbos.dir/cobject.cpp.o"
+  "CMakeFiles/symfail_symbos.dir/cobject.cpp.o.d"
+  "CMakeFiles/symfail_symbos.dir/descriptor.cpp.o"
+  "CMakeFiles/symfail_symbos.dir/descriptor.cpp.o.d"
+  "CMakeFiles/symfail_symbos.dir/heap.cpp.o"
+  "CMakeFiles/symfail_symbos.dir/heap.cpp.o.d"
+  "CMakeFiles/symfail_symbos.dir/ipc.cpp.o"
+  "CMakeFiles/symfail_symbos.dir/ipc.cpp.o.d"
+  "CMakeFiles/symfail_symbos.dir/kernel.cpp.o"
+  "CMakeFiles/symfail_symbos.dir/kernel.cpp.o.d"
+  "CMakeFiles/symfail_symbos.dir/panic.cpp.o"
+  "CMakeFiles/symfail_symbos.dir/panic.cpp.o.d"
+  "CMakeFiles/symfail_symbos.dir/sysservers.cpp.o"
+  "CMakeFiles/symfail_symbos.dir/sysservers.cpp.o.d"
+  "CMakeFiles/symfail_symbos.dir/timer.cpp.o"
+  "CMakeFiles/symfail_symbos.dir/timer.cpp.o.d"
+  "CMakeFiles/symfail_symbos.dir/uiframework.cpp.o"
+  "CMakeFiles/symfail_symbos.dir/uiframework.cpp.o.d"
+  "libsymfail_symbos.a"
+  "libsymfail_symbos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/symfail_symbos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

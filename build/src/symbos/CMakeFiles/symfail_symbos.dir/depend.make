@@ -1,0 +1,2 @@
+# Empty dependencies file for symfail_symbos.
+# This may be replaced when dependencies are built.

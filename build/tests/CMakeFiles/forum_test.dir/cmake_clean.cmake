@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forum_test.dir/forum_test.cpp.o"
+  "CMakeFiles/forum_test.dir/forum_test.cpp.o.d"
+  "forum_test"
+  "forum_test.pdb"
+  "forum_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forum_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

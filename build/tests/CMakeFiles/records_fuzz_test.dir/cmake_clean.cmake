@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/records_fuzz_test.dir/records_fuzz_test.cpp.o"
+  "CMakeFiles/records_fuzz_test.dir/records_fuzz_test.cpp.o.d"
+  "records_fuzz_test"
+  "records_fuzz_test.pdb"
+  "records_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/records_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

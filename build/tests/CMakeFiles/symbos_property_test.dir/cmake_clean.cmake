@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/symbos_property_test.dir/symbos_property_test.cpp.o"
+  "CMakeFiles/symbos_property_test.dir/symbos_property_test.cpp.o.d"
+  "symbos_property_test"
+  "symbos_property_test.pdb"
+  "symbos_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/symbos_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

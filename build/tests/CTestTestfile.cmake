@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/simkernel_test[1]_include.cmake")
+include("/root/repo/build/tests/symbos_test[1]_include.cmake")
+include("/root/repo/build/tests/symbos_property_test[1]_include.cmake")
+include("/root/repo/build/tests/phone_test[1]_include.cmake")
+include("/root/repo/build/tests/faults_test[1]_include.cmake")
+include("/root/repo/build/tests/logger_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/forum_test[1]_include.cmake")
+include("/root/repo/build/tests/fleet_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/reliability_test[1]_include.cmake")
+include("/root/repo/build/tests/export_test[1]_include.cmake")
+include("/root/repo/build/tests/pipeline_property_test[1]_include.cmake")
+include("/root/repo/build/tests/twophase_test[1]_include.cmake")
+include("/root/repo/build/tests/records_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/calibration_test[1]_include.cmake")
+include("/root/repo/build/tests/prediction_test[1]_include.cmake")
+include("/root/repo/build/tests/cli_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")

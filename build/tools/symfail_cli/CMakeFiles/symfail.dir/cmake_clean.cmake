@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/symfail.dir/main.cpp.o"
+  "CMakeFiles/symfail.dir/main.cpp.o.d"
+  "symfail"
+  "symfail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/symfail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/symfail_cli_lib.dir/cli.cpp.o"
+  "CMakeFiles/symfail_cli_lib.dir/cli.cpp.o.d"
+  "libsymfail_cli_lib.a"
+  "libsymfail_cli_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/symfail_cli_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsymfail_cli_lib.a"
+)
