@@ -1,0 +1,129 @@
+// T1: log-transport ingest throughput and retransmission overhead.
+//
+// Two questions about the collection path:
+//   1. How fast does the server-side reassembler ingest chunked frames?
+//      (records/sec and MB/s over a large synthetic Log File, for
+//      in-order, shuffled and duplicate-heavy arrival orders)
+//   2. What does unreliability cost end to end?  (a reduced campaign per
+//      channel loss rate: delivery ratio, retransmit overhead, bytes on
+//      the wire per record delivered)
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "fleet/fleet.hpp"
+#include "logger/records.hpp"
+#include "simkernel/rng.hpp"
+#include "transport/frame.hpp"
+#include "transport/reassembly.hpp"
+
+namespace {
+
+using namespace symfail;
+
+std::string syntheticLog(std::size_t records) {
+    std::string content;
+    content += logger::serialize(
+                   logger::MetaRecord{sim::TimePoint::fromMicros(0), "8.0"}) +
+               "\n";
+    for (std::size_t i = 0; i < records; ++i) {
+        logger::BootRecord boot;
+        boot.time = sim::TimePoint::fromMicros(static_cast<std::int64_t>(i + 1) *
+                                               1'000'000);
+        boot.prior = logger::PriorShutdown::Reboot;
+        boot.lastBeatAt = boot.time - sim::Duration::seconds(30);
+        content += logger::serialize(boot) + "\n";
+    }
+    return content;
+}
+
+struct IngestRun {
+    const char* label;
+    std::vector<std::string> wires;  ///< Encoded frames in arrival order.
+};
+
+void timeIngest(const IngestRun& run, std::size_t records, std::size_t bytes) {
+    using clock = std::chrono::steady_clock;
+    const auto start = clock::now();
+    transport::Reassembler reassembler;
+    for (const auto& wire : run.wires) {
+        (void)reassembler.receiveFrame(wire);
+    }
+    const auto elapsed =
+        std::chrono::duration<double>(clock::now() - start).count();
+    const double recordsPerSec =
+        elapsed > 0.0 ? static_cast<double>(records) / elapsed : 0.0;
+    const double mbPerSec =
+        elapsed > 0.0 ? static_cast<double>(bytes) / (1024.0 * 1024.0) / elapsed
+                      : 0.0;
+    std::printf("%14s  %8zu  %10.3f  %12.0f  %10.1f\n", run.label,
+                run.wires.size(), elapsed * 1'000.0, recordsPerSec, mbPerSec);
+}
+
+void ingestThroughput() {
+    constexpr std::size_t kRecords = 100'000;
+    const std::string content = syntheticLog(kRecords);
+    const auto frames = transport::chunkLogContent("bench", content, 2048);
+    std::vector<std::string> inOrder;
+    inOrder.reserve(frames.size());
+    for (const auto& frame : frames) inOrder.push_back(transport::encodeFrame(frame));
+
+    sim::Rng rng{1234};
+    std::vector<std::string> shuffled = inOrder;
+    for (std::size_t i = shuffled.size(); i > 1; --i) {
+        const auto j = static_cast<std::size_t>(
+            rng.uniformInt(0, static_cast<std::int64_t>(i) - 1));
+        std::swap(shuffled[i - 1], shuffled[j]);
+    }
+    std::vector<std::string> withDups;
+    withDups.reserve(shuffled.size() * 2);
+    for (const auto& wire : shuffled) {
+        withDups.push_back(wire);
+        if (rng.bernoulli(0.5)) withDups.push_back(wire);
+    }
+
+    std::printf("-- Reassembler ingest (%zu records, %.1f MB, 2 KiB segments)\n",
+                kRecords, static_cast<double>(content.size()) / (1024.0 * 1024.0));
+    std::printf("%14s  %8s  %10s  %12s  %10s\n", "arrival", "frames", "ms",
+                "records/sec", "MB/sec");
+    timeIngest({"in-order", inOrder}, kRecords, content.size());
+    timeIngest({"shuffled", shuffled}, kRecords, content.size());
+    timeIngest({"50% dups", withDups}, kRecords, content.size());
+    std::printf("\n");
+}
+
+void campaignOverhead() {
+    std::printf("-- End-to-end collection cost (8 phones, 60 days)\n");
+    std::printf("%10s  %10s  %12s  %12s  %12s  %14s\n", "loss (%)", "frames",
+                "retransmits", "overhead", "delivery", "wire B/record");
+    for (const double loss : {0.0, 0.02, 0.05, 0.10, 0.20}) {
+        auto config = bench::sweepFleetConfig(2024);
+        config.transport.dataChannel.lossProb = loss;
+        config.transport.ackChannel.lossProb = loss;
+        const auto result = fleet::runCampaign(config);
+        const auto& t = result.transport;
+        const double bytesPerRecord =
+            t.recordsDelivered > 0
+                ? static_cast<double>(t.bytesOnWire) /
+                      static_cast<double>(t.recordsDelivered)
+                : 0.0;
+        std::printf("%10.0f  %10llu  %12llu  %11.1f%%  %11.2f%%  %14.0f\n",
+                    loss * 100.0,
+                    static_cast<unsigned long long>(t.framesSent),
+                    static_cast<unsigned long long>(t.retransmits),
+                    100.0 * t.retransmitOverhead(), 100.0 * t.deliveryRatio(),
+                    bytesPerRecord);
+    }
+}
+
+}  // namespace
+
+int main() {
+    std::printf("=== T1: log-transport ingest and overhead ===\n\n");
+    ingestThroughput();
+    campaignOverhead();
+    return 0;
+}

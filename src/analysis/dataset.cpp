@@ -8,6 +8,7 @@ LogDataset LogDataset::build(const std::vector<PhoneLog>& logs) {
         std::size_t malformed = 0;
         const auto entries = logger::parseLogFile(log.logFileContent, &malformed);
         ds.malformed_ += malformed;
+        if (log.coverage < 1.0) ds.coverageLoss_[log.phoneName] = log.coverage;
         if (entries.empty()) continue;
 
         bool haveFirst = false;
@@ -67,6 +68,19 @@ LogDataset LogDataset::build(const std::vector<PhoneLog>& logs) {
 std::string LogDataset::versionOf(const std::string& phoneName) const {
     const auto it = versions_.find(phoneName);
     return it == versions_.end() ? "unknown" : it->second;
+}
+
+double LogDataset::coverageOf(const std::string& phoneName) const {
+    const auto it = coverageLoss_.find(phoneName);
+    return it == coverageLoss_.end() ? 1.0 : it->second;
+}
+
+double LogDataset::minCoverage() const {
+    double lowest = 1.0;
+    for (const auto& [phone, coverage] : coverageLoss_) {
+        if (coverage < lowest) lowest = coverage;
+    }
+    return lowest;
 }
 
 sim::Duration LogDataset::totalObservedTime() const {

@@ -22,6 +22,10 @@ namespace symfail::analysis {
 struct PhoneLog {
     std::string phoneName;
     std::string logFileContent;
+    /// Fraction of the phone's Log File the collection path delivered
+    /// (1.0 for an ideal handoff; below 1.0 when transport segments were
+    /// permanently lost — the analysis then runs on a partial log).
+    double coverage = 1.0;
 };
 
 /// A graceful shutdown observed across a boot pair.
@@ -87,6 +91,14 @@ public:
         return versions_;
     }
     [[nodiscard]] std::string versionOf(const std::string& phoneName) const;
+    /// Collection coverage per phone (fraction of the Log File delivered);
+    /// phones absent from the map were collected in full.
+    [[nodiscard]] const std::map<std::string, double>& coverageLoss() const {
+        return coverageLoss_;
+    }
+    [[nodiscard]] double coverageOf(const std::string& phoneName) const;
+    /// Smallest per-phone coverage in the dataset (1.0 when lossless).
+    [[nodiscard]] double minCoverage() const;
     [[nodiscard]] std::size_t malformedLines() const { return malformed_; }
     [[nodiscard]] std::size_t bootCount() const { return boots_; }
     /// Boots following a MAOFF marker (no failure inference possible).
@@ -102,6 +114,7 @@ private:
     std::vector<UserReportObservation> userReports_;
     std::vector<PhoneSpan> spans_;
     std::map<std::string, std::string> versions_;
+    std::map<std::string, double> coverageLoss_;
     std::size_t malformed_{0};
     std::size_t boots_{0};
     std::size_t manualOffBoots_{0};

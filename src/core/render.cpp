@@ -3,6 +3,7 @@
 #include <array>
 
 #include "analysis/tables.hpp"
+#include "transport/metrics.hpp"
 
 namespace symfail::core {
 
@@ -247,6 +248,20 @@ std::string renderEvaluation(const FieldStudyResults& results) {
     out += "  panic capture: " + std::to_string(eval.panicsLogged) + " logged of " +
            std::to_string(eval.panicsInjected) + " injected (" +
            TextTable::num(100.0 * eval.panicCaptureRate(), 1) + "%)\n";
+    return out;
+}
+
+std::string renderTransport(const FieldStudyResults& results) {
+    std::string out = transport::renderTransportReport(results.fleet.transport);
+    // Coverage loss as the *analysis* saw it (set when the pipeline ran on
+    // collected rather than direct logs).
+    if (!results.dataset.coverageLoss().empty()) {
+        out += "  analysis ran on partial logs:\n";
+        for (const auto& [phone, coverage] : results.dataset.coverageLoss()) {
+            out += "    " + phone + " coverage " +
+                   analysis::TextTable::num(100.0 * coverage, 1) + "%\n";
+        }
+    }
     return out;
 }
 

@@ -42,6 +42,10 @@ namespace symfail::core {
 /// Ground-truth evaluation of the methodology.
 [[nodiscard]] std::string renderEvaluation(const FieldStudyResults& results);
 
+/// Transport section: what the lossy collection path delivered, what it
+/// cost (retransmits, bytes on the wire), and per-phone coverage loss.
+[[nodiscard]] std::string renderTransport(const FieldStudyResults& results);
+
 /// Per-phone dispersion: observed hours, freezes and self-shutdowns for
 /// each phone (field studies report aggregate MTBFs; the per-phone view
 /// shows how unevenly failures distribute across users).

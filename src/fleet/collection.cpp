@@ -1,18 +1,84 @@
 #include "fleet/collection.hpp"
 
+#include <set>
+
+#include "logger/records.hpp"
+
 namespace symfail::fleet {
+namespace {
+
+std::size_t recordCount(std::string_view content) {
+    return logger::parseLogFile(content).size();
+}
+
+}  // namespace
 
 void CollectionServer::receive(const std::string& phoneName,
                                const std::string& logFileContent) {
-    latest_[phoneName] = logFileContent;
     ++uploads_;
+    const std::size_t records = recordCount(logFileContent);
+    const auto it = latest_.find(phoneName);
+    if (it != latest_.end() && records < it->second.records) {
+        // A truncated late upload: keeping it would lose data that already
+        // made it to the server.
+        ++truncatedUploadsIgnored_;
+        return;
+    }
+    latest_[phoneName] = StoredLog{logFileContent, records};
+}
+
+std::optional<transport::Ack> CollectionServer::receiveFrame(std::string_view bytes) {
+    return reassembler_.receiveFrame(bytes);
+}
+
+std::size_t CollectionServer::phoneCount() const {
+    std::set<std::string> phones;
+    for (const auto& [name, log] : latest_) phones.insert(name);
+    for (const auto& name : reassembler_.phones()) phones.insert(name);
+    return phones.size();
+}
+
+bool CollectionServer::has(const std::string& phoneName) const {
+    return latest_.contains(phoneName) || reassembler_.has(phoneName);
+}
+
+std::optional<CollectionServer::BestCopy> CollectionServer::bestCopy(
+    const std::string& phoneName) const {
+    const auto it = latest_.find(phoneName);
+    const bool haveWhole = it != latest_.end();
+    const bool haveChunks = reassembler_.has(phoneName);
+    if (!haveWhole && !haveChunks) return std::nullopt;
+    if (!haveChunks) return BestCopy{it->second.content, 1.0};
+
+    std::string reassembled = reassembler_.reconstruct(phoneName);
+    const double chunkCoverage = reassembler_.coverage(phoneName);
+    if (!haveWhole) return BestCopy{std::move(reassembled), chunkCoverage};
+
+    // Both paths delivered: whichever copy carries more records wins; a
+    // tie goes to the whole-file copy (it cannot have internal gaps).
+    if (recordCount(reassembled) > it->second.records) {
+        return BestCopy{std::move(reassembled), chunkCoverage};
+    }
+    return BestCopy{it->second.content, 1.0};
+}
+
+double CollectionServer::coverage(const std::string& phoneName) const {
+    const auto best = bestCopy(phoneName);
+    return best ? best->coverage : 0.0;
 }
 
 std::vector<analysis::PhoneLog> CollectionServer::collectedLogs() const {
+    std::set<std::string> phones;
+    for (const auto& [name, log] : latest_) phones.insert(name);
+    for (const auto& name : reassembler_.phones()) phones.insert(name);
+
     std::vector<analysis::PhoneLog> logs;
-    logs.reserve(latest_.size());
-    for (const auto& [name, content] : latest_) {
-        logs.push_back(analysis::PhoneLog{name, content});
+    logs.reserve(phones.size());
+    for (const auto& name : phones) {
+        auto best = bestCopy(name);
+        if (!best) continue;
+        logs.push_back(
+            analysis::PhoneLog{name, std::move(best->content), best->coverage});
     }
     return logs;
 }

@@ -1,39 +1,89 @@
 // Log collection server.
 //
 // The paper's companion tool paper describes an automated infrastructure
-// that transfers Log Files off the phones.  This server is its model: the
-// logger's upload agent pushes each phone's current Log File content, and
-// the server keeps the latest copy per phone — so analysis can run on
-// uploaded data even for phones that died before campaign end.
+// that transfers Log Files off the phones.  This server is its model, with
+// two ingestion paths:
+//
+//   * whole-file uploads (`receive`) — the legacy in-process handoff: the
+//     logger's upload sink pushes each phone's current Log File content.
+//     The server keeps the copy with the most parseable records, so a
+//     truncated late upload can never erase data that already arrived
+//     (such replacements are counted as anomalies instead);
+//   * chunked uploads (`receiveFrame`) — CRC-framed segments arriving over
+//     the unreliable transport channels, reconciled by a
+//     transport::Reassembler (duplicate suppression, out-of-order merge,
+//     gap-safe reconstruction).
+//
+// `collectedLogs` reconciles both paths per phone — whichever copy carries
+// more records wins — so analysis can run on uploaded data even for phones
+// that died before campaign end, and on partial data for phones whose
+// segments were permanently lost.
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "analysis/dataset.hpp"
+#include "transport/frame.hpp"
+#include "transport/reassembly.hpp"
 
 namespace symfail::fleet {
 
-/// Latest-copy-per-phone collection store.
+/// Reconciling collection store.
 class CollectionServer {
 public:
-    /// Receives an upload (idempotent: replaces the previous copy).
+    /// Receives a whole-file upload.  Keeps the copy with the most
+    /// parseable records: a shorter/truncated late upload is ignored (and
+    /// counted) rather than allowed to replace better data.
     void receive(const std::string& phoneName, const std::string& logFileContent);
 
-    [[nodiscard]] std::size_t phoneCount() const { return latest_.size(); }
-    [[nodiscard]] std::uint64_t uploadsReceived() const { return uploads_; }
-    [[nodiscard]] bool has(const std::string& phoneName) const {
-        return latest_.contains(phoneName);
-    }
+    /// Receives one chunked-transport frame; returns the ack to ship back
+    /// to the phone (nullopt when the frame was rejected as damaged).
+    std::optional<transport::Ack> receiveFrame(std::string_view bytes);
 
-    /// Snapshot usable by the analysis pipeline.
+    /// Phones known through either ingestion path.
+    [[nodiscard]] std::size_t phoneCount() const;
+    [[nodiscard]] std::uint64_t uploadsReceived() const { return uploads_; }
+    /// Whole-file uploads ignored because they carried fewer records than
+    /// the copy already held (the truncated-late-upload anomaly).
+    [[nodiscard]] std::uint64_t truncatedUploadsIgnored() const {
+        return truncatedUploadsIgnored_;
+    }
+    [[nodiscard]] bool has(const std::string& phoneName) const;
+
+    /// Segment coverage for the copy `collectedLogs` would pick for this
+    /// phone: 1.0 for whole-file copies, the reassembler's segment
+    /// coverage otherwise, 0.0 for a phone never heard from.
+    [[nodiscard]] double coverage(const std::string& phoneName) const;
+
+    /// Snapshot usable by the analysis pipeline (per-phone best copy, with
+    /// coverage attached for the dataset's coverage-loss accounting).
     [[nodiscard]] std::vector<analysis::PhoneLog> collectedLogs() const;
 
+    [[nodiscard]] const transport::Reassembler& reassembler() const {
+        return reassembler_;
+    }
+
 private:
-    std::map<std::string, std::string> latest_;
+    struct StoredLog {
+        std::string content;
+        std::size_t records{0};
+    };
+    /// Best copy for one phone across both paths; nullopt when unknown.
+    struct BestCopy {
+        std::string content;
+        double coverage{1.0};
+    };
+    [[nodiscard]] std::optional<BestCopy> bestCopy(const std::string& phoneName) const;
+
+    std::map<std::string, StoredLog> latest_;
+    transport::Reassembler reassembler_;
     std::uint64_t uploads_{0};
+    std::uint64_t truncatedUploadsIgnored_{0};
 };
 
 }  // namespace symfail::fleet

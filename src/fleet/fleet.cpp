@@ -1,9 +1,14 @@
 #include "fleet/fleet.hpp"
 
+#include <algorithm>
+#include <map>
 #include <memory>
 
 #include "faults/injector.hpp"
+#include "fleet/collection.hpp"
+#include "logger/records.hpp"
 #include "simkernel/simulator.hpp"
+#include "transport/frame.hpp"
 
 namespace symfail::fleet {
 
@@ -46,20 +51,30 @@ faults::StudyPlan derivePlan(const FleetConfig& config) {
 FleetResult runCampaign(const FleetConfig& config) {
     sim::Simulator simulator;
     sim::Rng fleetRng{config.seed};
+    // Transport draws come from an independent stream so enabling the
+    // collection path never shifts the per-phone seeds — the simulated
+    // campaign (and every regenerated table) stays bit-identical.
+    sim::Rng transportRng{config.seed ^ 0x7452414E53504F52ULL};
 
     const auto rates = faults::deriveRates(derivePlan(config));
 
     struct PhoneUnit {
         // Destruction order matters: the device's destructor may run
-        // power-down hooks that call back into the logger and injector,
-        // so the device (declared last) must be destroyed first.
+        // power-down hooks that call back into the logger, injector and
+        // upload agent, so the device (declared last) must be destroyed
+        // first.
         std::unique_ptr<logger::FailureLogger> logger;
         std::unique_ptr<logger::UserReportChannel> userReports;
         std::unique_ptr<faults::FaultInjector> injector;
+        std::unique_ptr<transport::Channel> dataChannel;
+        std::unique_ptr<transport::Channel> ackChannel;
+        std::unique_ptr<transport::UploadAgent> uploadAgent;
         std::unique_ptr<phone::PhoneDevice> device;
     };
     std::vector<PhoneUnit> units;
     units.reserve(static_cast<std::size_t>(config.phoneCount));
+
+    CollectionServer server;
 
     FleetResult result;
     result.derivedRates = rates;
@@ -91,6 +106,28 @@ FleetResult runCampaign(const FleetConfig& config) {
         auto injector = std::make_unique<faults::FaultInjector>(*device, rates,
                                                                 fleetRng.nextU64());
 
+        // The collection path: one lossy channel pair and one upload agent
+        // per phone, all seeded off the independent transport stream.
+        std::unique_ptr<transport::Channel> dataChannel;
+        std::unique_ptr<transport::Channel> ackChannel;
+        std::unique_ptr<transport::UploadAgent> uploadAgent;
+        if (config.transport.enabled) {
+            dataChannel = std::make_unique<transport::Channel>(
+                simulator, config.transport.dataChannel, transportRng.nextU64());
+            ackChannel = std::make_unique<transport::Channel>(
+                simulator, config.transport.ackChannel, transportRng.nextU64());
+            uploadAgent = std::make_unique<transport::UploadAgent>(
+                *device, *loggerApp, *dataChannel, *ackChannel,
+                config.transport.policy, transportRng.nextU64());
+            transport::Channel* ackPtr = ackChannel.get();
+            dataChannel->setReceiver(
+                [&server, ackPtr](const std::string& bytes) {
+                    if (const auto ack = server.receiveFrame(bytes)) {
+                        ackPtr->send(transport::encodeAck(*ack));
+                    }
+                });
+        }
+
         // Staggered enrollment: the phone powers on when its user joins
         // the study.
         const double joinHours = (static_cast<double>(i) + 0.5) /
@@ -102,7 +139,9 @@ FleetResult runCampaign(const FleetConfig& config) {
             [devicePtr]() { devicePtr->powerOn(); });
 
         units.push_back(PhoneUnit{std::move(loggerApp), std::move(userReports),
-                                  std::move(injector), std::move(device)});
+                                  std::move(injector), std::move(dataChannel),
+                                  std::move(ackChannel), std::move(uploadAgent),
+                                  std::move(device)});
     }
 
     simulator.runUntil(sim::TimePoint::origin() + config.campaign);
@@ -123,6 +162,70 @@ FleetResult runCampaign(const FleetConfig& config) {
         result.totalBoots += unit.device->bootCount();
     }
     result.simulatorEvents = simulator.eventsFired();
+
+    // Transport accounting: what made it to the collection server, and
+    // what the wire cost to get it there.
+    transport::TransportReport& report = result.transport;
+    report.enabled = config.transport.enabled;
+    report.retriesEnabled = config.transport.policy.retriesEnabled;
+    if (config.transport.enabled) {
+        for (const auto& unit : units) {
+            const auto& agentStats = unit.uploadAgent->stats();
+            report.uploadRounds += agentStats.rounds;
+            report.framesSent += agentStats.framesSent;
+            report.retransmits += agentStats.retransmits;
+            report.retryBudgetExhausted += agentStats.retryBudgetExhausted;
+            report.acksReceived += agentStats.acksReceived;
+            for (const transport::Channel* channel :
+                 {unit.dataChannel.get(), unit.ackChannel.get()}) {
+                const auto& stats = channel->stats();
+                report.framesLost += stats.framesLost;
+                report.framesDuplicated += stats.framesDuplicated;
+                report.framesReordered += stats.framesReordered;
+                report.outageDrops += stats.outageDrops;
+                report.bytesOnWire += stats.bytesOffered;
+            }
+            report.deliveryLatency.merge(unit.dataChannel->stats().latency);
+        }
+        const auto& reassembly = server.reassembler().stats();
+        report.framesRejected = reassembly.framesRejected;
+        report.duplicateFrames = reassembly.duplicates;
+        report.segmentsStored = reassembly.segmentsStored;
+
+        result.collectedLogs = server.collectedLogs();
+        result.truncatedUploadsIgnored = server.truncatedUploadsIgnored();
+        std::map<std::string, std::size_t> deliveredByPhone;
+        for (const auto& log : result.collectedLogs) {
+            const auto records = logger::parseLogFile(log.logFileContent).size();
+            deliveredByPhone[log.phoneName] = records;
+            report.recordsDelivered += records;
+            report.payloadBytesDelivered += log.logFileContent.size();
+        }
+        for (const auto& log : result.logs) {
+            const auto injected = logger::parseLogFile(log.logFileContent).size();
+            report.recordsInjected += injected;
+            // Measured coverage: records that reached the server vs records
+            // the phone wrote.  Finer than the server's own segment view —
+            // bytes lost off the growing tail segment hide inside a
+            // segment the server already holds, so `server.coverage` can
+            // read 100% while records are missing.
+            const auto it = deliveredByPhone.find(log.phoneName);
+            const auto delivered = it != deliveredByPhone.end() ? it->second : 0;
+            const double coverage =
+                injected == 0 ? 1.0
+                              : std::min(1.0, static_cast<double>(delivered) /
+                                                  static_cast<double>(injected));
+            report.coverageByPhone[log.phoneName] = coverage;
+        }
+        // Stamp the measured coverage onto the collected logs so the
+        // analysis dataset flags partial-log phones.
+        for (auto& log : result.collectedLogs) {
+            const auto it = report.coverageByPhone.find(log.phoneName);
+            if (it != report.coverageByPhone.end()) {
+                log.coverage = std::min(log.coverage, it->second);
+            }
+        }
+    }
     return result;
 }
 

@@ -23,8 +23,24 @@
 #include "logger/user_reports.hpp"
 #include "phone/device.hpp"
 #include "phone/ground_truth.hpp"
+#include "transport/channel.hpp"
+#include "transport/metrics.hpp"
+#include "transport/upload_agent.hpp"
 
 namespace symfail::fleet {
+
+/// Collection-path configuration: how each phone's Log File travels to the
+/// collection server.  Default: chunked uploads over a lossy GPRS-like
+/// channel with retries — the realistic setting; disable for the ideal
+/// end-of-campaign handoff only.
+struct TransportOptions {
+    bool enabled = true;
+    /// Phone -> server path (frames).
+    transport::ChannelConfig dataChannel = transport::ChannelConfig::gprs();
+    /// Server -> phone path (acks).
+    transport::ChannelConfig ackChannel = transport::ChannelConfig::gprs();
+    transport::UploadPolicy policy{};
+};
 
 /// Campaign configuration.
 struct FleetConfig {
@@ -48,6 +64,11 @@ struct FleetConfig {
     /// extension); set reportProbability to 0 to disable.
     logger::UserReportConfig userReportConfig{};
 
+    /// Log transport to the collection server.  Purely observational: the
+    /// upload path never perturbs device behaviour, so the regenerated
+    /// tables are bit-identical with transport on or off.
+    TransportOptions transport{};
+
     /// Assumed powered-on fraction of observed wall-clock time, used only
     /// to convert targets into background rates (measured behaviour feeds
     /// back through the logs, not through this estimate).
@@ -61,6 +82,15 @@ struct FleetResult {
     std::vector<std::string> phoneNames;
     std::vector<phone::GroundTruth> truths;  ///< parallel to phoneNames
     faults::FaultRates derivedRates;
+
+    /// What the collection server holds at campaign end (per-phone best
+    /// copy, with coverage attached); empty when transport is disabled.
+    std::vector<analysis::PhoneLog> collectedLogs;
+    /// Transport-layer accounting for the campaign.
+    transport::TransportReport transport;
+    /// Whole-file uploads the server refused because they carried fewer
+    /// records than the copy it already held.
+    std::uint64_t truncatedUploadsIgnored{0};
 
     // Fleet-level ground totals (from the injectors).
     std::uint64_t panicsInjected{0};

@@ -28,6 +28,17 @@ void Histogram::add(double x, std::uint64_t count) {
     counts_[i] += count;
 }
 
+void Histogram::merge(const Histogram& other) {
+    assert(lo_ == other.lo_ && hi_ == other.hi_ &&
+           counts_.size() == other.counts_.size());
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        counts_[i] += other.counts_[i];
+    }
+    underflow_ += other.underflow_;
+    overflow_ += other.overflow_;
+    total_ += other.total_;
+}
+
 double Histogram::binLo(std::size_t i) const {
     return lo_ + static_cast<double>(i) * binWidth_;
 }

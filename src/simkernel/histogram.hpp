@@ -39,6 +39,10 @@ public:
     /// containing bin; clamps to [lo, hi].
     [[nodiscard]] double quantile(double q) const;
 
+    /// Adds another histogram's counts into this one.  Both histograms
+    /// must have identical geometry (same lo, hi and bin count).
+    void merge(const Histogram& other);
+
     /// Renders an ASCII bar chart, one row per non-empty bin.
     [[nodiscard]] std::string renderAscii(std::size_t width = 50) const;
 

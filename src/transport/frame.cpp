@@ -1,0 +1,202 @@
+#include "transport/frame.hpp"
+
+#include <array>
+#include <charconv>
+
+namespace symfail::transport {
+namespace {
+
+constexpr std::string_view kFrameMagic = "SEGv1";
+constexpr std::string_view kAckMagic = "ACKv1";
+
+std::array<std::uint32_t, 256> makeCrcTable() {
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int bit = 0; bit < 8; ++bit) {
+            c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+        }
+        table[i] = c;
+    }
+    return table;
+}
+
+std::optional<std::uint64_t> parseU64(std::string_view field) {
+    std::uint64_t value = 0;
+    const auto* end = field.data() + field.size();
+    const auto [ptr, ec] = std::from_chars(field.data(), end, value);
+    if (ec != std::errc{} || ptr != end) return std::nullopt;
+    return value;
+}
+
+std::optional<std::uint32_t> parseHex32(std::string_view field) {
+    std::uint32_t value = 0;
+    const auto* end = field.data() + field.size();
+    const auto [ptr, ec] = std::from_chars(field.data(), end, value, 16);
+    if (ec != std::errc{} || ptr != end) return std::nullopt;
+    return value;
+}
+
+std::string toHex(std::uint32_t value) {
+    char buf[9];
+    const auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, value, 16);
+    (void)ec;
+    return std::string(buf, ptr);
+}
+
+/// Splits a header into exactly `n` '|'-separated fields; nullopt when the
+/// field count is off (damaged delimiter, spliced frames).
+std::optional<std::vector<std::string_view>> splitExact(std::string_view header,
+                                                        std::size_t n) {
+    std::vector<std::string_view> fields;
+    std::size_t start = 0;
+    while (true) {
+        const auto pos = header.find('|', start);
+        if (pos == std::string_view::npos) {
+            fields.push_back(header.substr(start));
+            break;
+        }
+        fields.push_back(header.substr(start, pos - start));
+        start = pos + 1;
+    }
+    if (fields.size() != n) return std::nullopt;
+    return fields;
+}
+
+/// CRC input for a frame: every header field that matters, then payload.
+std::string crcInputFrame(const Frame& frame) {
+    std::string input = frame.phone;
+    input += '|';
+    input += std::to_string(frame.seq);
+    input += '|';
+    input += std::to_string(frame.segCount);
+    input += '\n';
+    input += frame.payload;
+    return input;
+}
+
+std::string crcInputAck(const Ack& ack) {
+    std::string input = ack.phone;
+    input += '|';
+    input += std::to_string(ack.seq);
+    input += '|';
+    input += std::to_string(ack.payloadBytes);
+    return input;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::string_view data) {
+    static const auto table = makeCrcTable();
+    std::uint32_t crc = 0xFFFFFFFFu;
+    for (const char ch : data) {
+        crc = table[(crc ^ static_cast<unsigned char>(ch)) & 0xFFu] ^ (crc >> 8);
+    }
+    return crc ^ 0xFFFFFFFFu;
+}
+
+std::string encodeFrame(const Frame& frame) {
+    std::string out{kFrameMagic};
+    out += '|';
+    out += frame.phone;
+    out += '|';
+    out += std::to_string(frame.seq);
+    out += '|';
+    out += std::to_string(frame.segCount);
+    out += '|';
+    out += std::to_string(frame.payload.size());
+    out += '|';
+    out += toHex(crc32(crcInputFrame(frame)));
+    out += '\n';
+    out += frame.payload;
+    return out;
+}
+
+std::optional<Frame> decodeFrame(std::string_view bytes) {
+    const auto headerEnd = bytes.find('\n');
+    if (headerEnd == std::string_view::npos) return std::nullopt;
+    const auto fields = splitExact(bytes.substr(0, headerEnd), 6);
+    if (!fields || (*fields)[0] != kFrameMagic) return std::nullopt;
+
+    Frame frame;
+    frame.phone = std::string{(*fields)[1]};
+    const auto seq = parseU64((*fields)[2]);
+    const auto segCount = parseU64((*fields)[3]);
+    const auto payloadBytes = parseU64((*fields)[4]);
+    const auto crc = parseHex32((*fields)[5]);
+    if (!seq || !segCount || !payloadBytes || !crc) return std::nullopt;
+    if (*seq > 0xFFFFFFFFull || *segCount > 0xFFFFFFFFull) return std::nullopt;
+    frame.seq = static_cast<std::uint32_t>(*seq);
+    frame.segCount = static_cast<std::uint32_t>(*segCount);
+
+    const std::string_view payload = bytes.substr(headerEnd + 1);
+    if (payload.size() != *payloadBytes) return std::nullopt;  // truncated/spliced
+    frame.payload = std::string{payload};
+    if (crc32(crcInputFrame(frame)) != *crc) return std::nullopt;
+    return frame;
+}
+
+std::string encodeAck(const Ack& ack) {
+    std::string out{kAckMagic};
+    out += '|';
+    out += ack.phone;
+    out += '|';
+    out += std::to_string(ack.seq);
+    out += '|';
+    out += std::to_string(ack.payloadBytes);
+    out += '|';
+    out += toHex(crc32(crcInputAck(ack)));
+    return out;
+}
+
+std::optional<Ack> decodeAck(std::string_view bytes) {
+    const auto fields = splitExact(bytes, 5);
+    if (!fields || (*fields)[0] != kAckMagic) return std::nullopt;
+    Ack ack;
+    ack.phone = std::string{(*fields)[1]};
+    const auto seq = parseU64((*fields)[2]);
+    const auto payloadBytes = parseU64((*fields)[3]);
+    const auto crc = parseHex32((*fields)[4]);
+    if (!seq || !payloadBytes || !crc) return std::nullopt;
+    if (*seq > 0xFFFFFFFFull || *payloadBytes > 0xFFFFFFFFull) return std::nullopt;
+    ack.seq = static_cast<std::uint32_t>(*seq);
+    ack.payloadBytes = static_cast<std::uint32_t>(*payloadBytes);
+    if (crc32(crcInputAck(ack)) != *crc) return std::nullopt;
+    return ack;
+}
+
+std::vector<Frame> chunkLogContent(const std::string& phone, std::string_view content,
+                                   std::size_t payloadBytes) {
+    if (payloadBytes == 0) payloadBytes = 1;
+    std::vector<Frame> frames;
+    std::string current;
+    std::size_t start = 0;
+    const auto flush = [&]() {
+        if (current.empty()) return;
+        Frame frame;
+        frame.phone = phone;
+        frame.seq = static_cast<std::uint32_t>(frames.size());
+        frame.payload = std::move(current);
+        frames.push_back(std::move(frame));
+        current.clear();
+    };
+    while (start < content.size()) {
+        auto lineEnd = content.find('\n', start);
+        // A torn final line (no trailing '\n') still ships; the parser
+        // already treats it as a torn write.
+        const std::size_t stop =
+            lineEnd == std::string_view::npos ? content.size() : lineEnd + 1;
+        const std::string_view line = content.substr(start, stop - start);
+        if (!current.empty() && current.size() + line.size() > payloadBytes) flush();
+        current += line;
+        if (current.size() >= payloadBytes) flush();
+        start = stop;
+    }
+    flush();
+    for (auto& frame : frames) {
+        frame.segCount = static_cast<std::uint32_t>(frames.size());
+    }
+    return frames;
+}
+
+}  // namespace symfail::transport

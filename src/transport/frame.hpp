@@ -1,0 +1,61 @@
+// Chunk framing for the log-transport path.
+//
+// A phone's Log File leaves the device in CRC-framed, sequence-numbered
+// segments so the collection server can detect corruption, suppress
+// duplicates and merge out-of-order arrivals.  Framing is line-aligned:
+// a segment always carries whole log records, and the greedy packer
+// never moves a record between segments once a segment is full — so an
+// append-only Log File produces a stable segment prefix and only the
+// final, still-open segment grows between upload rounds.
+//
+// Wire format (one frame per transmission):
+//   SEGv1|<phone>|<seq>|<segCount>|<payloadBytes>|<crc32 hex>\n<payload>
+// and for the acknowledgement path:
+//   ACKv1|<phone>|<seq>|<payloadBytes>|<crc32 hex>
+// The CRC covers the header fields and the payload, so a corrupted
+// sequence number is rejected rather than filed under the wrong segment.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace symfail::transport {
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected) over arbitrary bytes.
+[[nodiscard]] std::uint32_t crc32(std::string_view data);
+
+/// One Log File segment in flight.
+struct Frame {
+    std::string phone;
+    std::uint32_t seq{0};       ///< Segment index within the Log File.
+    std::uint32_t segCount{0};  ///< Total segments in the snapshot this frame left.
+    std::string payload;        ///< Whole log lines, each '\n'-terminated.
+};
+
+/// Server-to-phone acknowledgement of one received segment.
+struct Ack {
+    std::string phone;
+    std::uint32_t seq{0};
+    std::uint32_t payloadBytes{0};  ///< Length acked (the open tail segment grows).
+};
+
+[[nodiscard]] std::string encodeFrame(const Frame& frame);
+/// Decodes and CRC-checks a frame; nullopt on any damage (truncation,
+/// corrupted fields, CRC mismatch).
+[[nodiscard]] std::optional<Frame> decodeFrame(std::string_view bytes);
+
+[[nodiscard]] std::string encodeAck(const Ack& ack);
+[[nodiscard]] std::optional<Ack> decodeAck(std::string_view bytes);
+
+/// Splits Log File content into line-aligned segments of at most
+/// `payloadBytes` each (a single oversized line gets its own segment).
+/// Greedy from the start: for append-only content, every segment except
+/// the last is stable across calls.
+[[nodiscard]] std::vector<Frame> chunkLogContent(const std::string& phone,
+                                                 std::string_view content,
+                                                 std::size_t payloadBytes);
+
+}  // namespace symfail::transport

@@ -1,0 +1,98 @@
+#include "transport/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+#include <vector>
+
+namespace symfail::transport {
+namespace {
+
+void appendLine(std::string& out, const char* format, auto... args) {
+    char buf[256];
+    std::snprintf(buf, sizeof buf, format, args...);
+    out += buf;
+    out += '\n';
+}
+
+}  // namespace
+
+double TransportReport::deliveryRatio() const {
+    if (recordsInjected == 0) return 1.0;
+    return static_cast<double>(recordsDelivered) /
+           static_cast<double>(recordsInjected);
+}
+
+double TransportReport::goodput() const {
+    if (bytesOnWire == 0) return 1.0;
+    return static_cast<double>(payloadBytesDelivered) /
+           static_cast<double>(bytesOnWire);
+}
+
+double TransportReport::retransmitOverhead() const {
+    if (framesSent == 0) return 0.0;
+    return static_cast<double>(retransmits) / static_cast<double>(framesSent);
+}
+
+std::string renderTransportReport(const TransportReport& report) {
+    std::string out = "== Log transport (collection path) ==\n";
+    if (!report.enabled) {
+        out += "  disabled: analysis ran on the ideal in-process handoff\n";
+        return out;
+    }
+    appendLine(out, "  records delivered        %llu / %llu (%.2f%%)%s",
+               static_cast<unsigned long long>(report.recordsDelivered),
+               static_cast<unsigned long long>(report.recordsInjected),
+               100.0 * report.deliveryRatio(),
+               report.retriesEnabled ? "" : "   [retries DISABLED]");
+    appendLine(out, "  upload rounds            %llu",
+               static_cast<unsigned long long>(report.uploadRounds));
+    appendLine(out, "  frames sent              %llu (%llu retransmits, %.1f%% overhead)",
+               static_cast<unsigned long long>(report.framesSent),
+               static_cast<unsigned long long>(report.retransmits),
+               100.0 * report.retransmitOverhead());
+    appendLine(out, "  wire loss / dup / reord  %llu / %llu / %llu (outage drops %llu)",
+               static_cast<unsigned long long>(report.framesLost),
+               static_cast<unsigned long long>(report.framesDuplicated),
+               static_cast<unsigned long long>(report.framesReordered),
+               static_cast<unsigned long long>(report.outageDrops));
+    appendLine(out, "  bytes on wire            %llu (goodput %.1f%%)",
+               static_cast<unsigned long long>(report.bytesOnWire),
+               100.0 * report.goodput());
+    appendLine(out, "  server rejects / dups    %llu / %llu (%llu segments stored)",
+               static_cast<unsigned long long>(report.framesRejected),
+               static_cast<unsigned long long>(report.duplicateFrames),
+               static_cast<unsigned long long>(report.segmentsStored));
+    appendLine(out, "  acks received            %llu (retry budget exhausted %llux)",
+               static_cast<unsigned long long>(report.acksReceived),
+               static_cast<unsigned long long>(report.retryBudgetExhausted));
+    if (report.deliveryLatency.total() > 0) {
+        appendLine(out, "  delivery latency         p50 %.1f s   p95 %.1f s   p99 %.1f s",
+                   report.deliveryLatency.quantile(0.50),
+                   report.deliveryLatency.quantile(0.95),
+                   report.deliveryLatency.quantile(0.99));
+    }
+
+    // Per-phone coverage loss, worst first; phones with full coverage are
+    // summarized rather than listed.
+    std::size_t full = 0;
+    std::vector<std::pair<std::string, double>> lossy;
+    for (const auto& [phone, coverage] : report.coverageByPhone) {
+        if (coverage >= 1.0) {
+            ++full;
+        } else {
+            lossy.emplace_back(phone, coverage);
+        }
+    }
+    std::sort(lossy.begin(), lossy.end(),
+              [](const auto& a, const auto& b) { return a.second < b.second; });
+    appendLine(out, "  coverage                 %zu/%zu phones complete", full,
+               report.coverageByPhone.size());
+    for (const auto& [phone, coverage] : lossy) {
+        appendLine(out, "    %-12s coverage %.1f%% (records lost in transit)",
+                   phone.c_str(), 100.0 * coverage);
+    }
+    return out;
+}
+
+}  // namespace symfail::transport

@@ -1,0 +1,61 @@
+// Transport metrics: what the ingestion pipeline did to get the logs in.
+//
+// Aggregates agent-side effort (attempts, retransmits, retry budget
+// exhaustion), wire accounting (loss, duplication, reordering, bytes,
+// delivery-latency histogram), server-side reassembly accounting, and the
+// end-to-end outcome (per-phone coverage, records delivered vs injected).
+// Rendered as the `transport` section of the CLI report.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "simkernel/histogram.hpp"
+
+namespace symfail::transport {
+
+/// Fleet-level transport accounting for one campaign.
+struct TransportReport {
+    bool enabled{false};
+    bool retriesEnabled{true};
+
+    // Agent side.
+    std::uint64_t uploadRounds{0};
+    std::uint64_t framesSent{0};
+    std::uint64_t retransmits{0};
+    std::uint64_t retryBudgetExhausted{0};
+    std::uint64_t acksReceived{0};
+
+    // Wire side (data + ack channels combined).
+    std::uint64_t framesLost{0};
+    std::uint64_t framesDuplicated{0};
+    std::uint64_t framesReordered{0};
+    std::uint64_t outageDrops{0};
+    std::uint64_t bytesOnWire{0};
+    sim::Histogram deliveryLatency{0.0, 120.0, 48};
+
+    // Server side.
+    std::uint64_t framesRejected{0};
+    std::uint64_t duplicateFrames{0};
+    std::uint64_t segmentsStored{0};
+
+    // End-to-end outcome.
+    std::uint64_t recordsInjected{0};   ///< Records in the phones' final Log Files.
+    std::uint64_t recordsDelivered{0};  ///< Records parseable from reassembled logs.
+    std::uint64_t payloadBytesDelivered{0};
+    std::map<std::string, double> coverageByPhone;  ///< Segment coverage, [0,1].
+
+    /// Delivered records / injected records (1.0 when nothing was injected).
+    [[nodiscard]] double deliveryRatio() const;
+    /// Useful payload bytes per wire byte (retransmits and framing are the
+    /// overhead).
+    [[nodiscard]] double goodput() const;
+    /// Retransmitted frames / total frames sent.
+    [[nodiscard]] double retransmitOverhead() const;
+};
+
+/// Renders the CLI `transport` section.
+[[nodiscard]] std::string renderTransportReport(const TransportReport& report);
+
+}  // namespace symfail::transport

@@ -1,0 +1,91 @@
+#include "transport/reassembly.hpp"
+
+#include <algorithm>
+
+namespace symfail::transport {
+
+std::optional<Ack> Reassembler::receiveFrame(std::string_view bytes) {
+    ++stats_.framesReceived;
+    auto frame = decodeFrame(bytes);
+    if (!frame) {
+        ++stats_.framesRejected;
+        return std::nullopt;
+    }
+
+    Assembly& assembly = assemblies_[frame->phone];
+    assembly.segCount = std::max(assembly.segCount, frame->segCount);
+
+    auto [it, inserted] = assembly.segments.try_emplace(frame->seq);
+    if (inserted) {
+        it->second = std::move(frame->payload);
+        ++stats_.segmentsStored;
+    } else if (frame->payload.size() > it->second.size()) {
+        // The open tail segment grew since we last saw it; the longer copy
+        // strictly extends the shorter one (append-only chunking).
+        it->second = std::move(frame->payload);
+        ++stats_.segmentsExtended;
+    } else {
+        ++stats_.duplicates;
+    }
+    return Ack{frame->phone, frame->seq,
+               static_cast<std::uint32_t>(it->second.size())};
+}
+
+std::vector<std::string> Reassembler::phones() const {
+    std::vector<std::string> names;
+    names.reserve(assemblies_.size());
+    for (const auto& [name, assembly] : assemblies_) names.push_back(name);
+    return names;
+}
+
+std::size_t Reassembler::segmentsHeld(const std::string& phone) const {
+    const auto it = assemblies_.find(phone);
+    return it == assemblies_.end() ? 0 : it->second.segments.size();
+}
+
+std::size_t Reassembler::segmentsExpected(const std::string& phone) const {
+    const auto it = assemblies_.find(phone);
+    if (it == assemblies_.end()) return 0;
+    // A frame's seq can exceed its snapshot's segCount only under
+    // corruption that still passed CRC (practically impossible), but keep
+    // the accounting monotone anyway.
+    std::uint32_t highestSeq = 0;
+    if (!it->second.segments.empty()) {
+        highestSeq = it->second.segments.rbegin()->first + 1;
+    }
+    return std::max<std::size_t>(it->second.segCount, highestSeq);
+}
+
+double Reassembler::coverage(const std::string& phone) const {
+    const auto it = assemblies_.find(phone);
+    if (it == assemblies_.end()) return 0.0;
+    const std::size_t expected = segmentsExpected(phone);
+    if (expected == 0) return 1.0;
+    return static_cast<double>(it->second.segments.size()) /
+           static_cast<double>(expected);
+}
+
+bool Reassembler::complete(const std::string& phone) const {
+    const auto it = assemblies_.find(phone);
+    if (it == assemblies_.end()) return false;
+    return it->second.segments.size() == segmentsExpected(phone);
+}
+
+std::string Reassembler::reconstruct(const std::string& phone) const {
+    const auto it = assemblies_.find(phone);
+    if (it == assemblies_.end()) return {};
+    std::string content;
+    std::uint32_t expectedSeq = 0;
+    for (const auto& [seq, payload] : it->second.segments) {
+        if (seq != expectedSeq && !content.empty() && content.back() != '\n') {
+            // Gap: make sure the record torn at the end of the previous
+            // held segment cannot fuse with the first line after the gap.
+            content += '\n';
+        }
+        content += payload;
+        expectedSeq = seq + 1;
+    }
+    return content;
+}
+
+}  // namespace symfail::transport

@@ -1,0 +1,70 @@
+// Server-side segment reassembly.
+//
+// The collection server receives CRC-framed segments in whatever order
+// (and multiplicity) the channels produce, keeps a per-phone chunk map,
+// and reconstructs the best-effort Log File even when segments are
+// permanently lost.  A gap never fuses the half-records on either side:
+// reconstruction inserts a newline at every discontinuity, so damage
+// stays visible as malformed lines (which the analysis already counts)
+// instead of silently becoming a plausible-but-wrong record.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "transport/frame.hpp"
+
+namespace symfail::transport {
+
+/// Ingestion accounting across all phones.
+struct ReassemblyStats {
+    std::uint64_t framesReceived{0};   ///< Raw arrivals, valid or not.
+    std::uint64_t framesRejected{0};   ///< CRC mismatch / malformed framing.
+    std::uint64_t duplicates{0};       ///< Segment already held (no new bytes).
+    std::uint64_t segmentsStored{0};   ///< New segments added to chunk maps.
+    std::uint64_t segmentsExtended{0}; ///< Open tail segment grew in place.
+};
+
+/// Per-phone reassembly state and completeness accounting.
+class Reassembler {
+public:
+    /// Feeds raw bytes from a channel.  Returns the acknowledgement to send
+    /// back to the phone when the frame decoded cleanly (duplicates are
+    /// re-acked: the retransmit usually means the original ack was lost);
+    /// nullopt when the frame was rejected.
+    std::optional<Ack> receiveFrame(std::string_view bytes);
+
+    [[nodiscard]] std::vector<std::string> phones() const;
+    [[nodiscard]] bool has(const std::string& phone) const {
+        return assemblies_.contains(phone);
+    }
+
+    /// Segments held / highest advertised segment count (1.0 when nothing
+    /// was ever advertised, 0.0 for a phone never heard from).
+    [[nodiscard]] double coverage(const std::string& phone) const;
+    [[nodiscard]] bool complete(const std::string& phone) const;
+    /// Highest advertised segment count and segments held, for reporting.
+    [[nodiscard]] std::size_t segmentsHeld(const std::string& phone) const;
+    [[nodiscard]] std::size_t segmentsExpected(const std::string& phone) const;
+
+    /// Best-effort Log File content: held segments concatenated in
+    /// sequence order, with a newline spliced in at every gap so records
+    /// torn by a lost segment cannot merge across it.
+    [[nodiscard]] std::string reconstruct(const std::string& phone) const;
+
+    [[nodiscard]] const ReassemblyStats& stats() const { return stats_; }
+
+private:
+    struct Assembly {
+        std::map<std::uint32_t, std::string> segments;
+        std::uint32_t segCount{0};  ///< Highest segCount advertised by any frame.
+    };
+    std::map<std::string, Assembly> assemblies_;
+    ReassemblyStats stats_;
+};
+
+}  // namespace symfail::transport

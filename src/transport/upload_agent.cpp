@@ -1,0 +1,126 @@
+#include "transport/upload_agent.hpp"
+
+#include <algorithm>
+
+#include "symbos/err.hpp"
+#include "symbos/kernel.hpp"
+
+namespace symfail::transport {
+
+UploadAgent::UploadAgent(phone::PhoneDevice& device, logger::FailureLogger& logger,
+                         Channel& dataChannel, Channel& ackChannel,
+                         UploadPolicy policy, std::uint64_t seed)
+    : device_{&device},
+      logger_{&logger},
+      dataChannel_{&dataChannel},
+      ackChannel_{&ackChannel},
+      policy_{policy},
+      rng_{seed} {
+    device_->addBootHook([this]() { onBoot(); });
+    device_->addPowerDownHook([this]() { teardown(); });
+    ackChannel_->setReceiver(
+        [this](const std::string& bytes) { onAckBytes(bytes); });
+}
+
+UploadAgent::~UploadAgent() {
+    teardown();
+}
+
+std::size_t UploadAgent::ackedSegments() const {
+    return ackedBytes_.size();
+}
+
+void UploadAgent::onBoot() {
+    attempt_ = 0;
+    pid_ = device_->kernel().createProcess("UploadAgent",
+                                           symbos::ProcessKind::SystemServer);
+    auto& scheduler = device_->kernel().schedulerOf(pid_);
+    ao_ = std::make_unique<symbos::FunctionAo>(
+        scheduler, "upload-agent",
+        [this](symbos::ExecContext& ctx, int status) {
+            if (status != symbos::KErrNone) return;
+            runRound(ctx);
+        });
+    timer_ = std::make_unique<symbos::RTimer>(*ao_);
+    symbos::RTimer* timer = timer_.get();
+    ao_->setCancelFn([timer]() { timer->cancel(); });
+    device_->kernel().runInProcess(pid_, [this](symbos::ExecContext& ctx) {
+        timer_->after(ctx, policy_.uploadPeriod);
+    });
+}
+
+void UploadAgent::teardown() {
+    timer_.reset();
+    ao_.reset();
+    pid_ = 0;
+    attempt_ = 0;
+}
+
+void UploadAgent::onAckBytes(std::string_view bytes) {
+    const auto ack = decodeAck(bytes);
+    if (!ack || ack->phone != device_->name()) {
+        ++stats_.staleAcks;
+        return;
+    }
+    ++stats_.acksReceived;
+    auto& acked = ackedBytes_[ack->seq];
+    acked = std::max(acked, ack->payloadBytes);
+}
+
+sim::Duration UploadAgent::nextDelay(bool pendingRemain) {
+    if (!pendingRemain || !policy_.retriesEnabled) {
+        attempt_ = 0;
+        return policy_.uploadPeriod;
+    }
+    if (attempt_ >= policy_.maxRetriesPerRound) {
+        // Budget exhausted: give up until the next regular round (which
+        // re-offers everything unacknowledged).
+        ++stats_.retryBudgetExhausted;
+        attempt_ = 0;
+        return policy_.uploadPeriod;
+    }
+    sim::Duration delay = policy_.retryBase;
+    for (int i = 0; i < attempt_; ++i) {
+        delay = delay * 2;
+        if (delay >= policy_.retryMax) break;
+    }
+    delay = std::min(delay, policy_.retryMax);
+    ++attempt_;
+    const double jitter =
+        rng_.uniform(1.0 - policy_.retryJitter, 1.0 + policy_.retryJitter);
+    return sim::Duration::fromSecondsF(delay.asSecondsF() * jitter);
+}
+
+void UploadAgent::runRound(const symbos::ExecContext& ctx) {
+    ++stats_.rounds;
+    const auto frames = chunkLogContent(device_->name(), logger_->logFileContent(),
+                                        policy_.chunkPayloadBytes);
+
+    std::size_t sentThisRound = 0;
+    std::size_t pending = 0;
+    for (const auto& frame : frames) {
+        const auto ackedIt = ackedBytes_.find(frame.seq);
+        const bool satisfied =
+            ackedIt != ackedBytes_.end() && ackedIt->second >= frame.payload.size();
+        if (satisfied) continue;
+        ++pending;
+        if (sentThisRound >= policy_.maxBatchFrames) continue;
+        ++sentThisRound;
+
+        auto& sent = sentBytes_[frame.seq];
+        if (sent >= frame.payload.size()) ++stats_.retransmits;
+        sent = std::max(sent, static_cast<std::uint32_t>(frame.payload.size()));
+
+        const std::string bytes = encodeFrame(frame);
+        ++stats_.framesSent;
+        stats_.bytesSent += bytes.size();
+        dataChannel_->send(bytes);
+    }
+
+    // Acks for this batch are still in flight; re-check at the next firing.
+    // A pure ack-wait uses the retry clock too: if everything is acked by
+    // then, that firing degenerates to a no-op round.
+    timer_->after(ctx, nextDelay(pending > 0));
+}
+
+}  // namespace symfail::transport

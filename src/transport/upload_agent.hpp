@@ -1,0 +1,113 @@
+// The per-phone upload agent.
+//
+// A Symbian-style active object (one background process per phone, a
+// FunctionAo re-arming an RTimer — the same periodic-service idiom as the
+// logger's detectors) that carries the Log File to the collection server
+// over an unreliable channel:
+//
+//   * each round it snapshots the Log File, chunks it into CRC-framed,
+//     sequence-numbered segments (transport/frame.hpp) and sends every
+//     segment the server has not yet acknowledged, up to a batch limit;
+//   * unacknowledged segments are retransmitted with exponential backoff
+//     plus jitter, up to a per-round retry budget; when the budget runs
+//     out the agent gives up until the next regular round (old segments
+//     are re-offered forever — only campaign end makes loss permanent);
+//   * acknowledgements arrive over their own lossy channel; a lost ack
+//     causes a retransmit, which the server answers with a fresh ack
+//     (duplicate suppression makes this harmless).
+//
+// The agent lives and dies with the phone: its AO is created at boot and
+// torn down on every power loss, so a dead phone stops uploading — while
+// everything already delivered stays on the server, which is the whole
+// point of off-device collection.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string_view>
+
+#include "logger/logger.hpp"
+#include "phone/device.hpp"
+#include "simkernel/time.hpp"
+#include "symbos/function_ao.hpp"
+#include "symbos/timer.hpp"
+#include "transport/channel.hpp"
+#include "transport/frame.hpp"
+
+namespace symfail::transport {
+
+/// Upload scheduling and retry policy.
+struct UploadPolicy {
+    sim::Duration uploadPeriod = sim::Duration::hours(6);
+    std::size_t chunkPayloadBytes = 2048;
+    std::size_t maxBatchFrames = 64;
+    bool retriesEnabled = true;
+    sim::Duration retryBase = sim::Duration::seconds(45);
+    sim::Duration retryMax = sim::Duration::minutes(30);
+    /// Uniform jitter applied to every retry delay: factor in
+    /// [1-jitter, 1+jitter].  Keeps a fleet's retries from phase-locking.
+    double retryJitter = 0.3;
+    int maxRetriesPerRound = 8;
+};
+
+/// Agent-side effort accounting.
+struct UploadAgentStats {
+    std::uint64_t rounds{0};
+    std::uint64_t framesSent{0};
+    std::uint64_t retransmits{0};
+    std::uint64_t bytesSent{0};
+    std::uint64_t acksReceived{0};
+    std::uint64_t staleAcks{0};
+    std::uint64_t retryBudgetExhausted{0};
+};
+
+/// One phone's uploader.
+class UploadAgent {
+public:
+    /// `dataChannel` carries frames to the server; `ackChannel` carries
+    /// acks back (the agent installs itself as its receiver).
+    UploadAgent(phone::PhoneDevice& device, logger::FailureLogger& logger,
+                Channel& dataChannel, Channel& ackChannel, UploadPolicy policy,
+                std::uint64_t seed);
+    ~UploadAgent();
+    UploadAgent(const UploadAgent&) = delete;
+    UploadAgent& operator=(const UploadAgent&) = delete;
+
+    [[nodiscard]] const UploadAgentStats& stats() const { return stats_; }
+    [[nodiscard]] const UploadPolicy& policy() const { return policy_; }
+    /// Segments fully acknowledged at their current length.
+    [[nodiscard]] std::size_t ackedSegments() const;
+
+private:
+    void onBoot();
+    void teardown();
+    void onAckBytes(std::string_view bytes);
+    /// One timer firing: send what is pending, then re-arm.
+    void runRound(const symbos::ExecContext& ctx);
+    [[nodiscard]] sim::Duration nextDelay(bool pendingRemain);
+
+    phone::PhoneDevice* device_;
+    logger::FailureLogger* logger_;
+    Channel* dataChannel_;
+    Channel* ackChannel_;
+    UploadPolicy policy_;
+    sim::Rng rng_;
+
+    // Per-boot AO machinery (mirrors the logger's daemon lifecycle).
+    symbos::ProcessId pid_{0};
+    std::unique_ptr<symbos::FunctionAo> ao_;
+    std::unique_ptr<symbos::RTimer> timer_;
+
+    /// Bytes acknowledged per segment index (the open tail segment is
+    /// re-sent whenever it outgrows its acked length).
+    std::map<std::uint32_t, std::uint32_t> ackedBytes_;
+    /// Bytes already transmitted at least once per segment, to classify a
+    /// send as first transmission vs retransmit.
+    std::map<std::uint32_t, std::uint32_t> sentBytes_;
+    int attempt_{0};  ///< Retry attempt within the current round; 0 = fresh round.
+
+    UploadAgentStats stats_;
+};
+
+}  // namespace symfail::transport

@@ -1,11 +1,34 @@
 // Tests for the fleet campaign driver and the collection server.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
 #include "fleet/collection.hpp"
 #include "fleet/fleet.hpp"
+#include "logger/records.hpp"
+#include "transport/frame.hpp"
 
 namespace symfail::fleet {
 namespace {
+
+/// A parseable Log File with `boots` boot records.
+std::string logWithBoots(int boots) {
+    std::string content;
+    content += logger::serialize(
+                   logger::MetaRecord{sim::TimePoint::fromMicros(0), "8.0"}) +
+               "\n";
+    for (int i = 0; i < boots; ++i) {
+        logger::BootRecord boot;
+        boot.time = sim::TimePoint::fromMicros((i + 1) * 1'000'000);
+        boot.prior = logger::PriorShutdown::Reboot;
+        boot.lastBeatAt = sim::TimePoint::fromMicros((i + 1) * 1'000'000 - 100);
+        content += logger::serialize(boot) + "\n";
+    }
+    return content;
+}
 
 TEST(FleetPlan, ExpectedHoursUnderStaggeredEnrollment) {
     FleetConfig config;
@@ -99,6 +122,133 @@ TEST(CollectionServer, UploadPathDeliversParseableLogs) {
     const auto dataset = analysis::LogDataset::build(server.collectedLogs());
     EXPECT_GE(dataset.bootCount(), 1u);
     EXPECT_EQ(dataset.malformedLines(), 0u);
+}
+
+TEST(CollectionServer, TruncatedLateUploadCannotEraseRecords) {
+    // The old server blindly kept the latest upload; a phone re-uploading
+    // after log rotation (or a torn transfer) could replace five boots
+    // with one.  The reconciling server keeps the copy with the most
+    // records and counts the anomaly.
+    CollectionServer server;
+    const std::string full = logWithBoots(5);
+    const std::string truncated = logWithBoots(1);
+    server.receive("a", full);
+    server.receive("a", truncated);
+    EXPECT_EQ(server.truncatedUploadsIgnored(), 1u);
+    const auto logs = server.collectedLogs();
+    ASSERT_EQ(logs.size(), 1u);
+    EXPECT_EQ(logs[0].logFileContent, full);
+}
+
+TEST(CollectionServer, EmptyUploadIsHarmless) {
+    CollectionServer server;
+    server.receive("a", "");
+    EXPECT_TRUE(server.has("a"));
+    EXPECT_EQ(server.phoneCount(), 1u);
+    ASSERT_EQ(server.collectedLogs().size(), 1u);
+    EXPECT_TRUE(server.collectedLogs()[0].logFileContent.empty());
+
+    // Real data then arrives and wins; a later empty upload cannot erase it.
+    const std::string full = logWithBoots(3);
+    server.receive("a", full);
+    EXPECT_EQ(server.collectedLogs()[0].logFileContent, full);
+    server.receive("a", "");
+    EXPECT_EQ(server.collectedLogs()[0].logFileContent, full);
+    EXPECT_EQ(server.truncatedUploadsIgnored(), 1u);
+}
+
+TEST(CollectionServer, ReUploadIsIdempotent) {
+    CollectionServer server;
+    const std::string full = logWithBoots(4);
+    server.receive("a", full);
+    const auto before = server.collectedLogs();
+    server.receive("a", full);
+    server.receive("a", full);
+    EXPECT_EQ(server.phoneCount(), 1u);
+    EXPECT_EQ(server.uploadsReceived(), 3u);
+    EXPECT_EQ(server.truncatedUploadsIgnored(), 0u);
+    const auto after = server.collectedLogs();
+    ASSERT_EQ(after.size(), before.size());
+    EXPECT_EQ(after[0].logFileContent, before[0].logFileContent);
+    EXPECT_DOUBLE_EQ(after[0].coverage, 1.0);
+}
+
+TEST(CollectionServer, PhoneDeathMidCampaignLeavesPartialLogOnServer) {
+    // The phone uploads for two days of a ten-day campaign, then drops off
+    // the network for good (lost, bricked, study drop-out): nothing it
+    // sends reaches the server again.  Everything uploaded before the
+    // death must survive and stay analyzable.
+    sim::Simulator simulator;
+    CollectionServer server;
+    phone::PhoneDevice::Config config;
+    config.name = "doomed";
+    config.seed = 91;
+    phone::PhoneDevice device{simulator, config};
+    logger::FailureLogger loggerApp{device};
+    bool reachable = true;
+    loggerApp.setUploadSink(
+        [&server, &reachable](const std::string& name, const std::string& content) {
+            if (reachable) server.receive(name, content);
+        },
+        sim::Duration::hours(6));
+    simulator.scheduleAt(sim::TimePoint::origin() + sim::Duration::days(2),
+                         [&reachable]() { reachable = false; });
+    device.powerOn();
+    simulator.runUntil(sim::TimePoint::origin() + sim::Duration::days(10));
+
+    ASSERT_TRUE(server.has("doomed"));
+    const auto logs = server.collectedLogs();
+    ASSERT_EQ(logs.size(), 1u);
+    // The server's copy is a strict partial log: real content, but less
+    // than the phone accumulated over the remaining eight days.
+    EXPECT_FALSE(logs[0].logFileContent.empty());
+    EXPECT_LT(logs[0].logFileContent.size(), loggerApp.logFileContent().size());
+    const auto dataset = analysis::LogDataset::build(logs);
+    EXPECT_GE(dataset.bootCount(), 1u);
+    EXPECT_EQ(dataset.malformedLines(), 0u);
+}
+
+TEST(CollectionServer, InterleavedChunkUploadsFrom25Phones) {
+    // 25 phones' segments arrive interleaved (round-robin, each phone's
+    // frames in reverse order) — per-phone chunk maps must never mix.
+    const int phoneCountTotal = 25;
+    std::vector<std::string> names;
+    std::vector<std::string> contents;
+    std::vector<std::vector<transport::Frame>> frames;
+    std::size_t maxFrames = 0;
+    for (int i = 0; i < phoneCountTotal; ++i) {
+        names.push_back("phone-" + std::to_string(i));
+        contents.push_back(logWithBoots(2 + (i % 7)));
+        frames.push_back(transport::chunkLogContent(names.back(), contents.back(), 96));
+        maxFrames = std::max(maxFrames, frames.back().size());
+    }
+
+    CollectionServer server;
+    for (std::size_t round = 0; round < maxFrames; ++round) {
+        for (int i = 0; i < phoneCountTotal; ++i) {
+            const auto& list = frames[static_cast<std::size_t>(i)];
+            if (round >= list.size()) continue;
+            const auto& frame = list[list.size() - 1 - round];  // reverse order
+            const auto ack = server.receiveFrame(transport::encodeFrame(frame));
+            ASSERT_TRUE(ack.has_value());
+            EXPECT_EQ(ack->phone, frame.phone);
+        }
+    }
+
+    EXPECT_EQ(server.phoneCount(), 25u);
+    const auto logs = server.collectedLogs();
+    ASSERT_EQ(logs.size(), 25u);
+    for (int i = 0; i < phoneCountTotal; ++i) {
+        const auto idx = static_cast<std::size_t>(i);
+        EXPECT_DOUBLE_EQ(server.coverage(names[idx]), 1.0);
+        // collectedLogs is sorted by phone name; find by name instead.
+        const auto it = std::find_if(logs.begin(), logs.end(),
+                                     [&](const analysis::PhoneLog& log) {
+                                         return log.phoneName == names[idx];
+                                     });
+        ASSERT_NE(it, logs.end());
+        EXPECT_EQ(it->logFileContent, contents[idx]);
+    }
 }
 
 }  // namespace

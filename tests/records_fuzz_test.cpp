@@ -5,10 +5,17 @@
 // anything.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <set>
+#include <string>
+#include <utility>
+
 #include "analysis/dataset.hpp"
 #include "logger/dexc.hpp"
 #include "logger/records.hpp"
 #include "simkernel/rng.hpp"
+#include "transport/frame.hpp"
+#include "transport/reassembly.hpp"
 
 namespace symfail::logger {
 namespace {
@@ -109,6 +116,108 @@ TEST_P(RecordsTruncation, EveryPrefixParses) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RecordsTruncation,
                          ::testing::Range<std::uint64_t>(1, 5));
+
+// -- Chunk-framing fuzz (the log-transport collection path) -------------------
+//
+// The transport reassembler sits between raw channel bytes and the
+// parsers: whatever arrives — truncated frames, corrupted CRCs, shuffled
+// sequence numbers, duplicates — it must never crash and never emit a
+// record that was not in the phone's Log File.
+
+std::string bigValidLog(int copies) {
+    std::string content;
+    for (int i = 0; i < copies; ++i) content += validLog();
+    return content;
+}
+
+/// Every non-empty line of `reconstructed` must be a line of `original`:
+/// the reassembler may drop data (lost segments) but never invent or
+/// splice records.
+void expectLineSubset(const std::string& reconstructed, const std::string& original) {
+    std::set<std::string> originalLines;
+    std::size_t start = 0;
+    while (start < original.size()) {
+        auto end = original.find('\n', start);
+        if (end == std::string::npos) end = original.size();
+        originalLines.insert(original.substr(start, end - start));
+        start = end + 1;
+    }
+    start = 0;
+    while (start < reconstructed.size()) {
+        auto end = reconstructed.find('\n', start);
+        if (end == std::string::npos) end = reconstructed.size();
+        const std::string line = reconstructed.substr(start, end - start);
+        if (!line.empty()) {
+            EXPECT_TRUE(originalLines.contains(line))
+                << "reassembler emitted a line not in the original log: " << line;
+        }
+        start = end + 1;
+    }
+}
+
+class ChunkFramingFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChunkFramingFuzz, DamagedFramesNeverCrashOrCorrupt) {
+    sim::Rng rng{GetParam()};
+    const std::string original = bigValidLog(12);
+
+    for (int round = 0; round < 30; ++round) {
+        const auto payloadBytes =
+            static_cast<std::size_t>(rng.uniformInt(48, 512));
+        auto frames = transport::chunkLogContent("fuzz", original, payloadBytes);
+
+        // Shuffle sequence order (Fisher-Yates off the deterministic rng).
+        for (std::size_t i = frames.size(); i > 1; --i) {
+            const auto j = static_cast<std::size_t>(
+                rng.uniformInt(0, static_cast<std::int64_t>(i) - 1));
+            std::swap(frames[i - 1], frames[j]);
+        }
+
+        transport::Reassembler reassembler;
+        for (const auto& frame : frames) {
+            std::string wire = transport::encodeFrame(frame);
+            const int fate = static_cast<int>(rng.uniformInt(0, 9));
+            if (fate == 0) {
+                // Truncated mid-frame (torn transfer).
+                wire.resize(static_cast<std::size_t>(
+                    rng.uniformInt(0, static_cast<std::int64_t>(wire.size()))));
+            } else if (fate == 1) {
+                // Corrupted byte (CRC must catch it).
+                const auto pos = static_cast<std::size_t>(rng.uniformInt(
+                    0, static_cast<std::int64_t>(wire.size()) - 1));
+                wire[pos] = static_cast<char>(wire[pos] ^
+                                              (1 << rng.uniformInt(0, 7)));
+            } else if (fate == 2) {
+                // Dropped entirely.
+                continue;
+            } else if (fate == 3) {
+                // Delivered twice.
+                (void)reassembler.receiveFrame(wire);
+            }
+            (void)reassembler.receiveFrame(wire);
+            // Random garbage interleaved with real frames.
+            if (rng.bernoulli(0.1)) {
+                (void)reassembler.receiveFrame(randomBytes(
+                    rng, static_cast<std::size_t>(rng.uniformInt(0, 200))));
+            }
+        }
+
+        // Whatever survived reconstructs into a subset of the original
+        // records, and the parsers shrug at it.
+        const std::string rebuilt = reassembler.reconstruct("fuzz");
+        expectLineSubset(rebuilt, original);
+        std::size_t malformed = 0;
+        const auto entries = parseLogFile(rebuilt, &malformed);
+        EXPECT_EQ(malformed, 0u) << "reassembly gap produced a malformed line";
+        EXPECT_LE(entries.size(), 12u * 4u);
+        const auto ds =
+            analysis::LogDataset::build({analysis::PhoneLog{"fuzz", rebuilt}});
+        EXPECT_LE(ds.panics().size(), 12u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChunkFramingFuzz,
+                         ::testing::Range<std::uint64_t>(1, 7));
 
 }  // namespace
 }  // namespace symfail::logger

@@ -1,0 +1,499 @@
+// Tests for the unreliable log-transport subsystem: framing, channel
+// models, reassembly, the per-phone upload agent, and the fleet-level
+// end-to-end delivery guarantees.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+
+#include "analysis/dataset.hpp"
+#include "fleet/collection.hpp"
+#include "fleet/fleet.hpp"
+#include "logger/logger.hpp"
+#include "phone/device.hpp"
+#include "simkernel/simulator.hpp"
+#include "transport/channel.hpp"
+#include "transport/frame.hpp"
+#include "transport/metrics.hpp"
+#include "transport/reassembly.hpp"
+#include "transport/upload_agent.hpp"
+
+namespace symfail::transport {
+namespace {
+
+// -- Framing ------------------------------------------------------------------
+
+TEST(Frame, RoundTripsThroughEncodeDecode) {
+    Frame frame;
+    frame.phone = "phone-7";
+    frame.seq = 3;
+    frame.segCount = 9;
+    frame.payload = "BOOT|1000|Freeze|900\nPANIC|2000|KERN-EXEC|3\n";
+    const auto decoded = decodeFrame(encodeFrame(frame));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->phone, "phone-7");
+    EXPECT_EQ(decoded->seq, 3u);
+    EXPECT_EQ(decoded->segCount, 9u);
+    EXPECT_EQ(decoded->payload, frame.payload);
+}
+
+TEST(Frame, CorruptionIsRejected) {
+    Frame frame;
+    frame.phone = "p";
+    frame.seq = 1;
+    frame.segCount = 2;
+    frame.payload = "hello log line\n";
+    const std::string wire = encodeFrame(frame);
+    // Flip one bit anywhere: header, CRC field or payload.
+    for (std::size_t pos = 0; pos < wire.size(); ++pos) {
+        std::string damaged = wire;
+        damaged[pos] = static_cast<char>(damaged[pos] ^ 0x10);
+        const auto decoded = decodeFrame(damaged);
+        if (decoded) {
+            // The only tolerated damage would be a no-op; content must match.
+            EXPECT_EQ(decoded->payload, frame.payload);
+            EXPECT_EQ(decoded->seq, frame.seq);
+        }
+    }
+    // Truncation is always rejected.
+    for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+        EXPECT_FALSE(decodeFrame(wire.substr(0, cut)).has_value());
+    }
+}
+
+TEST(Frame, AckRoundTripAndRejection) {
+    const Ack ack{"phone-3", 12, 1024};
+    const auto decoded = decodeAck(encodeAck(ack));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->phone, "phone-3");
+    EXPECT_EQ(decoded->seq, 12u);
+    EXPECT_EQ(decoded->payloadBytes, 1024u);
+    EXPECT_FALSE(decodeAck("ACKv1|phone-3|12|1024|deadbeef").has_value());
+    EXPECT_FALSE(decodeAck("garbage").has_value());
+}
+
+TEST(Frame, ChunkingIsLineAlignedWithStablePrefix) {
+    std::string content;
+    for (int i = 0; i < 40; ++i) {
+        content += "RECORD|" + std::to_string(i) + "|payload-data-for-line\n";
+    }
+    const auto frames = chunkLogContent("p", content, 100);
+    ASSERT_GT(frames.size(), 3u);
+    std::string joined;
+    for (std::size_t i = 0; i < frames.size(); ++i) {
+        EXPECT_EQ(frames[i].seq, i);
+        EXPECT_EQ(frames[i].segCount, frames.size());
+        // Line alignment: every segment ends exactly at a record boundary.
+        EXPECT_EQ(frames[i].payload.back(), '\n');
+        joined += frames[i].payload;
+    }
+    EXPECT_EQ(joined, content);
+
+    // Append-only growth: earlier segments do not change, the tail extends.
+    const auto grown = chunkLogContent("p", content + "RECORD|40|more\n", 100);
+    ASSERT_GE(grown.size(), frames.size());
+    for (std::size_t i = 0; i + 1 < frames.size(); ++i) {
+        EXPECT_EQ(grown[i].payload, frames[i].payload);
+    }
+    EXPECT_TRUE(grown[frames.size() - 1].payload.rfind(frames.back().payload, 0) == 0);
+}
+
+TEST(Frame, OversizedLineGetsItsOwnSegment) {
+    const std::string big(500, 'x');
+    const std::string content = "short\n" + big + "\nshort2\n";
+    const auto frames = chunkLogContent("p", content, 64);
+    std::string joined;
+    for (const auto& frame : frames) joined += frame.payload;
+    EXPECT_EQ(joined, content);
+    // The oversized line is intact inside a single segment.
+    bool found = false;
+    for (const auto& frame : frames) {
+        if (frame.payload.find(big) != std::string::npos) found = true;
+    }
+    EXPECT_TRUE(found);
+}
+
+// -- Channel -------------------------------------------------------------------
+
+TEST(Channel, LosslessConfigDeliversEverythingInOrderStats) {
+    sim::Simulator simulator;
+    ChannelConfig config = ChannelConfig::memoryCard();
+    Channel channel{simulator, config, 42};
+    std::vector<std::string> received;
+    channel.setReceiver([&](const std::string& bytes) { received.push_back(bytes); });
+    for (int i = 0; i < 50; ++i) channel.send("frame-" + std::to_string(i));
+    simulator.runAll();
+    EXPECT_EQ(received.size(), 50u);
+    EXPECT_EQ(channel.stats().framesOffered, 50u);
+    EXPECT_EQ(channel.stats().framesLost, 0u);
+    EXPECT_EQ(channel.stats().framesDelivered, 50u);
+    EXPECT_EQ(channel.stats().latency.total(), 50u);
+}
+
+TEST(Channel, LossAndDuplicationAreAccounted) {
+    sim::Simulator simulator;
+    ChannelConfig config;
+    config.lossProb = 0.3;
+    config.dupProb = 0.2;
+    config.reorderProb = 0.0;
+    Channel channel{simulator, config, 7};
+    std::uint64_t received = 0;
+    channel.setReceiver([&](const std::string&) { ++received; });
+    for (int i = 0; i < 2000; ++i) channel.send("x");
+    simulator.runAll();
+    const auto& stats = channel.stats();
+    EXPECT_EQ(stats.framesOffered, 2000u);
+    // ~30% loss, ~20% duplication of survivors.
+    EXPECT_NEAR(static_cast<double>(stats.framesLost), 600.0, 120.0);
+    EXPECT_GT(stats.framesDuplicated, 150u);
+    EXPECT_EQ(received, stats.framesDelivered);
+    EXPECT_EQ(stats.framesDelivered,
+              2000u - stats.framesLost + stats.framesDuplicated);
+}
+
+TEST(Channel, DeterministicForSameSeed) {
+    auto run = [](std::uint64_t seed) {
+        sim::Simulator simulator;
+        ChannelConfig config;
+        config.lossProb = 0.2;
+        config.dupProb = 0.1;
+        Channel channel{simulator, config, seed};
+        std::vector<std::string> received;
+        channel.setReceiver(
+            [&](const std::string& bytes) { received.push_back(bytes); });
+        for (int i = 0; i < 200; ++i) channel.send(std::to_string(i));
+        simulator.runAll();
+        return received;
+    };
+    EXPECT_EQ(run(5), run(5));
+    EXPECT_NE(run(5), run(6));
+}
+
+TEST(Channel, OutageWindowSwallowsFrames) {
+    sim::Simulator simulator;
+    ChannelConfig config = ChannelConfig::memoryCard();
+    config.latencyMedian = sim::Duration::millis(1);
+    config.outages.push_back(OutageWindow{
+        sim::TimePoint::origin() + sim::Duration::hours(1),
+        sim::TimePoint::origin() + sim::Duration::hours(2)});
+    Channel channel{simulator, config, 3};
+    std::uint64_t received = 0;
+    channel.setReceiver([&](const std::string&) { ++received; });
+
+    channel.send("before");  // now = 0: delivered
+    simulator.scheduleAt(sim::TimePoint::origin() + sim::Duration::minutes(90),
+                         [&]() { channel.send("during"); });
+    simulator.scheduleAt(sim::TimePoint::origin() + sim::Duration::hours(3),
+                         [&]() { channel.send("after"); });
+    simulator.runAll();
+    EXPECT_EQ(received, 2u);
+    EXPECT_EQ(channel.stats().outageDrops, 1u);
+    EXPECT_TRUE(channel.inOutage(sim::TimePoint::origin() + sim::Duration::minutes(61)));
+    EXPECT_FALSE(channel.inOutage(sim::TimePoint::origin() + sim::Duration::hours(2)));
+}
+
+// -- Reassembly ----------------------------------------------------------------
+
+std::string makeContent(int lines) {
+    std::string content;
+    for (int i = 0; i < lines; ++i) {
+        content += "LINE|" + std::to_string(i) + "|abcdefghij\n";
+    }
+    return content;
+}
+
+TEST(Reassembler, MergesOutOfOrderAndSuppressesDuplicates) {
+    const std::string content = makeContent(60);
+    auto frames = chunkLogContent("p", content, 128);
+    ASSERT_GT(frames.size(), 2u);
+
+    Reassembler reassembler;
+    // Deliver in reverse order, each twice.
+    for (auto it = frames.rbegin(); it != frames.rend(); ++it) {
+        const std::string wire = encodeFrame(*it);
+        const auto ack1 = reassembler.receiveFrame(wire);
+        const auto ack2 = reassembler.receiveFrame(wire);
+        ASSERT_TRUE(ack1.has_value());
+        // Duplicates are re-acked (heals lost acks), not dropped silently.
+        ASSERT_TRUE(ack2.has_value());
+        EXPECT_EQ(ack1->seq, it->seq);
+        EXPECT_EQ(ack2->payloadBytes, ack1->payloadBytes);
+    }
+    EXPECT_TRUE(reassembler.complete("p"));
+    EXPECT_DOUBLE_EQ(reassembler.coverage("p"), 1.0);
+    EXPECT_EQ(reassembler.reconstruct("p"), content);
+    EXPECT_EQ(reassembler.stats().duplicates, frames.size());
+    EXPECT_EQ(reassembler.stats().segmentsStored, frames.size());
+}
+
+TEST(Reassembler, GrowingTailSegmentExtendsInPlace) {
+    const std::string early = makeContent(3);
+    const std::string late = makeContent(5);
+    const auto framesEarly = chunkLogContent("p", early, 4096);
+    const auto framesLate = chunkLogContent("p", late, 4096);
+    ASSERT_EQ(framesEarly.size(), 1u);
+    ASSERT_EQ(framesLate.size(), 1u);
+
+    Reassembler reassembler;
+    const auto ackEarly = reassembler.receiveFrame(encodeFrame(framesEarly[0]));
+    const auto ackLate = reassembler.receiveFrame(encodeFrame(framesLate[0]));
+    ASSERT_TRUE(ackEarly && ackLate);
+    EXPECT_GT(ackLate->payloadBytes, ackEarly->payloadBytes);
+    EXPECT_EQ(reassembler.reconstruct("p"), late);
+    EXPECT_EQ(reassembler.stats().segmentsExtended, 1u);
+
+    // A stale shorter replay cannot shrink the stored copy.
+    const auto ackStale = reassembler.receiveFrame(encodeFrame(framesEarly[0]));
+    ASSERT_TRUE(ackStale.has_value());
+    EXPECT_EQ(ackStale->payloadBytes, ackLate->payloadBytes);
+    EXPECT_EQ(reassembler.reconstruct("p"), late);
+}
+
+TEST(Reassembler, GapsNeverFuseRecordsAcrossLostSegments) {
+    const std::string content = makeContent(100);
+    auto frames = chunkLogContent("p", content, 96);
+    ASSERT_GT(frames.size(), 4u);
+
+    Reassembler reassembler;
+    for (const auto& frame : frames) {
+        if (frame.seq == 2) continue;  // permanently lost
+        reassembler.receiveFrame(encodeFrame(frame));
+    }
+    EXPECT_FALSE(reassembler.complete("p"));
+    EXPECT_LT(reassembler.coverage("p"), 1.0);
+
+    // Every line in the reconstruction is a line of the original: no
+    // spliced/merged records.
+    const std::string rebuilt = reassembler.reconstruct("p");
+    std::set<std::string> originalLines;
+    std::size_t start = 0;
+    while (start < content.size()) {
+        const auto end = content.find('\n', start);
+        originalLines.insert(content.substr(start, end - start));
+        start = end + 1;
+    }
+    start = 0;
+    while (start < rebuilt.size()) {
+        auto end = rebuilt.find('\n', start);
+        if (end == std::string::npos) end = rebuilt.size();
+        const std::string line = rebuilt.substr(start, end - start);
+        if (!line.empty()) {
+            EXPECT_TRUE(originalLines.contains(line)) << "spliced line: " << line;
+        }
+        start = end + 1;
+    }
+}
+
+TEST(Reassembler, RejectsDamagedFramesAndStaysConsistent) {
+    Reassembler reassembler;
+    EXPECT_FALSE(reassembler.receiveFrame("totally not a frame").has_value());
+    EXPECT_FALSE(reassembler.receiveFrame("").has_value());
+    EXPECT_EQ(reassembler.stats().framesRejected, 2u);
+    EXPECT_EQ(reassembler.phones().size(), 0u);
+    EXPECT_DOUBLE_EQ(reassembler.coverage("ghost"), 0.0);
+}
+
+// -- UploadAgent ---------------------------------------------------------------
+
+struct AgentHarness {
+    sim::Simulator simulator;
+    Reassembler server;
+    // Same destruction-order discipline as fleet::runCampaign's PhoneUnit:
+    // the device (declared last, destroyed first) runs its power-down hooks
+    // while the logger and agent are still alive.
+    std::unique_ptr<logger::FailureLogger> loggerApp;
+    std::unique_ptr<Channel> dataChannel;
+    std::unique_ptr<Channel> ackChannel;
+    std::unique_ptr<UploadAgent> agent;
+    std::unique_ptr<phone::PhoneDevice> device;
+
+    AgentHarness(ChannelConfig dataConfig, UploadPolicy policy,
+                 std::uint64_t seed = 99) {
+        phone::PhoneDevice::Config config;
+        config.name = "uplink";
+        config.seed = 17;
+        device = std::make_unique<phone::PhoneDevice>(simulator, config);
+        loggerApp = std::make_unique<logger::FailureLogger>(*device);
+        dataChannel = std::make_unique<Channel>(simulator, std::move(dataConfig), seed);
+        ackChannel =
+            std::make_unique<Channel>(simulator, ChannelConfig::bluetooth(), seed + 1);
+        agent = std::make_unique<UploadAgent>(*device, *loggerApp, *dataChannel,
+                                              *ackChannel, policy, seed + 2);
+        dataChannel->setReceiver([this](const std::string& bytes) {
+            if (const auto ack = server.receiveFrame(bytes)) {
+                ackChannel->send(encodeAck(*ack));
+            }
+        });
+    }
+};
+
+UploadPolicy fastPolicy() {
+    UploadPolicy policy;
+    policy.uploadPeriod = sim::Duration::hours(2);
+    policy.chunkPayloadBytes = 512;
+    policy.retryBase = sim::Duration::seconds(30);
+    return policy;
+}
+
+TEST(UploadAgent, DeliversCompleteLogOverLossyChannel) {
+    ChannelConfig lossy;
+    lossy.lossProb = 0.15;
+    lossy.dupProb = 0.05;
+    lossy.reorderProb = 0.15;
+    AgentHarness harness{lossy, fastPolicy()};
+    harness.device->powerOn();
+    harness.simulator.runUntil(sim::TimePoint::origin() + sim::Duration::days(4));
+
+    ASSERT_TRUE(harness.server.has("uplink"));
+    const std::string delivered = harness.server.reconstruct("uplink");
+    const std::string truth = harness.loggerApp->logFileContent();
+    // Everything up to the last upload round made it, despite the loss.
+    EXPECT_GE(delivered.size(), truth.size() / 2);
+    EXPECT_TRUE(truth.rfind(delivered, 0) == 0 || delivered == truth)
+        << "delivered content must be a prefix of the true log";
+    EXPECT_GT(harness.agent->stats().framesSent, 0u);
+    EXPECT_GT(harness.agent->stats().acksReceived, 0u);
+    // A 15% lossy channel forces retransmissions eventually.
+    EXPECT_GT(harness.agent->stats().rounds, 10u);
+}
+
+TEST(UploadAgent, RetriesDisabledDegradesGracefully) {
+    ChannelConfig veryLossy;
+    veryLossy.lossProb = 0.5;
+    auto policy = fastPolicy();
+    policy.retriesEnabled = false;
+    AgentHarness harness{veryLossy, policy};
+    harness.device->powerOn();
+    harness.simulator.runUntil(sim::TimePoint::origin() + sim::Duration::days(6));
+
+    // No retransmissions happen without retries...
+    EXPECT_EQ(harness.agent->stats().retryBudgetExhausted, 0u);
+    // ...but later rounds still re-offer unacked segments, so *some* data
+    // arrives; the reconstruction parses cleanly regardless of what is
+    // missing.
+    if (harness.server.has("uplink")) {
+        const auto logs = std::vector<analysis::PhoneLog>{
+            {"uplink", harness.server.reconstruct("uplink"),
+             harness.server.coverage("uplink")}};
+        const auto dataset = analysis::LogDataset::build(logs);
+        EXPECT_GE(dataset.bootCount(), 0u);
+    }
+}
+
+TEST(UploadAgent, UnreachableServerExhaustsRetryBudget) {
+    ChannelConfig blackhole;
+    blackhole.lossProb = 1.0;
+    auto policy = fastPolicy();
+    policy.maxRetriesPerRound = 3;
+    policy.retryBase = sim::Duration::seconds(10);
+    AgentHarness harness{blackhole, policy};
+    harness.device->powerOn();
+    harness.simulator.runUntil(sim::TimePoint::origin() + sim::Duration::days(2));
+
+    EXPECT_FALSE(harness.server.has("uplink"));
+    EXPECT_GT(harness.agent->stats().retryBudgetExhausted, 0u);
+    EXPECT_GT(harness.agent->stats().retransmits, 0u);
+    EXPECT_EQ(harness.agent->stats().acksReceived, 0u);
+}
+
+// -- Fleet integration ---------------------------------------------------------
+
+fleet::FleetConfig smallFleetConfig() {
+    fleet::FleetConfig config;
+    config.phoneCount = 6;
+    config.campaign = sim::Duration::days(45);
+    config.enrollmentWindow = sim::Duration::days(10);
+    config.seed = 11;
+    config.freezesPerHour *= 6.0;
+    config.selfShutdownsPerHour *= 6.0;
+    config.panicsPerHour *= 6.0;
+    return config;
+}
+
+TEST(FleetTransport, LossyDefaultsDeliverNearlyAllRecords) {
+    auto config = smallFleetConfig();
+    ASSERT_TRUE(config.transport.enabled);
+    ASSERT_GE(config.transport.dataChannel.lossProb, 0.05);
+    const auto result = fleet::runCampaign(config);
+
+    EXPECT_EQ(result.collectedLogs.size(), 6u);
+    EXPECT_GT(result.transport.recordsInjected, 50u);
+    EXPECT_GE(result.transport.deliveryRatio(), 0.98);
+    EXPECT_GT(result.transport.framesSent, 0u);
+    EXPECT_GT(result.transport.framesLost, 0u);  // the channel really is lossy
+    EXPECT_GT(result.transport.deliveryLatency.total(), 0u);
+}
+
+TEST(FleetTransport, TransportDoesNotPerturbTheCampaign) {
+    auto config = smallFleetConfig();
+    config.transport.enabled = false;
+    const auto ideal = fleet::runCampaign(config);
+    config.transport.enabled = true;
+    const auto withTransport = fleet::runCampaign(config);
+
+    // The simulated phones and their logs are bit-identical: transport is
+    // purely observational.
+    ASSERT_EQ(ideal.logs.size(), withTransport.logs.size());
+    for (std::size_t i = 0; i < ideal.logs.size(); ++i) {
+        EXPECT_EQ(ideal.logs[i].logFileContent,
+                  withTransport.logs[i].logFileContent);
+    }
+    EXPECT_EQ(ideal.panicsInjected, withTransport.panicsInjected);
+    EXPECT_EQ(ideal.totalBoots, withTransport.totalBoots);
+    EXPECT_TRUE(ideal.collectedLogs.empty());
+    EXPECT_FALSE(ideal.transport.enabled);
+}
+
+TEST(FleetTransport, DeterministicAcrossRuns) {
+    const auto a = fleet::runCampaign(smallFleetConfig());
+    const auto b = fleet::runCampaign(smallFleetConfig());
+    EXPECT_EQ(a.transport.framesSent, b.transport.framesSent);
+    EXPECT_EQ(a.transport.retransmits, b.transport.retransmits);
+    EXPECT_EQ(a.transport.bytesOnWire, b.transport.bytesOnWire);
+    EXPECT_EQ(a.transport.recordsDelivered, b.transport.recordsDelivered);
+    ASSERT_EQ(a.collectedLogs.size(), b.collectedLogs.size());
+    for (std::size_t i = 0; i < a.collectedLogs.size(); ++i) {
+        EXPECT_EQ(a.collectedLogs[i].logFileContent,
+                  b.collectedLogs[i].logFileContent);
+    }
+}
+
+TEST(FleetTransport, RetriesDisabledStillAnalyzesPartialLogs) {
+    auto config = smallFleetConfig();
+    config.transport.dataChannel.lossProb = 0.25;
+    config.transport.ackChannel.lossProb = 0.25;
+    config.transport.policy.retriesEnabled = false;
+    const auto result = fleet::runCampaign(config);
+
+    EXPECT_FALSE(result.transport.retriesEnabled);
+    EXPECT_LT(result.transport.deliveryRatio(), 1.0);
+    // The analysis pipeline still runs over whatever arrived.
+    const auto dataset = analysis::LogDataset::build(result.collectedLogs);
+    EXPECT_GT(dataset.bootCount(), 0u);
+    // Coverage loss is recorded per phone for the report.
+    double worst = 1.0;
+    for (const auto& [phone, coverage] : result.transport.coverageByPhone) {
+        worst = std::min(worst, coverage);
+    }
+    EXPECT_LE(worst, 1.0);
+    const auto rendered = renderTransportReport(result.transport);
+    EXPECT_NE(rendered.find("retries DISABLED"), std::string::npos);
+}
+
+TEST(FleetTransport, OutageWindowCausesCatchUpRetransmissions) {
+    auto config = smallFleetConfig();
+    const OutageWindow outage{sim::TimePoint::origin() + sim::Duration::days(20),
+                              sim::TimePoint::origin() + sim::Duration::days(23)};
+    config.transport.dataChannel.outages.push_back(outage);
+    config.transport.ackChannel.outages.push_back(outage);
+    const auto result = fleet::runCampaign(config);
+
+    EXPECT_GT(result.transport.outageDrops, 0u);
+    // Retries recover after the outage: delivery stays near-complete.
+    EXPECT_GE(result.transport.deliveryRatio(), 0.97);
+    EXPECT_GT(result.transport.retransmits, 0u);
+}
+
+}  // namespace
+}  // namespace symfail::transport

@@ -9,6 +9,7 @@
 #include "core/logio.hpp"
 #include "core/render.hpp"
 #include "core/study.hpp"
+#include "transport/metrics.hpp"
 
 namespace symfail::cli {
 namespace {
@@ -19,9 +20,14 @@ void printUsage() {
         "\n"
         "commands:\n"
         "  campaign [--phones N] [--days D] [--seed S] [--logs DIR] [--csv DIR]\n"
-        "           [--json FILE]\n"
+        "           [--json FILE] [--no-transport] [--loss PCT] [--no-retries]\n"
         "           run a fleet campaign (defaults: the paper's 25 phones,\n"
         "           425 days) and print every regenerated artifact\n"
+        "  transport [--phones N] [--days D] [--seed S] [--loss PCT] [--dup PCT]\n"
+        "           [--reorder PCT] [--no-retries] [--outage-day D --outage-days N]\n"
+        "           run a campaign and analyze what the lossy collection\n"
+        "           path delivered (the analysis runs on the *collected*\n"
+        "           logs, partial if segments were permanently lost)\n"
         "  analyze <logdir> [--csv DIR]\n"
         "           run the analysis pipeline over *.log files on disk\n"
         "  forum    [--reports N] [--seed S]\n"
@@ -47,6 +53,60 @@ long long numericOption(const std::vector<std::string>& args, const std::string&
         return std::stoll(*value);
     } catch (const std::exception&) {
         throw std::runtime_error("invalid value for " + name + ": " + *value);
+    }
+}
+
+bool hasFlag(const std::vector<std::string>& args, const std::string& name) {
+    for (const auto& arg : args) {
+        if (arg == name) return true;
+    }
+    return false;
+}
+
+double percentOption(const std::vector<std::string>& args, const std::string& name,
+                     double fallbackPercent) {
+    const auto value = option(args, name);
+    if (!value) return fallbackPercent;
+    double percent = 0.0;
+    try {
+        percent = std::stod(*value);
+    } catch (const std::exception&) {
+        throw std::runtime_error("invalid value for " + name + ": " + *value);
+    }
+    if (percent < 0.0 || percent > 100.0) {
+        throw std::runtime_error(name + " must be a percentage in [0, 100], got " +
+                                 *value);
+    }
+    return percent;
+}
+
+/// Applies the shared transport knobs (--loss/--dup/--reorder as percent,
+/// --no-retries, --outage-day/--outage-days) to a fleet config.
+void applyTransportOptions(const std::vector<std::string>& args,
+                           fleet::FleetConfig& config) {
+    auto& transportOptions = config.transport;
+    const double loss = percentOption(
+        args, "--loss", 100.0 * transportOptions.dataChannel.lossProb);
+    const double dup =
+        percentOption(args, "--dup", 100.0 * transportOptions.dataChannel.dupProb);
+    const double reorder = percentOption(
+        args, "--reorder", 100.0 * transportOptions.dataChannel.reorderProb);
+    transportOptions.dataChannel.lossProb = loss / 100.0;
+    transportOptions.dataChannel.dupProb = dup / 100.0;
+    transportOptions.dataChannel.reorderProb = reorder / 100.0;
+    transportOptions.ackChannel.lossProb = loss / 100.0;
+    if (hasFlag(args, "--no-retries")) {
+        transportOptions.policy.retriesEnabled = false;
+    }
+    const auto outageDay = option(args, "--outage-day");
+    if (outageDay) {
+        const auto start =
+            sim::TimePoint::origin() +
+            sim::Duration::days(numericOption(args, "--outage-day", 0));
+        const auto length = sim::Duration::days(numericOption(args, "--outage-days", 3));
+        transport::OutageWindow window{start, start + length};
+        transportOptions.dataChannel.outages.push_back(window);
+        transportOptions.ackChannel.outages.push_back(window);
     }
 }
 
@@ -76,6 +136,8 @@ int runCampaign(const std::vector<std::string>& args) {
     }
     config.fleetConfig.seed = static_cast<std::uint64_t>(
         numericOption(args, "--seed", static_cast<long long>(config.fleetConfig.seed)));
+    if (hasFlag(args, "--no-transport")) config.fleetConfig.transport.enabled = false;
+    applyTransportOptions(args, config.fleetConfig);
 
     std::printf("campaign: %d phones, %lld days, seed %llu\n\n",
                 config.fleetConfig.phoneCount, static_cast<long long>(days),
@@ -83,6 +145,7 @@ int runCampaign(const std::vector<std::string>& args) {
     const core::FailureStudy study{config};
     const auto results = study.runFieldStudy();
     printFieldResults(results, /*withEvaluation=*/true);
+    std::printf("%s\n", core::renderTransport(results).c_str());
 
     if (const auto dir = option(args, "--logs")) {
         const auto files = core::saveLogs(results.fleet.logs, *dir);
@@ -95,6 +158,52 @@ int runCampaign(const std::vector<std::string>& args) {
     if (const auto path = option(args, "--json")) {
         core::exportFieldJson(results, *path);
         std::printf("wrote JSON results to %s\n", path->c_str());
+    }
+    return 0;
+}
+
+int runTransport(const std::vector<std::string>& args) {
+    core::StudyConfig config;
+    config.fleetConfig.phoneCount =
+        static_cast<int>(numericOption(args, "--phones", config.fleetConfig.phoneCount));
+    const auto days = numericOption(args, "--days", 120);
+    config.fleetConfig.campaign = sim::Duration::days(days);
+    if (config.fleetConfig.enrollmentWindow > config.fleetConfig.campaign) {
+        config.fleetConfig.enrollmentWindow = config.fleetConfig.campaign / 2;
+    }
+    config.fleetConfig.seed = static_cast<std::uint64_t>(
+        numericOption(args, "--seed", static_cast<long long>(config.fleetConfig.seed)));
+    config.fleetConfig.transport.enabled = true;
+    applyTransportOptions(args, config.fleetConfig);
+
+    const auto& channel = config.fleetConfig.transport.dataChannel;
+    std::printf(
+        "transport study: %d phones, %lld days, seed %llu\n"
+        "channel: loss %.1f%%, dup %.1f%%, reorder %.1f%%, retries %s\n\n",
+        config.fleetConfig.phoneCount, static_cast<long long>(days),
+        static_cast<unsigned long long>(config.fleetConfig.seed),
+        100.0 * channel.lossProb, 100.0 * channel.dupProb, 100.0 * channel.reorderProb,
+        config.fleetConfig.transport.policy.retriesEnabled ? "on" : "OFF");
+
+    const auto campaign = fleet::runCampaign(config.fleetConfig);
+    std::printf("%s\n", transport::renderTransportReport(campaign.transport).c_str());
+
+    // The analysis deliberately runs on what the *server* holds — partial
+    // per-phone logs when segments were permanently lost — not on the
+    // ideal end-of-campaign copies.
+    const core::FailureStudy study{config};
+    const auto results = study.analyzeLogs(campaign.collectedLogs);
+    std::printf("analysis over collected logs (%zu phones):\n\n",
+                campaign.collectedLogs.size());
+    std::printf("%s\n", core::renderHeadline(results).c_str());
+    std::printf("%s\n", core::renderTable2(results).c_str());
+    if (!results.dataset.coverageLoss().empty()) {
+        std::printf("per-phone coverage loss:\n");
+        for (const auto& [phone, coverage] : results.dataset.coverageLoss()) {
+            std::printf("  %-12s %.1f%%\n", phone.c_str(), 100.0 * coverage);
+        }
+    } else {
+        std::printf("no coverage loss: every phone's log was fully delivered\n");
     }
     return 0;
 }
@@ -170,6 +279,7 @@ int runCli(const std::vector<std::string>& args) {
     const std::vector<std::string> rest{args.begin() + 1, args.end()};
     try {
         if (command == "campaign") return runCampaign(rest);
+        if (command == "transport") return runTransport(rest);
         if (command == "analyze") return runAnalyze(rest);
         if (command == "forum") return runForum(rest);
         if (command == "tables") return runTables();
