@@ -4,11 +4,68 @@
 #pragma once
 
 #include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
 
 #include "core/render.hpp"
 #include "core/study.hpp"
+#include "obs/trace.hpp"  // appendJsonEscaped
 
 namespace symfail::bench {
+
+/// Machine-readable bench results.  Every bench_* binary accepts
+/// `--json FILE`: the human-readable report still goes to stdout, and the
+/// named scalar results land in FILE as one JSON document
+/// ({"bench": "...", "metrics": {"name": value, ...}}), so CI can diff or
+/// plot bench output without scraping printf text.
+class JsonReporter {
+public:
+    JsonReporter(int argc, char** argv, std::string benchName)
+        : benchName_{std::move(benchName)} {
+        for (int i = 1; i + 1 < argc; ++i) {
+            if (std::string_view{argv[i]} == "--json") path_ = argv[i + 1];
+        }
+    }
+
+    [[nodiscard]] bool enabled() const { return !path_.empty(); }
+
+    void add(std::string_view name, double value) {
+        metrics_.emplace_back(std::string{name}, value);
+    }
+
+    /// Writes the document; no-op without --json.  Throws on I/O failure.
+    void write() const {
+        if (!enabled()) return;
+        std::string out = "{\"bench\":\"";
+        obs::appendJsonEscaped(out, benchName_);
+        out += "\",\"metrics\":{";
+        bool first = true;
+        for (const auto& [name, value] : metrics_) {
+            if (!first) out += ',';
+            first = false;
+            out += '"';
+            obs::appendJsonEscaped(out, name);
+            out += "\":";
+            char buf[48];
+            std::snprintf(buf, sizeof buf, "%.10g", value);
+            out += buf;
+        }
+        out += "}}\n";
+        std::ofstream file{path_, std::ios::binary};
+        file << out;
+        if (!file) throw std::runtime_error("cannot write bench JSON: " + path_);
+        std::printf("wrote bench results to %s\n", path_.c_str());
+    }
+
+private:
+    std::string benchName_;
+    std::string path_;
+    std::vector<std::pair<std::string, double>> metrics_;
+};
 
 /// Runs the default paper-scale campaign and pipeline.
 inline core::FieldStudyResults runDefaultFieldStudy() {

@@ -2,11 +2,13 @@
 // days", and the raw event counts, paper vs measured (Section 6).
 #include <cstdio>
 
+#include "bench_common.hpp"
 #include "core/render.hpp"
 #include "core/study.hpp"
 
-int main() {
+int main(int argc, char** argv) {
     using namespace symfail;
+    bench::JsonReporter json{argc, argv, "headline_mtbf"};
     core::StudyConfig config;
     const core::FailureStudy study{config};
     const auto results = study.runFieldStudy();
@@ -23,5 +25,23 @@ int main() {
                 static_cast<unsigned long long>(
                     results.fleet.spontaneousRebootsInjected));
     std::printf("%s", core::renderEvaluation(results).c_str());
+
+    const auto& mtbf = results.mtbf;
+    json.add("mtbf_freeze_hours", mtbf.mtbfFreezeHours);
+    json.add("mtbf_self_shutdown_hours", mtbf.mtbfSelfShutdownHours);
+    json.add("mtbf_any_failure_hours", mtbf.mtbfAnyFailureHours);
+    json.add("failure_every_days", mtbf.failureEveryDays());
+    json.add("freeze_count", static_cast<double>(mtbf.freezeCount));
+    json.add("self_shutdown_count", static_cast<double>(mtbf.selfShutdownCount));
+    json.add("observed_phone_hours", mtbf.observedPhoneHours);
+    json.add("total_boots", static_cast<double>(results.fleet.totalBoots));
+    json.add("simulator_events",
+             static_cast<double>(results.fleet.simulatorEvents));
+    json.add("panics_injected",
+             static_cast<double>(results.fleet.panicsInjected));
+    json.add("hangs_injected", static_cast<double>(results.fleet.hangsInjected));
+    json.add("spontaneous_reboots_injected",
+             static_cast<double>(results.fleet.spontaneousRebootsInjected));
+    json.write();
     return 0;
 }

@@ -6,6 +6,7 @@
 #include "analysis/coalescence.hpp"
 #include "analysis/dataset.hpp"
 #include "logger/records.hpp"
+#include "obs/trace.hpp"
 #include "simkernel/event_queue.hpp"
 #include "simkernel/rng.hpp"
 #include "simkernel/simulator.hpp"
@@ -46,6 +47,24 @@ void BM_SimulatorPeriodicTicks(benchmark::State& state) {
     state.SetItemsProcessed(3'600 * state.iterations());
 }
 BENCHMARK(BM_SimulatorPeriodicTicks);
+
+// Same workload with a null trace sink attached: the delta against
+// BM_SimulatorPeriodicTicks is the whole per-dispatch observability cost
+// when tracing is wired but discarded (acceptance: < 2%).
+void BM_SimulatorPeriodicTicksNullSink(benchmark::State& state) {
+    obs::NullTraceSink sink;
+    for (auto _ : state) {
+        sim::Simulator simulator;
+        simulator.setTraceSink(&sink);
+        std::uint64_t ticks = 0;
+        simulator.schedulePeriodic(sim::Duration::seconds(1),
+                                   [&](sim::Periodic&) { ++ticks; });
+        simulator.runUntil(sim::TimePoint::origin() + sim::Duration::hours(1));
+        benchmark::DoNotOptimize(ticks);
+    }
+    state.SetItemsProcessed(3'600 * state.iterations());
+}
+BENCHMARK(BM_SimulatorPeriodicTicksNullSink);
 
 void BM_ActiveObjectDispatch(benchmark::State& state) {
     sim::Simulator simulator;

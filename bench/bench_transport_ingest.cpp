@@ -42,10 +42,12 @@ std::string syntheticLog(std::size_t records) {
 
 struct IngestRun {
     const char* label;
+    const char* key;  ///< Machine-readable suffix for --json metrics.
     std::vector<std::string> wires;  ///< Encoded frames in arrival order.
 };
 
-void timeIngest(const IngestRun& run, std::size_t records, std::size_t bytes) {
+void timeIngest(const IngestRun& run, std::size_t records, std::size_t bytes,
+                bench::JsonReporter& json) {
     using clock = std::chrono::steady_clock;
     const auto start = clock::now();
     transport::Reassembler reassembler;
@@ -61,9 +63,11 @@ void timeIngest(const IngestRun& run, std::size_t records, std::size_t bytes) {
                       : 0.0;
     std::printf("%14s  %8zu  %10.3f  %12.0f  %10.1f\n", run.label,
                 run.wires.size(), elapsed * 1'000.0, recordsPerSec, mbPerSec);
+    json.add(std::string{"ingest_records_per_sec."} + run.key, recordsPerSec);
+    json.add(std::string{"ingest_mb_per_sec."} + run.key, mbPerSec);
 }
 
-void ingestThroughput() {
+void ingestThroughput(bench::JsonReporter& json) {
     constexpr std::size_t kRecords = 100'000;
     const std::string content = syntheticLog(kRecords);
     const auto frames = transport::chunkLogContent("bench", content, 2048);
@@ -89,13 +93,13 @@ void ingestThroughput() {
                 kRecords, static_cast<double>(content.size()) / (1024.0 * 1024.0));
     std::printf("%14s  %8s  %10s  %12s  %10s\n", "arrival", "frames", "ms",
                 "records/sec", "MB/sec");
-    timeIngest({"in-order", inOrder}, kRecords, content.size());
-    timeIngest({"shuffled", shuffled}, kRecords, content.size());
-    timeIngest({"50% dups", withDups}, kRecords, content.size());
+    timeIngest({"in-order", "in_order", inOrder}, kRecords, content.size(), json);
+    timeIngest({"shuffled", "shuffled", shuffled}, kRecords, content.size(), json);
+    timeIngest({"50% dups", "half_dups", withDups}, kRecords, content.size(), json);
     std::printf("\n");
 }
 
-void campaignOverhead() {
+void campaignOverhead(bench::JsonReporter& json) {
     std::printf("-- End-to-end collection cost (8 phones, 60 days)\n");
     std::printf("%10s  %10s  %12s  %12s  %12s  %14s\n", "loss (%)", "frames",
                 "retransmits", "overhead", "delivery", "wire B/record");
@@ -116,14 +120,22 @@ void campaignOverhead() {
                     static_cast<unsigned long long>(t.retransmits),
                     100.0 * t.retransmitOverhead(), 100.0 * t.deliveryRatio(),
                     bytesPerRecord);
+        char prefix[32];
+        std::snprintf(prefix, sizeof prefix, "loss_%02.0f.", loss * 100.0);
+        json.add(std::string{prefix} + "delivery_ratio", t.deliveryRatio());
+        json.add(std::string{prefix} + "retransmit_overhead",
+                 t.retransmitOverhead());
+        json.add(std::string{prefix} + "wire_bytes_per_record", bytesPerRecord);
     }
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    bench::JsonReporter json{argc, argv, "transport_ingest"};
     std::printf("=== T1: log-transport ingest and overhead ===\n\n");
-    ingestThroughput();
-    campaignOverhead();
+    ingestThroughput(json);
+    campaignOverhead(json);
+    json.write();
     return 0;
 }

@@ -33,7 +33,7 @@ void FaultInjector::deferred(sim::Duration delay, const std::function<void()>& b
     // Boot-scoped execution: behaviour scheduled within one boot must not
     // run after a freeze or reboot.  The boot counter is the epoch.
     const auto bootCount = device_->bootCount();
-    device_->simulator().scheduleAfter(delay, [this, bootCount, body]() {
+    device_->simulator().scheduleAfter(delay, "faults", [this, bootCount, body]() {
         if (device_->bootCount() != bootCount || !device_->isOn()) return;
         body();
     });

@@ -50,6 +50,10 @@ faults::StudyPlan derivePlan(const FleetConfig& config) {
 
 FleetResult runCampaign(const FleetConfig& config) {
     sim::Simulator simulator;
+    simulator.setTraceSink(config.obs.trace);
+    simulator.setProfiler(config.obs.profiler);
+    const std::uint32_t fleetTrack =
+        config.obs.trace != nullptr ? config.obs.trace->registerTrack("fleet") : 0;
     sim::Rng fleetRng{config.seed};
     // Transport draws come from an independent stream so enabling the
     // collection path never shifts the per-phone seeds — the simulated
@@ -119,6 +123,8 @@ FleetResult runCampaign(const FleetConfig& config) {
             uploadAgent = std::make_unique<transport::UploadAgent>(
                 *device, *loggerApp, *dataChannel, *ackChannel,
                 config.transport.policy, transportRng.nextU64());
+            dataChannel->setTraceTrack(device->traceTrack());
+            ackChannel->setTraceTrack(device->traceTrack());
             transport::Channel* ackPtr = ackChannel.get();
             dataChannel->setReceiver(
                 [&server, ackPtr](const std::string& bytes) {
@@ -136,7 +142,14 @@ FleetResult runCampaign(const FleetConfig& config) {
         phone::PhoneDevice* devicePtr = device.get();
         simulator.scheduleAt(
             sim::TimePoint::origin() + sim::Duration::fromSecondsF(joinHours * 3'600.0),
-            [devicePtr]() { devicePtr->powerOn(); });
+            "fleet.enroll", [devicePtr, &simulator, fleetTrack]() {
+                if (auto* trace = simulator.traceSink()) {
+                    const obs::TraceArg args[] = {{"phone", devicePtr->name()}};
+                    trace->instant(fleetTrack, "fleet", "enroll", simulator.now(),
+                                   args);
+                }
+                devicePtr->powerOn();
+            });
 
         units.push_back(PhoneUnit{std::move(loggerApp), std::move(userReports),
                                   std::move(injector), std::move(dataChannel),
@@ -146,6 +159,10 @@ FleetResult runCampaign(const FleetConfig& config) {
 
     simulator.runUntil(sim::TimePoint::origin() + config.campaign);
 
+    std::uint64_t heartbeatsWritten = 0;
+    std::uint64_t panicsLogged = 0;
+    std::uint64_t bootsLogged = 0;
+    std::uint64_t snapshotsWritten = 0;
     for (auto& unit : units) {
         // End of campaign: collect the Log File and the ground truth, then
         // drop the simulation objects.
@@ -160,6 +177,10 @@ FleetResult runCampaign(const FleetConfig& config) {
         result.outputFailuresInjected += stats.outputFailures;
         result.userReportsFiled += unit.userReports->reportsFiled();
         result.totalBoots += unit.device->bootCount();
+        heartbeatsWritten += unit.logger->heartbeatsWritten();
+        panicsLogged += unit.logger->panicsLogged();
+        bootsLogged += unit.logger->bootsLogged();
+        snapshotsWritten += unit.logger->snapshotsWritten();
     }
     result.simulatorEvents = simulator.eventsFired();
 
@@ -225,6 +246,46 @@ FleetResult runCampaign(const FleetConfig& config) {
                 log.coverage = std::min(log.coverage, it->second);
             }
         }
+    }
+
+    // Metric publication happens once, after the run: the hot paths keep
+    // their plain struct counters and the registry stays a deterministic
+    // function of the campaign (never of the host).
+    if (auto* registry = config.obs.metrics) {
+        registry->counter("sim", "events_dispatched", "Simulator events fired")
+            .inc(result.simulatorEvents);
+        registry
+            ->gauge("sim", "campaign_days", "Configured campaign length in days")
+            .set(config.campaign.asHoursF() / 24.0);
+        registry->gauge("fleet", "phones", "Phones enrolled in the campaign")
+            .set(static_cast<double>(config.phoneCount));
+        registry->counter("fleet", "boots", "Device boots across the fleet")
+            .inc(result.totalBoots);
+        registry->counter("fleet", "panics_injected", "Panics raised by the injectors")
+            .inc(result.panicsInjected);
+        registry->counter("fleet", "hangs_injected", "Freezes raised by the injectors")
+            .inc(result.hangsInjected);
+        registry
+            ->counter("fleet", "spontaneous_reboots_injected",
+                      "Spontaneous reboots raised by the injectors")
+            .inc(result.spontaneousRebootsInjected);
+        registry
+            ->counter("fleet", "output_failures_injected",
+                      "Output (value) failures raised by the injectors")
+            .inc(result.outputFailuresInjected);
+        registry->counter("fleet", "user_reports_filed", "User reports filed")
+            .inc(result.userReportsFiled);
+        registry->counter("logger", "heartbeats", "ALIVE heartbeats written to flash")
+            .inc(heartbeatsWritten);
+        registry->counter("logger", "panics_recorded", "Panic records written")
+            .inc(panicsLogged);
+        registry->counter("logger", "boots_recorded", "Boot records written")
+            .inc(bootsLogged);
+        registry
+            ->counter("logger", "runapp_snapshots",
+                      "Running-applications snapshots written")
+            .inc(snapshotsWritten);
+        transport::publishTransportMetrics(report, *registry);
     }
     return result;
 }

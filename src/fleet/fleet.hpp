@@ -19,6 +19,9 @@
 #include "analysis/dataset.hpp"
 #include "analysis/evaluator.hpp"
 #include "faults/rates.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
+#include "obs/trace.hpp"
 #include "logger/logger.hpp"
 #include "logger/user_reports.hpp"
 #include "phone/device.hpp"
@@ -40,6 +43,17 @@ struct TransportOptions {
     /// Server -> phone path (acks).
     transport::ChannelConfig ackChannel = transport::ChannelConfig::gprs();
     transport::UploadPolicy policy{};
+};
+
+/// Observability attachments (all non-owning, all optional).  Attaching
+/// any of them never perturbs the campaign: traces are keyed to simulated
+/// time, metrics are published after the run, and the profiler only reads
+/// the host clock around dispatches.  With all three null the campaign is
+/// bit-identical to a build without observability.
+struct ObsOptions {
+    obs::TraceSink* trace{nullptr};
+    obs::MetricsRegistry* metrics{nullptr};
+    obs::CampaignProfiler* profiler{nullptr};
 };
 
 /// Campaign configuration.
@@ -68,6 +82,9 @@ struct FleetConfig {
     /// upload path never perturbs device behaviour, so the regenerated
     /// tables are bit-identical with transport on or off.
     TransportOptions transport{};
+
+    /// Tracing, metrics and profiling attachments.
+    ObsOptions obs{};
 
     /// Assumed powered-on fraction of observed wall-clock time, used only
     /// to convert targets into background rates (measured behaviour feeds

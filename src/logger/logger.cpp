@@ -51,6 +51,11 @@ void FailureLogger::setEnabled(bool enabled) {
 void FailureLogger::writeBeat(BeatKind kind) {
     // Only the most recent event matters (Section 5.2); the beats file is
     // compacted to its last line to keep a 14-month campaign bounded.
+    if (auto* trace = device_->simulator().traceSink()) {
+        const obs::TraceArg args[] = {{"beat", toString(kind)}};
+        trace->instant(device_->traceTrack(), "logger", "heartbeat",
+                       device_->simulator().now(), args);
+    }
     device_->flash().replaceWithLine(
         kBeatsFile, serialize(BeatRecord{device_->simulator().now(), kind}));
     if (kind == BeatKind::Alive) ++heartbeats_;
@@ -78,6 +83,13 @@ void FailureLogger::onPanic(const symbos::PanicEvent& event) {
     record.runningApps = device_->runningUserApps();
     record.activity = currentActivityContext();
     record.batteryPercent = device_->systemAgent().batteryPercent();
+    if (auto* trace = device_->simulator().traceSink()) {
+        const std::string panicName = symbos::toString(event.id);
+        const obs::TraceArg args[] = {{"panic", panicName},
+                                      {"activity", toString(record.activity)}};
+        trace->instant(device_->traceTrack(), "logger", "panic-record", event.time,
+                       args);
+    }
     device_->flash().appendLine(kLogFile, serialize(record));
     ++panicsLogged_;
 }
@@ -113,6 +125,11 @@ void FailureLogger::onBoot() {
         // power loss with no graceful marker).
         boot.prior = PriorShutdown::Freeze;
         boot.lastBeatAt = sim::TimePoint::origin();
+    }
+    if (auto* trace = device_->simulator().traceSink()) {
+        const obs::TraceArg args[] = {{"prior", toString(boot.prior)}};
+        trace->instant(device_->traceTrack(), "logger", "boot-record", boot.time,
+                       args);
     }
     flash.appendLine(kLogFile, serialize(boot));
     ++bootsLogged_;

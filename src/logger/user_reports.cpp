@@ -12,7 +12,7 @@ UserReportChannel::UserReportChannel(phone::PhoneDevice& device,
                                                   config_.reportDelaySigma);
         const auto bootCount = device_->bootCount();
         device_->simulator().scheduleAfter(
-            delay, [this, bootCount, symptom]() {
+            delay, "logger", [this, bootCount, symptom]() {
                 // The user forgets if the phone rebooted or froze meanwhile.
                 if (device_->bootCount() != bootCount || !device_->isOn()) return;
                 UserReportRecord record;

@@ -1,0 +1,321 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <stdexcept>
+
+#include "obs/trace.hpp"  // appendJsonEscaped
+
+namespace symfail::obs {
+namespace {
+
+constexpr char kKeySeparator = '\x1f';
+
+void appendDouble(std::string& out, double v) {
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%.10g", v);
+    out += buf;
+}
+
+void appendU64(std::string& out, std::uint64_t v) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+    out += buf;
+}
+
+/// "subsystem.name" -> "symfail_subsystem_name" (Prometheus charset).
+std::string promName(std::string_view dotted) {
+    std::string out = "symfail_";
+    for (const char c : dotted) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '_';
+        out += ok ? c : '_';
+    }
+    return out;
+}
+
+std::string_view kindName(MetricSample::Kind kind) {
+    switch (kind) {
+        case MetricSample::Kind::Counter: return "counter";
+        case MetricSample::Kind::Gauge: return "gauge";
+        case MetricSample::Kind::Histogram: return "histogram";
+    }
+    return "?";
+}
+
+}  // namespace
+
+HistogramMetric::HistogramMetric(std::vector<double> upperBounds)
+    : bounds_{std::move(upperBounds)}, counts_(bounds_.size() + 1, 0) {
+    if (!std::is_sorted(bounds_.begin(), bounds_.end())) {
+        throw std::logic_error("histogram bucket bounds must be ascending");
+    }
+}
+
+void HistogramMetric::observe(double value, std::uint64_t count) {
+    std::size_t i = 0;
+    while (i < bounds_.size() && value > bounds_[i]) ++i;
+    counts_[i] += count;
+    count_ += count;
+    sum_ += value * static_cast<double>(count);
+}
+
+MetricsRegistry::Metric& MetricsRegistry::upsert(std::string_view subsystem,
+                                                 std::string_view name,
+                                                 std::string_view labels,
+                                                 MetricSample::Kind kind,
+                                                 std::string_view help) {
+    std::string key;
+    key.reserve(subsystem.size() + name.size() + labels.size() + 2);
+    key += subsystem;
+    key += '.';
+    key += name;
+    key += kKeySeparator;
+    key += labels;
+    auto [it, inserted] = metrics_.try_emplace(std::move(key));
+    Metric& metric = it->second;
+    if (inserted) {
+        metric.kind = kind;
+        metric.help = help;
+        switch (kind) {
+            case MetricSample::Kind::Counter:
+                metric.counter = std::make_unique<Counter>();
+                break;
+            case MetricSample::Kind::Gauge:
+                metric.gauge = std::make_unique<Gauge>();
+                break;
+            case MetricSample::Kind::Histogram:
+                break;  // Caller constructs with its bucket bounds.
+        }
+    } else if (metric.kind != kind) {
+        throw std::logic_error("metric re-registered with a different type: " +
+                               std::string{subsystem} + "." + std::string{name});
+    }
+    return metric;
+}
+
+Counter& MetricsRegistry::counter(std::string_view subsystem, std::string_view name,
+                                  std::string_view help) {
+    return *upsert(subsystem, name, {}, MetricSample::Kind::Counter, help).counter;
+}
+
+Counter& MetricsRegistry::counter(std::string_view subsystem, std::string_view name,
+                                  std::string_view labelKey,
+                                  std::string_view labelValue,
+                                  std::string_view help) {
+    std::string labels;
+    labels += labelKey;
+    labels += "=\"";
+    labels += labelValue;
+    labels += '"';
+    return *upsert(subsystem, name, labels, MetricSample::Kind::Counter, help).counter;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view subsystem, std::string_view name,
+                              std::string_view help) {
+    return *upsert(subsystem, name, {}, MetricSample::Kind::Gauge, help).gauge;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view subsystem, std::string_view name,
+                              std::string_view labelKey, std::string_view labelValue,
+                              std::string_view help) {
+    std::string labels;
+    labels += labelKey;
+    labels += "=\"";
+    labels += labelValue;
+    labels += '"';
+    return *upsert(subsystem, name, labels, MetricSample::Kind::Gauge, help).gauge;
+}
+
+HistogramMetric& MetricsRegistry::histogram(std::string_view subsystem,
+                                            std::string_view name,
+                                            std::vector<double> upperBounds,
+                                            std::string_view help) {
+    Metric& metric = upsert(subsystem, name, {}, MetricSample::Kind::Histogram, help);
+    if (!metric.histogram) {
+        metric.histogram = std::make_unique<HistogramMetric>(std::move(upperBounds));
+    }
+    return *metric.histogram;
+}
+
+std::vector<MetricSample> MetricsRegistry::snapshot() const {
+    std::vector<MetricSample> samples;
+    samples.reserve(metrics_.size());
+    for (const auto& [key, metric] : metrics_) {
+        MetricSample sample;
+        const auto sep = key.find(kKeySeparator);
+        sample.name = key.substr(0, sep);
+        sample.labels = key.substr(sep + 1);
+        sample.kind = metric.kind;
+        sample.help = metric.help;
+        switch (metric.kind) {
+            case MetricSample::Kind::Counter:
+                sample.value = static_cast<double>(metric.counter->value());
+                break;
+            case MetricSample::Kind::Gauge:
+                sample.value = metric.gauge->value();
+                break;
+            case MetricSample::Kind::Histogram: {
+                const HistogramMetric& h = *metric.histogram;
+                std::uint64_t cumulative = 0;
+                for (std::size_t i = 0; i < h.upperBounds().size(); ++i) {
+                    cumulative += h.bucketCount(i);
+                    sample.buckets.emplace_back(h.upperBounds()[i], cumulative);
+                }
+                cumulative += h.bucketCount(h.upperBounds().size());
+                sample.buckets.emplace_back(
+                    std::numeric_limits<double>::infinity(), cumulative);
+                sample.sum = h.sum();
+                sample.count = h.count();
+                break;
+            }
+        }
+        samples.push_back(std::move(sample));
+    }
+    return samples;
+}
+
+std::string MetricsRegistry::renderPrometheus() const {
+    std::string out;
+    std::string lastFamily;
+    for (const MetricSample& sample : snapshot()) {
+        const std::string family = promName(sample.name);
+        if (family != lastFamily) {
+            if (!sample.help.empty()) {
+                out += "# HELP " + family + " " + sample.help + "\n";
+            }
+            out += "# TYPE " + family + " ";
+            out += kindName(sample.kind);
+            out += '\n';
+            lastFamily = family;
+        }
+        const std::string labelBody =
+            sample.labels.empty() ? std::string{} : "{" + sample.labels + "}";
+        if (sample.kind == MetricSample::Kind::Histogram) {
+            for (const auto& [bound, cumulative] : sample.buckets) {
+                out += family + "_bucket{le=\"";
+                if (std::isinf(bound)) {
+                    out += "+Inf";
+                } else {
+                    appendDouble(out, bound);
+                }
+                out += "\"} ";
+                appendU64(out, cumulative);
+                out += '\n';
+            }
+            out += family + "_sum ";
+            appendDouble(out, sample.sum);
+            out += '\n';
+            out += family + "_count ";
+            appendU64(out, sample.count);
+            out += '\n';
+        } else {
+            out += family + labelBody + " ";
+            appendDouble(out, sample.value);
+            out += '\n';
+        }
+    }
+    return out;
+}
+
+std::string MetricsRegistry::renderJson() const {
+    std::string out = "{\"metrics\":[\n";
+    bool first = true;
+    for (const MetricSample& sample : snapshot()) {
+        if (!first) out += ",\n";
+        first = false;
+        out += "{\"name\":\"";
+        appendJsonEscaped(out, sample.name);
+        out += "\",\"kind\":\"";
+        out += kindName(sample.kind);
+        out += '"';
+        if (!sample.labels.empty()) {
+            out += ",\"labels\":\"";
+            appendJsonEscaped(out, sample.labels);
+            out += '"';
+        }
+        if (sample.kind == MetricSample::Kind::Histogram) {
+            out += ",\"sum\":";
+            appendDouble(out, sample.sum);
+            out += ",\"count\":";
+            appendU64(out, sample.count);
+            out += ",\"buckets\":[";
+            bool firstBucket = true;
+            for (const auto& [bound, cumulative] : sample.buckets) {
+                if (!firstBucket) out += ',';
+                firstBucket = false;
+                out += "{\"le\":";
+                if (std::isinf(bound)) {
+                    out += "\"+Inf\"";
+                } else {
+                    appendDouble(out, bound);
+                }
+                out += ",\"count\":";
+                appendU64(out, cumulative);
+                out += '}';
+            }
+            out += ']';
+        } else {
+            out += ",\"value\":";
+            appendDouble(out, sample.value);
+        }
+        out += '}';
+    }
+    out += "\n]}\n";
+    return out;
+}
+
+std::string MetricsRegistry::renderCsv() const {
+    std::string out = "name,labels,kind,value,sum,count\n";
+    for (const MetricSample& sample : snapshot()) {
+        out += sample.name;
+        out += ',';
+        // Labels contain '"'; CSV-quote the field.
+        if (!sample.labels.empty()) {
+            out += '"';
+            for (const char c : sample.labels) {
+                if (c == '"') out += '"';
+                out += c;
+            }
+            out += '"';
+        }
+        out += ',';
+        out += kindName(sample.kind);
+        out += ',';
+        if (sample.kind == MetricSample::Kind::Histogram) {
+            out += ",";
+            appendDouble(out, sample.sum);
+            out += ',';
+            appendU64(out, sample.count);
+        } else {
+            appendDouble(out, sample.value);
+            out += ",,";
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+std::string MetricsRegistry::renderText() const {
+    std::string out;
+    for (const MetricSample& sample : snapshot()) {
+        std::string label = sample.name;
+        if (!sample.labels.empty()) label += "{" + sample.labels + "}";
+        char buf[160];
+        if (sample.kind == MetricSample::Kind::Histogram) {
+            std::snprintf(buf, sizeof buf, "  %-44s count %llu, sum %.6g\n",
+                          label.c_str(),
+                          static_cast<unsigned long long>(sample.count), sample.sum);
+        } else {
+            std::snprintf(buf, sizeof buf, "  %-44s %.6g\n", label.c_str(),
+                          sample.value);
+        }
+        out += buf;
+    }
+    return out;
+}
+
+}  // namespace symfail::obs

@@ -1,0 +1,130 @@
+// Metrics registry: named counters, gauges and histograms with
+// per-subsystem namespaces.
+//
+// Components register metrics under a subsystem ("transport", "fleet",
+// "logger", …); the registry owns the instruments and hands back stable
+// references, so updating a counter is a plain integer increment.  A
+// snapshot can be exported as JSON, Prometheus text exposition, or CSV.
+// Iteration order is the lexicographic metric name — deterministic, so
+// exported documents are byte-stable across identical campaigns.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace symfail::obs {
+
+/// Monotonically increasing integer.
+class Counter {
+public:
+    void inc(std::uint64_t delta = 1) { value_ += delta; }
+    [[nodiscard]] std::uint64_t value() const { return value_; }
+
+private:
+    std::uint64_t value_{0};
+};
+
+/// Last-write-wins real value.
+class Gauge {
+public:
+    void set(double value) { value_ = value; }
+    void add(double delta) { value_ += delta; }
+    [[nodiscard]] double value() const { return value_; }
+
+private:
+    double value_{0.0};
+};
+
+/// Histogram with explicit ascending bucket upper bounds (Prometheus
+/// style); samples above the last bound land in the implicit +Inf bucket.
+class HistogramMetric {
+public:
+    explicit HistogramMetric(std::vector<double> upperBounds);
+
+    void observe(double value, std::uint64_t count = 1);
+
+    [[nodiscard]] const std::vector<double>& upperBounds() const { return bounds_; }
+    /// Non-cumulative count of bucket i; index bounds_.size() is +Inf.
+    [[nodiscard]] std::uint64_t bucketCount(std::size_t i) const { return counts_[i]; }
+    [[nodiscard]] std::uint64_t count() const { return count_; }
+    [[nodiscard]] double sum() const { return sum_; }
+
+private:
+    std::vector<double> bounds_;
+    std::vector<std::uint64_t> counts_;  ///< bounds_.size() + 1 entries.
+    std::uint64_t count_{0};
+    double sum_{0.0};
+};
+
+/// One exported metric in a snapshot.
+struct MetricSample {
+    enum class Kind : std::uint8_t { Counter, Gauge, Histogram };
+
+    std::string name;    ///< "subsystem.name"
+    std::string labels;  ///< Prometheus-style label body, e.g. phone="p-0"; may be empty.
+    Kind kind{Kind::Counter};
+    std::string help;
+    double value{0.0};  ///< Counter/gauge value.
+    /// Histogram payload: (upper bound, cumulative count) pairs ending with
+    /// the +Inf bucket, plus sum/count.
+    std::vector<std::pair<double, std::uint64_t>> buckets;
+    double sum{0.0};
+    std::uint64_t count{0};
+};
+
+/// The registry.  Not thread-safe (the simulator is single-threaded).
+class MetricsRegistry {
+public:
+    Counter& counter(std::string_view subsystem, std::string_view name,
+                     std::string_view help = {});
+    Counter& counter(std::string_view subsystem, std::string_view name,
+                     std::string_view labelKey, std::string_view labelValue,
+                     std::string_view help = {});
+    Gauge& gauge(std::string_view subsystem, std::string_view name,
+                 std::string_view help = {});
+    Gauge& gauge(std::string_view subsystem, std::string_view name,
+                 std::string_view labelKey, std::string_view labelValue,
+                 std::string_view help = {});
+    HistogramMetric& histogram(std::string_view subsystem, std::string_view name,
+                               std::vector<double> upperBounds,
+                               std::string_view help = {});
+
+    [[nodiscard]] std::size_t size() const { return metrics_.size(); }
+
+    /// All metrics, ordered by (name, labels).
+    [[nodiscard]] std::vector<MetricSample> snapshot() const;
+
+    /// Prometheus text exposition format (version 0.0.4).
+    [[nodiscard]] std::string renderPrometheus() const;
+    /// One JSON object: {"metrics":[{...}, ...]}.
+    [[nodiscard]] std::string renderJson() const;
+    /// CSV: name,labels,kind,value,sum,count.
+    [[nodiscard]] std::string renderCsv() const;
+
+    /// Renders a snapshot as an aligned human-readable listing.
+    [[nodiscard]] std::string renderText() const;
+
+private:
+    struct Metric {
+        MetricSample::Kind kind;
+        std::string help;
+        std::unique_ptr<Counter> counter;
+        std::unique_ptr<Gauge> gauge;
+        std::unique_ptr<HistogramMetric> histogram;
+    };
+
+    Metric& upsert(std::string_view subsystem, std::string_view name,
+                   std::string_view labels, MetricSample::Kind kind,
+                   std::string_view help);
+
+    /// Key: "subsystem.name" + '\x1f' + labels (the separator sorts before
+    /// printable characters, so unlabeled metrics precede labeled ones).
+    std::map<std::string, Metric> metrics_;
+};
+
+}  // namespace symfail::obs

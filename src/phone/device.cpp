@@ -22,6 +22,10 @@ PhoneDevice::PhoneDevice(sim::Simulator& simulator, Config config)
       config_{std::move(config)},
       rng_{config_.seed},
       kernel_{std::make_unique<symbos::Kernel>(simulator, config_.kernelConfig)} {
+    if (auto* trace = simulator_->traceSink()) {
+        traceTrack_ = trace->registerTrack(config_.name);
+        kernel_->setTraceTrack(traceTrack_);
+    }
     user_ = std::make_unique<UserModel>(*this, rng_.fork());
 
     // Kernel recovery policy lands here: core-app/kernel-critical panics
@@ -53,7 +57,7 @@ PhoneDevice::PhoneDevice(sim::Simulator& simulator, Config config)
         // The user finds a charger; the phone comes back with a healthy
         // battery a couple of hours later.
         const auto chargeDelay = rng_.lognormalDuration(sim::Duration::hours(2), 0.5);
-        simulator_->scheduleAfter(chargeDelay, [this]() {
+        simulator_->scheduleAfter(chargeDelay, "phone.power", [this]() {
             batteryPercent_ = 80.0;
             charging_ = false;
             powerOn();
@@ -106,6 +110,10 @@ void PhoneDevice::powerOn() {
     lastBootAt_ = simulator_->now();
     createResidentProcesses();
     systemAgent_.setBattery(static_cast<int>(batteryPercent_), charging_);
+    if (auto* trace = simulator_->traceSink()) {
+        const obs::TraceArg args[] = {{"boot", bootCount_}, {"battery", batteryPercent_}};
+        trace->instant(traceTrack_, "phone", "boot", simulator_->now(), args);
+    }
     truth_.record(simulator_->now(), TruthKind::Boot);
     for (const auto& hook : bootHooks_) hook();
     user_->deviceBooted();
@@ -121,6 +129,10 @@ void PhoneDevice::requestShutdown(ShutdownKind kind, std::string detail) {
         case ShutdownKind::LowBattery: truthKind = TruthKind::LowBatteryShutdown; break;
         case ShutdownKind::SelfReboot: truthKind = TruthKind::SelfShutdown; break;
     }
+    if (auto* trace = simulator_->traceSink()) {
+        const obs::TraceArg args[] = {{"kind", toString(kind)}, {"detail", detail}};
+        trace->instant(traceTrack_, "phone", "shutdown", simulator_->now(), args);
+    }
     truth_.record(simulator_->now(), truthKind, std::move(detail));
     tearDown(true, kind);
 }
@@ -132,6 +144,10 @@ void PhoneDevice::abruptPowerOff() {
 
 void PhoneDevice::freeze(std::string cause) {
     if (state_ != PowerState::On) return;
+    if (auto* trace = simulator_->traceSink()) {
+        const obs::TraceArg args[] = {{"cause", cause}};
+        trace->instant(traceTrack_, "phone", "freeze", simulator_->now(), args);
+    }
     truth_.record(simulator_->now(), TruthKind::Freeze, std::move(cause));
     state_ = PowerState::Frozen;
     ++bootEpoch_;  // invalidates all in-flight behaviour
@@ -144,7 +160,7 @@ void PhoneDevice::selfReboot(std::string cause) {
     requestShutdown(ShutdownKind::SelfReboot, std::move(cause));
     const auto offTime =
         rng_.lognormalDuration(config_.selfRebootMedian, config_.selfRebootSigma);
-    simulator_->scheduleAfter(offTime, [this]() { powerOn(); });
+    simulator_->scheduleAfter(offTime, "phone.reboot", [this]() { powerOn(); });
 }
 
 void PhoneDevice::tearDown(bool graceful, ShutdownKind kind) {
@@ -166,6 +182,11 @@ void PhoneDevice::tearDown(bool graceful, ShutdownKind kind) {
     kernel_->shutdownAll();
     kernel_->setSuspended(false);
     appArch_.reset();
+    if (auto* trace = simulator_->traceSink()) {
+        const obs::TraceArg args[] = {{"kind", toString(kind)}, {"graceful", graceful}};
+        trace->span(traceTrack_, "phone", "powered-on", lastBootAt_,
+                    simulator_->now() - lastBootAt_, args);
+    }
     accumulatedOnTime_ += simulator_->now() - lastBootAt_;
     state_ = PowerState::Off;
     ++bootEpoch_;
@@ -181,7 +202,8 @@ symbos::ProcessId PhoneDevice::startAppSession(std::string_view app,
     session.pid = pid;
     const std::string appName{app};
     const auto epoch = bootEpoch_;
-    session.closeEvent = simulator_->scheduleAfter(duration, [this, appName, epoch]() {
+    session.closeEvent = simulator_->scheduleAfter(duration, "phone.app",
+                                                   [this, appName, epoch]() {
         if (epoch != bootEpoch_) return;
         closeAppSession(appName);
     });
@@ -216,6 +238,10 @@ std::vector<std::string> PhoneDevice::runningUserApps() const {
 
 void PhoneDevice::outputFailureOccurred(std::string symptom) {
     if (!isOn()) return;
+    if (auto* trace = simulator_->traceSink()) {
+        const obs::TraceArg args[] = {{"symptom", symptom}};
+        trace->instant(traceTrack_, "phone", "output-failure", simulator_->now(), args);
+    }
     truth_.record(simulator_->now(), TruthKind::OutputFailureInjected, symptom);
     for (const auto& hook : outputFailureHooks_) hook(symptom);
 }
@@ -273,7 +299,7 @@ sim::Duration PhoneDevice::totalOnTime() const {
 void PhoneDevice::startBatteryChain() {
     const auto epoch = bootEpoch_;
     constexpr auto kTick = sim::Duration::minutes(30);
-    simulator_->scheduleAfter(kTick, [this, epoch]() {
+    simulator_->scheduleAfter(kTick, "phone.battery", [this, epoch]() {
         if (epoch != bootEpoch_ || !isOn()) return;
         batteryTick();
         startBatteryChain();
@@ -307,6 +333,9 @@ void PhoneDevice::batteryTick() {
         }
     }
     systemAgent_.setBattery(static_cast<int>(batteryPercent_), charging_);
+    if (auto* trace = simulator_->traceSink()) {
+        trace->counter(traceTrack_, "battery", simulator_->now(), batteryPercent_);
+    }
 }
 
 }  // namespace symfail::phone

@@ -137,6 +137,9 @@ public:
     [[nodiscard]] const GroundTruth& groundTruth() const { return truth_; }
     [[nodiscard]] const UserProfile& profile() const { return config_.profile; }
     [[nodiscard]] sim::Rng& rng() { return rng_; }
+    /// Trace track carrying this phone's events (0 when no sink attached —
+    /// which aliases the "sim" track, harmless since nothing is emitted).
+    [[nodiscard]] std::uint32_t traceTrack() const { return traceTrack_; }
 
     // -- Power ---------------------------------------------------------------
 
@@ -240,6 +243,7 @@ private:
     std::unique_ptr<UserModel> user_;
 
     PowerState state_{PowerState::Off};
+    std::uint32_t traceTrack_{0};
     std::uint64_t bootEpoch_{0};  ///< Increments each boot; stale events check it.
     std::uint64_t bootCount_{0};
     sim::TimePoint lastBootAt_{};

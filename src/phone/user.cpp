@@ -87,7 +87,7 @@ void UserModel::scheduleOnChain(double activeGapSec, const std::function<void()>
     auto& simulator = device_->simulator();
     const auto at = advanceActiveTime(simulator.now(), activeGapSec);
     const auto epoch = device_->bootEpoch_;
-    simulator.scheduleAt(at, [this, epoch, body]() {
+    simulator.scheduleAt(at, "phone.user", [this, epoch, body]() {
         if (epoch != device_->bootEpoch_ || !device_->isOn()) return;
         body();
     });
@@ -110,7 +110,7 @@ void UserModel::fireCall() {
     device_->activityBegin(symbos::ActivityKind::VoiceCall, incoming);
     const auto duration = rng_.lognormalDuration(profile.callMedian, profile.callSigma);
     const auto epoch = device_->bootEpoch_;
-    device_->simulator().scheduleAfter(duration, [this, epoch, incoming]() {
+    device_->simulator().scheduleAfter(duration, "phone.user", [this, epoch, incoming]() {
         if (epoch != device_->bootEpoch_) return;
         device_->activityEnd(symbos::ActivityKind::VoiceCall, incoming);
     });
@@ -134,7 +134,7 @@ void UserModel::fireMessage() {
     device_->activityBegin(symbos::ActivityKind::TextMessage, incoming);
     const auto handling = rng_.lognormalDuration(profile.smsHandlingMedian, 0.5);
     const auto epoch = device_->bootEpoch_;
-    device_->simulator().scheduleAfter(handling, [this, epoch, incoming]() {
+    device_->simulator().scheduleAfter(handling, "phone.user", [this, epoch, incoming]() {
         if (epoch != device_->bootEpoch_) return;
         device_->activityEnd(symbos::ActivityKind::TextMessage, incoming);
     });
@@ -166,7 +166,7 @@ void UserModel::scheduleNextMediaSession() {
         device_->activityBegin(kind, false);
         device_->startAppSession(app, duration);
         const auto epoch = device_->bootEpoch_;
-        device_->simulator().scheduleAfter(duration, [this, epoch, kind]() {
+        device_->simulator().scheduleAfter(duration, "phone.user", [this, epoch, kind]() {
             if (epoch != device_->bootEpoch_) return;
             device_->activityEnd(kind, false);
         });
@@ -219,7 +219,7 @@ void UserModel::scheduleNextDaytimeOff() {
                         const auto off = rng_.lognormalDuration(p.daytimeOffMedian,
                                                                 p.daytimeOffSigma);
                         device_->simulator().scheduleAfter(
-                            off, [this]() { device_->powerOn(); });
+                            off, "phone.user", [this]() { device_->powerOn(); });
                     });
 }
 
@@ -234,18 +234,18 @@ void UserModel::scheduleNextQuickCycle() {
                         const auto off = rng_.lognormalDuration(p.quickCycleMedian,
                                                                 p.quickCycleSigma);
                         device_->simulator().scheduleAfter(
-                            off, [this]() { device_->powerOn(); });
+                            off, "phone.user", [this]() { device_->powerOn(); });
                     });
 }
 
 void UserModel::scheduleNightRoutine(sim::TimePoint at) {
-    device_->simulator().scheduleAt(at, [this, at]() {
+    device_->simulator().scheduleAt(at, "phone.user", [this, at]() {
         const auto& profile = device_->profile();
         if (device_->isOn() && rng_.bernoulli(profile.nightOffProb)) {
             device_->requestShutdown(ShutdownKind::NightOff, "night");
             const auto off =
                 rng_.lognormalDuration(profile.nightOffMedian, profile.nightOffSigma);
-            device_->simulator().scheduleAfter(off, [this]() { device_->powerOn(); });
+            device_->simulator().scheduleAfter(off, "phone.user", [this]() { device_->powerOn(); });
         }
         scheduleNightRoutine(at + sim::Duration::days(1) +
                              sim::Duration::fromSecondsF(rng_.uniform(-1'800.0, 1'800.0)));
@@ -260,12 +260,12 @@ void UserModel::scheduleNextLoggerToggle() {
     const double gap = activeGapSeconds(rng_, perDay, activeHours);
     auto& simulator = device_->simulator();
     const auto at = advanceActiveTime(simulator.now(), gap);
-    simulator.scheduleAt(at, [this]() {
+    simulator.scheduleAt(at, "phone.user", [this]() {
         if (device_->isOn()) {
             device_->toggleLogger(false);
             const auto& p = device_->profile();
             const auto offFor = rng_.lognormalDuration(p.loggerOffMedian, 0.6);
-            device_->simulator().scheduleAfter(offFor, [this]() {
+            device_->simulator().scheduleAfter(offFor, "phone.user", [this]() {
                 if (device_->isOn()) device_->toggleLogger(true);
             });
         }
@@ -286,7 +286,7 @@ void UserModel::deviceFroze() {
     if (isNight(at)) {
         at = nextWake(at) + sim::Duration::fromSecondsF(rng_.uniform(0.0, 3'600.0));
     }
-    simulator.scheduleAt(at, [this]() {
+    simulator.scheduleAt(at, "phone.user", [this]() {
         if (device_->state() != PhoneDevice::PowerState::Frozen) return;
         device_->groundTruth().record(device_->simulator().now(),
                                       TruthKind::BatteryPull);
@@ -294,7 +294,7 @@ void UserModel::deviceFroze() {
         const auto& p = device_->profile();
         const auto off =
             rng_.lognormalDuration(p.batteryPullOffMedian, p.batteryPullOffSigma);
-        device_->simulator().scheduleAfter(off, [this]() { device_->powerOn(); });
+        device_->simulator().scheduleAfter(off, "phone.user", [this]() { device_->powerOn(); });
     });
 }
 

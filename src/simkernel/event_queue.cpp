@@ -10,9 +10,9 @@ bool EventQueue::heapLess(const Entry& a, const Entry& b) {
     return a.seq > b.seq;
 }
 
-EventId EventQueue::schedule(TimePoint at, Action action) {
+EventId EventQueue::schedule(TimePoint at, Action action, const char* category) {
     const std::uint64_t seq = nextSeq_++;
-    heap_.push_back(Entry{at, seq, std::move(action)});
+    heap_.push_back(Entry{at, seq, std::move(action), category});
     std::push_heap(heap_.begin(), heap_.end(), &heapLess);
     ++live_;
     return EventId{seq};
@@ -55,7 +55,7 @@ EventQueue::Fired EventQueue::pop() {
     heap_.pop_back();
     assert(live_ > 0);
     --live_;
-    return Fired{e.at, EventId{e.seq}, std::move(e.action)};
+    return Fired{e.at, EventId{e.seq}, std::move(e.action), e.category};
 }
 
 void EventQueue::clear() {

@@ -29,7 +29,9 @@ public:
     using Action = std::function<void()>;
 
     /// Schedules `action` at `at`; returns a handle usable with cancel().
-    EventId schedule(TimePoint at, Action action);
+    /// `category` must be a static string (or nullptr): it labels the event
+    /// for tracing/profiling and is stored by pointer, never copied.
+    EventId schedule(TimePoint at, Action action, const char* category = nullptr);
 
     /// Cancels a pending event.  Returns false if the event already fired,
     /// was already cancelled, or the id is unknown.
@@ -47,6 +49,7 @@ public:
         TimePoint at;
         EventId id;
         Action action;
+        const char* category{nullptr};
     };
     Fired pop();
 
@@ -58,6 +61,7 @@ private:
         TimePoint at;
         std::uint64_t seq{0};
         Action action;
+        const char* category{nullptr};
     };
     // Min-heap ordering: the *later* entry compares less so that
     // std::push_heap/pop_heap (max-heap primitives) keep the earliest

@@ -1,5 +1,6 @@
 #include "simkernel/simulator.hpp"
 
+#include <chrono>
 #include <utility>
 
 namespace symfail::sim {
@@ -9,18 +10,35 @@ EventId Simulator::scheduleAt(TimePoint at, EventQueue::Action action) {
     return queue_.schedule(at, std::move(action));
 }
 
+EventId Simulator::scheduleAt(TimePoint at, const char* category,
+                              EventQueue::Action action) {
+    if (at < now_) at = now_;
+    return queue_.schedule(at, std::move(action), category);
+}
+
 EventId Simulator::scheduleAfter(Duration delay, EventQueue::Action action) {
     if (delay.isNegative()) delay = Duration{};
     return queue_.schedule(now_ + delay, std::move(action));
 }
 
+EventId Simulator::scheduleAfter(Duration delay, const char* category,
+                                 EventQueue::Action action) {
+    if (delay.isNegative()) delay = Duration{};
+    return queue_.schedule(now_ + delay, std::move(action), category);
+}
+
 PeriodicHandle Simulator::schedulePeriodic(Duration period, PeriodicAction action) {
+    return schedulePeriodic(period, nullptr, std::move(action));
+}
+
+PeriodicHandle Simulator::schedulePeriodic(Duration period, const char* category,
+                                           PeriodicAction action) {
     auto stopped = std::make_shared<bool>(false);
     // The firing closure re-arms itself through a weak self-reference so
     // that once the series stops and the last pending firing runs, the
     // whole chain is freed (no shared_ptr cycle).
     auto self = std::make_shared<std::function<void()>>();
-    *self = [this, period, action = std::move(action), stopped,
+    *self = [this, period, category, action = std::move(action), stopped,
              weak = std::weak_ptr<std::function<void()>>(self)]() {
         if (*stopped) return;
         Periodic control;
@@ -30,11 +48,30 @@ PeriodicHandle Simulator::schedulePeriodic(Duration period, PeriodicAction actio
             return;
         }
         if (auto s = weak.lock()) {
-            scheduleAfter(period, [s]() { (*s)(); });
+            scheduleAfter(period, category, [s]() { (*s)(); });
         }
     };
-    scheduleAfter(period, [self]() { (*self)(); });
+    scheduleAfter(period, category, [self]() { (*self)(); });
     return PeriodicHandle{stopped};
+}
+
+void Simulator::dispatch(EventQueue::Fired& fired) {
+    now_ = fired.at;
+    if (trace_ != nullptr) {
+        trace_->instant(0, "sim.dispatch",
+                        fired.category != nullptr ? fired.category : "uncategorized",
+                        now_);
+    }
+    if (profiler_ != nullptr) {
+        const auto hostStart = std::chrono::steady_clock::now();
+        fired.action();
+        const std::chrono::duration<double> hostCost =
+            std::chrono::steady_clock::now() - hostStart;
+        profiler_->noteEvent(fired.category, hostCost.count(), queue_.size());
+    } else {
+        fired.action();
+    }
+    ++fired_;
 }
 
 std::uint64_t Simulator::runUntil(TimePoint until) {
@@ -44,9 +81,7 @@ std::uint64_t Simulator::runUntil(TimePoint until) {
         const auto next = queue_.nextTime();
         if (!next || *next > until) break;
         auto fired = queue_.pop();
-        now_ = fired.at;
-        fired.action();
-        ++fired_;
+        dispatch(fired);
         ++n;
     }
     if (now_ < until && !stopRequested_) now_ = until;
@@ -58,9 +93,7 @@ std::uint64_t Simulator::runAll() {
     std::uint64_t n = 0;
     while (!stopRequested_ && !queue_.empty()) {
         auto fired = queue_.pop();
-        now_ = fired.at;
-        fired.action();
-        ++fired_;
+        dispatch(fired);
         ++n;
     }
     return n;

@@ -10,6 +10,8 @@
 #include <functional>
 #include <memory>
 
+#include "obs/profiler.hpp"
+#include "obs/trace.hpp"
 #include "simkernel/event_queue.hpp"
 #include "simkernel/time.hpp"
 
@@ -52,18 +54,25 @@ public:
 
     /// Schedules an action at an absolute simulated time.  Scheduling in
     /// the past is clamped to "immediately" (fires at the current time,
-    /// after already-pending same-time events).
+    /// after already-pending same-time events).  The optional `category`
+    /// overloads label the event for tracing and profiling; the string must
+    /// outlive the event (use string literals).
     EventId scheduleAt(TimePoint at, EventQueue::Action action);
+    EventId scheduleAt(TimePoint at, const char* category, EventQueue::Action action);
 
     /// Schedules an action `delay` after the current time; negative delays
     /// clamp to zero.
     EventId scheduleAfter(Duration delay, EventQueue::Action action);
+    EventId scheduleAfter(Duration delay, const char* category,
+                          EventQueue::Action action);
 
     /// Schedules a repeating action with fixed period; the first firing is
     /// one period from now.  The action may stop the series via its
     /// `Periodic&` argument; the returned handle stops it from outside.
     using PeriodicAction = std::function<void(Periodic&)>;
     PeriodicHandle schedulePeriodic(Duration period, PeriodicAction action);
+    PeriodicHandle schedulePeriodic(Duration period, const char* category,
+                                    PeriodicAction action);
 
     bool cancel(EventId id) { return queue_.cancel(id); }
 
@@ -81,11 +90,28 @@ public:
     [[nodiscard]] std::uint64_t eventsFired() const { return fired_; }
     [[nodiscard]] std::size_t pendingEvents() const { return queue_.size(); }
 
+    /// Attaches a trace sink (non-owning; nullptr detaches).  Dispatch
+    /// emits one instant per categorised event on track 0; components read
+    /// the sink through traceSink() to emit their own events.
+    void setTraceSink(obs::TraceSink* sink) { trace_ = sink; }
+    [[nodiscard]] obs::TraceSink* traceSink() const { return trace_; }
+
+    /// Attaches a campaign profiler (non-owning; nullptr detaches).  Each
+    /// dispatched event is then bracketed with a host-clock measurement.
+    void setProfiler(obs::CampaignProfiler* profiler) { profiler_ = profiler; }
+    [[nodiscard]] obs::CampaignProfiler* profiler() const { return profiler_; }
+
 private:
+    /// Advances the clock to the fired event and runs it, with tracing and
+    /// profiling when attached.
+    void dispatch(EventQueue::Fired& fired);
+
     EventQueue queue_;
     TimePoint now_{};
     std::uint64_t fired_{0};
     bool stopRequested_{false};
+    obs::TraceSink* trace_{nullptr};
+    obs::CampaignProfiler* profiler_{nullptr};
 };
 
 }  // namespace symfail::sim

@@ -56,13 +56,19 @@ void ActiveScheduler::complete(ActiveObject& ao, int code) {
 
 void ActiveScheduler::complete(ActiveObject& ao, int code, CompleteOpts opts) {
     ao.pendingDispatch_ = kernel_->simulator().scheduleAfter(
-        opts.delay, [this, ao = &ao, code, runCost = opts.runCost]() {
+        opts.delay, "symbos.ao", [this, ao = &ao, code, runCost = opts.runCost]() {
             dispatch(ao, code, runCost);
         });
 }
 
 void ActiveScheduler::dispatch(ActiveObject* ao, int code, sim::Duration runCost) {
     ao->pendingDispatch_ = {};
+    // Emitted before RunL: the AO (and its name) may not survive dispatch.
+    if (auto* trace = kernel_->simulator().traceSink()) {
+        const obs::TraceArg args[] = {{"code", code}};
+        trace->span(kernel_->traceTrack(), "symbos.ao", ao->name(),
+                    kernel_->simulator().now(), runCost, args);
+    }
     const auto outcome = kernel_->runInProcess(pid_, [&](ExecContext& ctx) {
         if (!ao->isActive()) {
             ctx.panic(kCBaseStraySignal,

@@ -20,6 +20,11 @@ Server::Server(Kernel& kernel, ProcessId host, std::string name)
 int Server::sendReceive(int op, std::string payload) {
     if (!kernel_->alive(host_)) return KErrServerTerminated;
     if (!handler_) return KErrNotSupported;
+    if (auto* trace = kernel_->simulator().traceSink()) {
+        const obs::TraceArg args[] = {{"server", name_}, {"op", op}};
+        trace->instant(kernel_->traceTrack(), "symbos.ipc", "sendReceive",
+                       kernel_->simulator().now(), args);
+    }
     Message msg{op, std::move(payload)};
     const auto outcome = kernel_->runInProcess(host_, [&](ExecContext& ctx) {
         handler_(ctx, msg);

@@ -206,6 +206,15 @@ void Kernel::raisePanic(ProcessId pid, PanicId id, std::string diagnostic) {
 void Kernel::deliverPanic(ProcessId pid, const PanicId& id, std::string diagnostic) {
     Process& p = processRef(pid);
     PanicEvent event{simulator_->now(), id, pid, p.name, std::move(diagnostic)};
+    if (auto* trace = simulator_->traceSink()) {
+        const std::string panicName = toString(id);
+        const obs::TraceArg args[] = {
+            {"panic", panicName},
+            {"process", event.processName},
+            {"kind", toString(p.kind)},
+        };
+        trace->instant(traceTrack_, "symbos", "panic", event.time, args);
+    }
     panicLog_.push_back(event);
     for (const auto& hook : panicHooks_) {
         hook(event);

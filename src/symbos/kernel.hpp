@@ -167,6 +167,12 @@ public:
     [[nodiscard]] sim::Simulator& simulator() { return *simulator_; }
     [[nodiscard]] const Config& config() const { return config_; }
 
+    /// Trace track this kernel's events land on (the owning phone's track;
+    /// the device layer sets it once at construction).  Track 0 ("sim") is
+    /// the fallback for kernels nobody claimed.
+    void setTraceTrack(std::uint32_t track) { traceTrack_ = track; }
+    [[nodiscard]] std::uint32_t traceTrack() const { return traceTrack_; }
+
     // -- Process lifecycle ------------------------------------------------
 
     ProcessId createProcess(std::string name, ProcessKind kind);
@@ -244,6 +250,7 @@ private:
 
     sim::Simulator* simulator_;
     Config config_;
+    std::uint32_t traceTrack_{0};
     std::unordered_map<ProcessId, std::unique_ptr<Process>> processes_;
     ProcessId nextPid_{1};
     ObjectIndex objectIndex_;

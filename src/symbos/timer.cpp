@@ -20,7 +20,7 @@ void RTimer::arm(const ExecContext& ctx, sim::TimePoint when) {
     outstanding_ = true;
     client_->setActive();
     const sim::Duration delay = when - simulator_->now();
-    pending_ = simulator_->scheduleAfter(delay, [this]() {
+    pending_ = simulator_->scheduleAfter(delay, "symbos.timer", [this]() {
         outstanding_ = false;
         pending_ = {};
         if (client_->detached()) return;  // process torn down meanwhile

@@ -57,10 +57,22 @@ void Channel::send(std::string bytes) {
     if (inOutage(simulator_->now()) && rng_.bernoulli(config_.outageLossProb)) {
         ++stats_.framesLost;
         ++stats_.outageDrops;
+        if (auto* trace = simulator_->traceSink()) {
+            const obs::TraceArg args[] = {{"channel", config_.name},
+                                          {"bytes", bytes.size()}};
+            trace->instant(traceTrack_, "transport.wire", "outage-drop",
+                           simulator_->now(), args);
+        }
         return;
     }
     if (rng_.bernoulli(config_.lossProb)) {
         ++stats_.framesLost;
+        if (auto* trace = simulator_->traceSink()) {
+            const obs::TraceArg args[] = {{"channel", config_.name},
+                                          {"bytes", bytes.size()}};
+            trace->instant(traceTrack_, "transport.wire", "frame-lost",
+                           simulator_->now(), args);
+        }
         return;
     }
 
@@ -84,7 +96,7 @@ void Channel::send(std::string bytes) {
 }
 
 void Channel::deliverAfter(const std::string& bytes, sim::Duration delay) {
-    simulator_->scheduleAfter(delay, [this, bytes, delay]() {
+    simulator_->scheduleAfter(delay, "transport.wire", [this, bytes, delay]() {
         ++stats_.framesDelivered;
         stats_.bytesDelivered += bytes.size();
         stats_.latency.add(delay.asSecondsF());

@@ -77,6 +77,10 @@ public:
 
     void setReceiver(Receiver receiver) { receiver_ = std::move(receiver); }
 
+    /// Trace track this channel's wire events land on (the owning phone's
+    /// track; 0 — the "sim" track — when never set).
+    void setTraceTrack(std::uint32_t track) { traceTrack_ = track; }
+
     /// Offers bytes to the channel: they are lost, duplicated, delayed or
     /// delivered per the model.  Safe without a receiver (bytes vanish as
     /// if lost, still counted as offered).
@@ -94,6 +98,7 @@ private:
     sim::Rng rng_;
     Receiver receiver_;
     ChannelStats stats_;
+    std::uint32_t traceTrack_{0};
 };
 
 }  // namespace symfail::transport

@@ -95,4 +95,80 @@ std::string renderTransportReport(const TransportReport& report) {
     return out;
 }
 
+void publishTransportMetrics(const TransportReport& report,
+                             obs::MetricsRegistry& registry) {
+    registry.gauge("transport", "enabled", "1 when the campaign ran the transport path")
+        .set(report.enabled ? 1.0 : 0.0);
+    if (!report.enabled) return;
+
+    registry.counter("transport", "upload_rounds", "Upload-agent rounds across the fleet")
+        .inc(report.uploadRounds);
+    registry.counter("transport", "frames_sent", "Data frames offered to the wire")
+        .inc(report.framesSent);
+    registry.counter("transport", "retransmits", "Frames sent more than once")
+        .inc(report.retransmits);
+    registry
+        .counter("transport", "retry_budget_exhausted",
+                 "Rounds that gave up until the next regular period")
+        .inc(report.retryBudgetExhausted);
+    registry.counter("transport", "acks_received", "Acknowledgements accepted by agents")
+        .inc(report.acksReceived);
+    registry.counter("transport", "frames_lost", "Frames dropped on the wire")
+        .inc(report.framesLost);
+    registry.counter("transport", "frames_duplicated", "Frames delivered twice")
+        .inc(report.framesDuplicated);
+    registry.counter("transport", "frames_reordered", "Frames held back past a successor")
+        .inc(report.framesReordered);
+    registry.counter("transport", "outage_drops", "Frames swallowed by outage windows")
+        .inc(report.outageDrops);
+    registry.counter("transport", "bytes_on_wire", "Total wire bytes, framing included")
+        .inc(report.bytesOnWire);
+    registry.counter("transport", "frames_rejected", "Frames the server failed to decode")
+        .inc(report.framesRejected);
+    registry.counter("transport", "duplicate_frames", "Duplicates detected server-side")
+        .inc(report.duplicateFrames);
+    registry.counter("transport", "segments_stored", "Distinct segments reassembled")
+        .inc(report.segmentsStored);
+    registry.counter("transport", "records_injected", "Records in the phones' Log Files")
+        .inc(report.recordsInjected);
+    registry
+        .counter("transport", "records_delivered",
+                 "Records parseable from reassembled logs")
+        .inc(report.recordsDelivered);
+    registry.gauge("transport", "delivery_ratio", "Delivered / injected records")
+        .set(report.deliveryRatio());
+    registry.gauge("transport", "goodput", "Payload bytes per wire byte")
+        .set(report.goodput());
+
+    const sim::Histogram& latency = report.deliveryLatency;
+    std::vector<double> bounds;
+    bounds.reserve(latency.binCount());
+    for (std::size_t i = 0; i < latency.binCount(); ++i) {
+        bounds.push_back(latency.binHi(i));
+    }
+    auto& histogram = registry.histogram("transport", "delivery_latency_seconds",
+                                         std::move(bounds),
+                                         "One-way frame delivery latency");
+    for (std::size_t i = 0; i < latency.binCount(); ++i) {
+        if (latency.binValue(i) > 0) {
+            histogram.observe((latency.binLo(i) + latency.binHi(i)) / 2.0,
+                              latency.binValue(i));
+        }
+    }
+    if (latency.underflow() > 0) {
+        histogram.observe(latency.binLo(0), latency.underflow());
+    }
+    if (latency.overflow() > 0) {
+        histogram.observe(latency.binHi(latency.binCount() - 1) + 1.0,
+                          latency.overflow());
+    }
+
+    for (const auto& [phone, coverage] : report.coverageByPhone) {
+        registry
+            .gauge("transport", "coverage", "phone", phone,
+                   "Per-phone segment coverage, [0,1]")
+            .set(coverage);
+    }
+}
+
 }  // namespace symfail::transport

@@ -11,6 +11,7 @@
 #include <map>
 #include <string>
 
+#include "obs/metrics.hpp"
 #include "simkernel/histogram.hpp"
 
 namespace symfail::transport {
@@ -57,5 +58,11 @@ struct TransportReport {
 
 /// Renders the CLI `transport` section.
 [[nodiscard]] std::string renderTransportReport(const TransportReport& report);
+
+/// Publishes the report into `registry` under the "transport" namespace:
+/// counters for the agent/wire/server tallies, per-phone coverage gauges
+/// (labeled phone="..."), and the delivery-latency histogram.
+void publishTransportMetrics(const TransportReport& report,
+                             obs::MetricsRegistry& registry);
 
 }  // namespace symfail::transport

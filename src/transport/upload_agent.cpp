@@ -63,6 +63,12 @@ void UploadAgent::onAckBytes(std::string_view bytes) {
         return;
     }
     ++stats_.acksReceived;
+    if (auto* trace = device_->simulator().traceSink()) {
+        const obs::TraceArg args[] = {{"seq", ack->seq},
+                                      {"bytes", ack->payloadBytes}};
+        trace->instant(device_->traceTrack(), "transport", "ack",
+                       device_->simulator().now(), args);
+    }
     auto& acked = ackedBytes_[ack->seq];
     acked = std::max(acked, ack->payloadBytes);
 }
@@ -76,6 +82,10 @@ sim::Duration UploadAgent::nextDelay(bool pendingRemain) {
         // Budget exhausted: give up until the next regular round (which
         // re-offers everything unacknowledged).
         ++stats_.retryBudgetExhausted;
+        if (auto* trace = device_->simulator().traceSink()) {
+            trace->instant(device_->traceTrack(), "transport",
+                           "retry-budget-exhausted", device_->simulator().now());
+        }
         attempt_ = 0;
         return policy_.uploadPeriod;
     }
@@ -108,12 +118,20 @@ void UploadAgent::runRound(const symbos::ExecContext& ctx) {
         ++sentThisRound;
 
         auto& sent = sentBytes_[frame.seq];
-        if (sent >= frame.payload.size()) ++stats_.retransmits;
+        const bool retransmit = sent >= frame.payload.size();
+        if (retransmit) ++stats_.retransmits;
         sent = std::max(sent, static_cast<std::uint32_t>(frame.payload.size()));
 
         const std::string bytes = encodeFrame(frame);
         ++stats_.framesSent;
         stats_.bytesSent += bytes.size();
+        if (auto* trace = device_->simulator().traceSink()) {
+            const obs::TraceArg args[] = {{"seq", frame.seq},
+                                          {"bytes", bytes.size()},
+                                          {"retransmit", retransmit}};
+            trace->instant(device_->traceTrack(), "transport", "segment-send",
+                           device_->simulator().now(), args);
+        }
         dataChannel_->send(bytes);
     }
 

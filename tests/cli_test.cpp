@@ -3,6 +3,8 @@
 
 #include <filesystem>
 #include <fstream>
+#include <iterator>
+#include <string>
 
 #include "cli.hpp"
 #include "core/logio.hpp"
@@ -85,6 +87,17 @@ TEST(Cli, ForumRejectsBadNumbers) {
     EXPECT_EQ(cli::runCli({"forum", "--reports", "many"}), 1);
 }
 
+// Regression: std::stoll accepts partial parses, so "--phones 25x" used to
+// run a 25-phone campaign instead of failing.  Trailing junk must error.
+TEST(Cli, RejectsPartiallyNumericOptions) {
+    EXPECT_EQ(cli::runCli({"campaign", "--phones", "25x", "--days", "2"}), 1);
+    EXPECT_EQ(cli::runCli({"campaign", "--phones", "2", "--days", "3d"}), 1);
+    EXPECT_EQ(cli::runCli({"forum", "--reports", "25x"}), 1);
+    EXPECT_EQ(cli::runCli({"campaign", "--phones", "2", "--days", "2",
+                           "--loss", "0.1%"}),
+              1);
+}
+
 TEST(Cli, AnalyzeRequiresDirectory) {
     EXPECT_EQ(cli::runCli({"analyze"}), 2);
     EXPECT_EQ(cli::runCli({"analyze", "/definitely/not/there"}), 1);
@@ -104,6 +117,39 @@ TEST(Cli, CampaignAnalyzeWorkflow) {
     // ...then the analysis-only pass over those logs.
     EXPECT_EQ(cli::runCli({"analyze", dir.string()}), 0);
     std::filesystem::remove_all(dir);
+}
+
+TEST(Cli, CampaignWritesTraceAndMetricsFiles) {
+    const auto dir = std::filesystem::temp_directory_path() / "symfail-cli-obs";
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    const auto tracePath = (dir / "trace.json").string();
+    const auto metricsPath = (dir / "metrics.prom").string();
+    EXPECT_EQ(cli::runCli({"campaign", "--phones", "2", "--days", "8", "--seed",
+                           "3", "--trace", tracePath, "--metrics", metricsPath}),
+              0);
+    ASSERT_TRUE(std::filesystem::exists(tracePath));
+    ASSERT_TRUE(std::filesystem::exists(metricsPath));
+
+    std::ifstream traceFile{tracePath};
+    const std::string trace{std::istreambuf_iterator<char>{traceFile},
+                            std::istreambuf_iterator<char>{}};
+    EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(trace.find("\"symbos\""), std::string::npos);
+
+    std::ifstream metricsFile{metricsPath};
+    const std::string metrics{std::istreambuf_iterator<char>{metricsFile},
+                              std::istreambuf_iterator<char>{}};
+    EXPECT_NE(metrics.find("# TYPE symfail_fleet_boots counter"),
+              std::string::npos);
+    EXPECT_NE(metrics.find("symfail_transport_delivery_ratio"),
+              std::string::npos);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Cli, ObsSubcommandRuns) {
+    EXPECT_EQ(cli::runCli({"obs", "--phones", "2", "--days", "6", "--seed", "5"}),
+              0);
 }
 
 }  // namespace

@@ -1,0 +1,303 @@
+// Tests for the observability layer: metrics registry + exporters, the
+// Chrome trace writer, the campaign profiler, and — most importantly —
+// the determinism contracts: tracing a campaign twice yields a
+// byte-identical trace, and tracing at all never perturbs the campaign.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "fleet/fleet.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
+#include "obs/trace.hpp"
+#include "simkernel/simulator.hpp"
+
+namespace symfail::obs {
+namespace {
+
+// ---------------------------------------------------------------- metrics
+
+TEST(Metrics, CounterAndGaugeRoundTrip) {
+    MetricsRegistry registry;
+    auto& hits = registry.counter("web", "hits", "Requests served");
+    hits.inc();
+    hits.inc(41);
+    EXPECT_EQ(hits.value(), 42u);
+
+    auto& temp = registry.gauge("web", "temperature");
+    temp.set(20.0);
+    temp.add(1.5);
+    EXPECT_DOUBLE_EQ(temp.value(), 21.5);
+    EXPECT_EQ(registry.size(), 2u);
+}
+
+TEST(Metrics, SameNameReturnsSameInstrument) {
+    MetricsRegistry registry;
+    registry.counter("a", "n").inc();
+    registry.counter("a", "n").inc();
+    EXPECT_EQ(registry.counter("a", "n").value(), 2u);
+    EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(Metrics, KindMismatchThrows) {
+    MetricsRegistry registry;
+    registry.counter("a", "n");
+    EXPECT_THROW(registry.gauge("a", "n"), std::logic_error);
+}
+
+TEST(Metrics, LabeledMetricsAreDistinct) {
+    MetricsRegistry registry;
+    registry.gauge("transport", "coverage", "phone", "p-0").set(1.0);
+    registry.gauge("transport", "coverage", "phone", "p-1").set(0.5);
+    EXPECT_EQ(registry.size(), 2u);
+    const auto samples = registry.snapshot();
+    ASSERT_EQ(samples.size(), 2u);
+    EXPECT_EQ(samples[0].labels, "phone=\"p-0\"");
+    EXPECT_EQ(samples[1].labels, "phone=\"p-1\"");
+}
+
+TEST(Metrics, HistogramBucketsAreCumulativeInSnapshot) {
+    MetricsRegistry registry;
+    auto& h = registry.histogram("t", "latency", {1.0, 5.0, 10.0});
+    h.observe(0.5);      // bucket <=1
+    h.observe(3.0, 2);   // bucket <=5
+    h.observe(100.0);    // +Inf
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 6.0 + 100.0);
+
+    const auto samples = registry.snapshot();
+    ASSERT_EQ(samples.size(), 1u);
+    const auto& buckets = samples[0].buckets;
+    ASSERT_EQ(buckets.size(), 4u);  // 3 bounds + +Inf
+    EXPECT_EQ(buckets[0].second, 1u);
+    EXPECT_EQ(buckets[1].second, 3u);
+    EXPECT_EQ(buckets[2].second, 3u);
+    EXPECT_EQ(buckets[3].second, 4u);  // +Inf is total
+    EXPECT_EQ(buckets[3].second, samples[0].count);
+}
+
+TEST(Metrics, HistogramRejectsUnsortedBounds) {
+    MetricsRegistry registry;
+    EXPECT_THROW(registry.histogram("t", "bad", {5.0, 1.0}), std::logic_error);
+}
+
+TEST(Metrics, PrometheusExposition) {
+    MetricsRegistry registry;
+    registry.counter("fleet", "boots", "Total boots").inc(7);
+    registry.gauge("transport", "coverage", "phone", "p-0").set(0.25);
+    registry.histogram("t", "lat", {1.0}, "Latency").observe(0.5);
+    const std::string text = registry.renderPrometheus();
+
+    EXPECT_NE(text.find("# HELP symfail_fleet_boots Total boots"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE symfail_fleet_boots counter"), std::string::npos);
+    EXPECT_NE(text.find("symfail_fleet_boots 7"), std::string::npos);
+    EXPECT_NE(text.find("symfail_transport_coverage{phone=\"p-0\"} 0.25"),
+              std::string::npos);
+    EXPECT_NE(text.find("symfail_t_lat_bucket{le=\"1\"} 1"), std::string::npos);
+    EXPECT_NE(text.find("symfail_t_lat_bucket{le=\"+Inf\"} 1"), std::string::npos);
+    EXPECT_NE(text.find("symfail_t_lat_sum"), std::string::npos);
+    EXPECT_NE(text.find("symfail_t_lat_count 1"), std::string::npos);
+    // Exposition must end with a newline.
+    ASSERT_FALSE(text.empty());
+    EXPECT_EQ(text.back(), '\n');
+}
+
+TEST(Metrics, JsonAndCsvRender) {
+    MetricsRegistry registry;
+    registry.counter("a", "events").inc(3);
+    const std::string json = registry.renderJson();
+    EXPECT_NE(json.find("\"metrics\""), std::string::npos);
+    EXPECT_NE(json.find("\"a.events\""), std::string::npos);
+    const std::string csv = registry.renderCsv();
+    EXPECT_NE(csv.find("a.events"), std::string::npos);
+}
+
+// ------------------------------------------------------------------ trace
+
+TEST(Trace, JsonEscaping) {
+    std::string out;
+    appendJsonEscaped(out, "a\"b\\c\nd\te\x01");
+    EXPECT_EQ(out, "a\\\"b\\\\c\\nd\\te\\u0001");
+}
+
+TEST(Trace, ChromeWriterProducesTraceEventsDocument) {
+    ChromeTraceWriter writer;
+    const auto track = writer.registerTrack("phone-0");
+    const TraceArg args[] = {{"panic", "KERN-EXEC 3"}, {"boot", 2}};
+    writer.instant(track, "symbos", "panic", sim::TimePoint::fromMicros(1500),
+                   args);
+    writer.span(track, "phone", "powered-on", sim::TimePoint::fromMicros(0),
+                sim::Duration::seconds(1));
+    writer.counter(track, "battery", sim::TimePoint::fromMicros(2000), 88.0);
+
+    const std::string json = writer.json();
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    // Thread-name metadata for the registered tracks ("sim" + "phone-0").
+    EXPECT_NE(json.find("thread_name"), std::string::npos);
+    EXPECT_NE(json.find("phone-0"), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+    EXPECT_NE(json.find("\"panic\":\"KERN-EXEC 3\""), std::string::npos);
+    EXPECT_NE(json.find("\"boot\":2"), std::string::npos);
+    EXPECT_NE(json.find("\"ts\":1500"), std::string::npos);
+    EXPECT_NE(json.find("\"dur\":1000000"), std::string::npos);
+    EXPECT_EQ(writer.eventCount(), 3u);
+    EXPECT_EQ(writer.droppedEvents(), 0u);
+}
+
+TEST(Trace, EventCapCountsDrops) {
+    ChromeTraceWriter writer{ChromeTraceWriter::Options{.maxEvents = 2}};
+    for (int i = 0; i < 5; ++i) {
+        writer.instant(0, "c", "e", sim::TimePoint::fromMicros(i));
+    }
+    EXPECT_EQ(writer.eventCount(), 2u);
+    EXPECT_EQ(writer.droppedEvents(), 3u);
+    EXPECT_NE(writer.json().find("dropped"), std::string::npos);
+}
+
+TEST(Trace, SimulatorEmitsDispatchInstants) {
+    ChromeTraceWriter writer;
+    sim::Simulator simulator;
+    simulator.setTraceSink(&writer);
+    simulator.scheduleAfter(sim::Duration::seconds(1), "test.cat", []() {});
+    simulator.scheduleAfter(sim::Duration::seconds(2), []() {});
+    simulator.runAll();
+    const std::string json = writer.json();
+    EXPECT_NE(json.find("\"test.cat\""), std::string::npos);
+    EXPECT_NE(json.find("\"uncategorized\""), std::string::npos);
+}
+
+// --------------------------------------------------------------- profiler
+
+TEST(Profiler, AggregatesPerCategory) {
+    CampaignProfiler profiler;
+    profiler.noteEvent("transport", 0.002, 5);
+    profiler.noteEvent("transport", 0.003, 9);
+    profiler.noteEvent("phone", 0.001, 2);
+    profiler.noteEvent(nullptr, 0.004, 1);
+
+    EXPECT_EQ(profiler.eventsDispatched(), 4u);
+    EXPECT_NEAR(profiler.hostSecondsTotal(), 0.010, 1e-12);
+    EXPECT_EQ(profiler.queueDepthWatermark(), 9u);
+
+    const auto profile = profiler.byCategory();
+    ASSERT_EQ(profile.size(), 3u);
+    // Most expensive first.
+    EXPECT_EQ(profile[0].category, "transport");
+    EXPECT_EQ(profile[0].events, 2u);
+    EXPECT_EQ(profile[1].category, "uncategorized");
+
+    const std::string report = profiler.renderReport();
+    EXPECT_NE(report.find("transport"), std::string::npos);
+    EXPECT_NE(report.find("uncategorized"), std::string::npos);
+
+    MetricsRegistry registry;
+    profiler.publish(registry);
+    EXPECT_EQ(registry.counter("profiler", "events_dispatched").value(), 4u);
+}
+
+TEST(Profiler, CountsEverySimulatorDispatch) {
+    CampaignProfiler profiler;
+    sim::Simulator simulator;
+    simulator.setProfiler(&profiler);
+    for (int i = 0; i < 10; ++i) {
+        simulator.scheduleAfter(sim::Duration::seconds(i + 1), "tick", []() {});
+    }
+    simulator.runAll();
+    EXPECT_EQ(profiler.eventsDispatched(), simulator.eventsFired());
+    EXPECT_EQ(profiler.eventsDispatched(), 10u);
+}
+
+// ------------------------------------------------- campaign determinism
+
+fleet::FleetConfig tinyCampaign() {
+    fleet::FleetConfig config;
+    config.phoneCount = 3;
+    config.campaign = sim::Duration::days(8);
+    config.enrollmentWindow = sim::Duration::days(2);
+    config.seed = 99;
+    config.freezesPerHour *= 10.0;
+    config.selfShutdownsPerHour *= 10.0;
+    config.panicsPerHour *= 10.0;
+    return config;
+}
+
+TEST(ObsCampaign, TracingTwiceIsByteIdentical) {
+    auto config = tinyCampaign();
+
+    ChromeTraceWriter first;
+    config.obs.trace = &first;
+    (void)fleet::runCampaign(config);
+
+    ChromeTraceWriter second;
+    config.obs.trace = &second;
+    (void)fleet::runCampaign(config);
+
+    ASSERT_GT(first.eventCount(), 0u);
+    EXPECT_EQ(first.json(), second.json());
+}
+
+TEST(ObsCampaign, MetricsTwiceAreByteIdentical) {
+    auto config = tinyCampaign();
+
+    MetricsRegistry first;
+    config.obs.metrics = &first;
+    (void)fleet::runCampaign(config);
+
+    MetricsRegistry second;
+    config.obs.metrics = &second;
+    (void)fleet::runCampaign(config);
+
+    ASSERT_GT(first.size(), 0u);
+    EXPECT_EQ(first.renderPrometheus(), second.renderPrometheus());
+    EXPECT_EQ(first.renderJson(), second.renderJson());
+    EXPECT_EQ(first.renderCsv(), second.renderCsv());
+}
+
+/// The heart of the zero-perturbation contract: a fully instrumented
+/// campaign (trace + metrics + profiler) produces exactly the logs and
+/// ground truth of an uninstrumented one.
+TEST(ObsCampaign, InstrumentationDoesNotPerturbCampaign) {
+    auto plain = tinyCampaign();
+    const auto bare = fleet::runCampaign(plain);
+
+    auto instrumented = tinyCampaign();
+    ChromeTraceWriter trace;
+    MetricsRegistry metrics;
+    CampaignProfiler profiler;
+    instrumented.obs.trace = &trace;
+    instrumented.obs.metrics = &metrics;
+    instrumented.obs.profiler = &profiler;
+    const auto traced = fleet::runCampaign(instrumented);
+
+    ASSERT_EQ(bare.logs.size(), traced.logs.size());
+    for (std::size_t i = 0; i < bare.logs.size(); ++i) {
+        EXPECT_EQ(bare.logs[i].logFileContent, traced.logs[i].logFileContent);
+    }
+    EXPECT_EQ(bare.totalBoots, traced.totalBoots);
+    EXPECT_EQ(bare.panicsInjected, traced.panicsInjected);
+    EXPECT_EQ(bare.simulatorEvents, traced.simulatorEvents);
+    EXPECT_EQ(bare.transport.recordsDelivered, traced.transport.recordsDelivered);
+    EXPECT_EQ(profiler.eventsDispatched(), traced.simulatorEvents);
+}
+
+TEST(ObsCampaign, MetricsMatchCampaignTotals) {
+    auto config = tinyCampaign();
+    MetricsRegistry metrics;
+    config.obs.metrics = &metrics;
+    const auto result = fleet::runCampaign(config);
+
+    EXPECT_EQ(metrics.counter("fleet", "boots").value(), result.totalBoots);
+    EXPECT_EQ(metrics.counter("sim", "events_dispatched").value(),
+              result.simulatorEvents);
+    EXPECT_EQ(metrics.counter("transport", "records_delivered").value(),
+              result.transport.recordsDelivered);
+}
+
+}  // namespace
+}  // namespace symfail::obs

@@ -1,6 +1,8 @@
 #include "cli.hpp"
 
 #include <cstdio>
+#include <fstream>
+#include <memory>
 #include <optional>
 #include <stdexcept>
 
@@ -9,6 +11,9 @@
 #include "core/logio.hpp"
 #include "core/render.hpp"
 #include "core/study.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
+#include "obs/trace.hpp"
 #include "transport/metrics.hpp"
 
 namespace symfail::cli {
@@ -21,8 +26,12 @@ void printUsage() {
         "commands:\n"
         "  campaign [--phones N] [--days D] [--seed S] [--logs DIR] [--csv DIR]\n"
         "           [--json FILE] [--no-transport] [--loss PCT] [--no-retries]\n"
+        "           [--trace FILE] [--metrics FILE]\n"
         "           run a fleet campaign (defaults: the paper's 25 phones,\n"
-        "           425 days) and print every regenerated artifact\n"
+        "           425 days) and print every regenerated artifact;\n"
+        "           --trace writes a Perfetto-loadable trace, --metrics a\n"
+        "           metrics snapshot (.json/.csv by extension, else\n"
+        "           Prometheus text)\n"
         "  transport [--phones N] [--days D] [--seed S] [--loss PCT] [--dup PCT]\n"
         "           [--reorder PCT] [--no-retries] [--outage-day D --outage-days N]\n"
         "           run a campaign and analyze what the lossy collection\n"
@@ -32,6 +41,10 @@ void printUsage() {
         "           run the analysis pipeline over *.log files on disk\n"
         "  forum    [--reports N] [--seed S]\n"
         "           run the web-forum study (Table 1)\n"
+        "  obs      [--phones N] [--days D] [--seed S] [--trace FILE]\n"
+        "           [--metrics FILE]\n"
+        "           run an instrumented campaign (default 60 days) and print\n"
+        "           the host-time profile and the metric snapshot\n"
         "  tables   print the paper's reference taxonomies\n"
         "  help     show this message\n");
 }
@@ -50,7 +63,15 @@ long long numericOption(const std::vector<std::string>& args, const std::string&
     const auto value = option(args, name);
     if (!value) return fallback;
     try {
-        return std::stoll(*value);
+        // std::stoll accepts partial parses ("25x" -> 25); demand that the
+        // whole token was consumed so typos fail loudly instead of running
+        // a different campaign than the one asked for.
+        std::size_t consumed = 0;
+        const long long parsed = std::stoll(*value, &consumed);
+        if (consumed != value->size()) {
+            throw std::invalid_argument{"trailing characters"};
+        }
+        return parsed;
     } catch (const std::exception&) {
         throw std::runtime_error("invalid value for " + name + ": " + *value);
     }
@@ -69,7 +90,11 @@ double percentOption(const std::vector<std::string>& args, const std::string& na
     if (!value) return fallbackPercent;
     double percent = 0.0;
     try {
-        percent = std::stod(*value);
+        std::size_t consumed = 0;
+        percent = std::stod(*value, &consumed);
+        if (consumed != value->size()) {
+            throw std::invalid_argument{"trailing characters"};
+        }
     } catch (const std::exception&) {
         throw std::runtime_error("invalid value for " + name + ": " + *value);
     }
@@ -79,6 +104,58 @@ double percentOption(const std::vector<std::string>& args, const std::string& na
     }
     return percent;
 }
+
+/// Observability attachments requested via --trace/--metrics; owns the
+/// sinks for the duration of the run and writes the files afterwards.
+struct ObsAttachment {
+    std::unique_ptr<obs::ChromeTraceWriter> traceWriter;
+    obs::MetricsRegistry registry;
+    std::optional<std::string> tracePath;
+    std::optional<std::string> metricsPath;
+
+    /// Reads --trace/--metrics and wires the sinks into the fleet config.
+    void attach(const std::vector<std::string>& args, fleet::FleetConfig& config) {
+        tracePath = option(args, "--trace");
+        metricsPath = option(args, "--metrics");
+        if (tracePath) {
+            traceWriter = std::make_unique<obs::ChromeTraceWriter>();
+            config.obs.trace = traceWriter.get();
+        }
+        if (metricsPath) config.obs.metrics = &registry;
+    }
+
+    /// Writes the requested files.  Metrics format follows the extension:
+    /// .json and .csv as named, anything else Prometheus text exposition.
+    void finish() const {
+        if (tracePath) {
+            traceWriter->writeFile(*tracePath);
+            std::printf("wrote trace (%zu events) to %s\n",
+                        traceWriter->eventCount(), tracePath->c_str());
+        }
+        if (metricsPath) {
+            const auto endsWith = [&](std::string_view suffix) {
+                return metricsPath->size() >= suffix.size() &&
+                       metricsPath->compare(metricsPath->size() - suffix.size(),
+                                            suffix.size(), suffix) == 0;
+            };
+            std::string body;
+            if (endsWith(".json")) {
+                body = registry.renderJson();
+            } else if (endsWith(".csv")) {
+                body = registry.renderCsv();
+            } else {
+                body = registry.renderPrometheus();
+            }
+            std::ofstream out{*metricsPath, std::ios::binary};
+            out << body;
+            if (!out) {
+                throw std::runtime_error("cannot write metrics file: " + *metricsPath);
+            }
+            std::printf("wrote %zu metrics to %s\n", registry.size(),
+                        metricsPath->c_str());
+        }
+    }
+};
 
 /// Applies the shared transport knobs (--loss/--dup/--reorder as percent,
 /// --no-retries, --outage-day/--outage-days) to a fleet config.
@@ -138,6 +215,8 @@ int runCampaign(const std::vector<std::string>& args) {
         numericOption(args, "--seed", static_cast<long long>(config.fleetConfig.seed)));
     if (hasFlag(args, "--no-transport")) config.fleetConfig.transport.enabled = false;
     applyTransportOptions(args, config.fleetConfig);
+    ObsAttachment obsFiles;
+    obsFiles.attach(args, config.fleetConfig);
 
     std::printf("campaign: %d phones, %lld days, seed %llu\n\n",
                 config.fleetConfig.phoneCount, static_cast<long long>(days),
@@ -159,6 +238,41 @@ int runCampaign(const std::vector<std::string>& args) {
         core::exportFieldJson(results, *path);
         std::printf("wrote JSON results to %s\n", path->c_str());
     }
+    obsFiles.finish();
+    return 0;
+}
+
+int runObs(const std::vector<std::string>& args) {
+    core::StudyConfig config;
+    config.fleetConfig.phoneCount =
+        static_cast<int>(numericOption(args, "--phones", config.fleetConfig.phoneCount));
+    const auto days = numericOption(args, "--days", 60);
+    config.fleetConfig.campaign = sim::Duration::days(days);
+    if (config.fleetConfig.enrollmentWindow > config.fleetConfig.campaign) {
+        config.fleetConfig.enrollmentWindow = config.fleetConfig.campaign / 2;
+    }
+    config.fleetConfig.seed = static_cast<std::uint64_t>(
+        numericOption(args, "--seed", static_cast<long long>(config.fleetConfig.seed)));
+    applyTransportOptions(args, config.fleetConfig);
+
+    // Always profile and collect metrics; trace only when asked (traces of
+    // long campaigns are large).
+    obs::CampaignProfiler profiler;
+    obs::MetricsRegistry registry;
+    ObsAttachment obsFiles;
+    obsFiles.attach(args, config.fleetConfig);
+    config.fleetConfig.obs.profiler = &profiler;
+    config.fleetConfig.obs.metrics = &registry;
+
+    std::printf("instrumented campaign: %d phones, %lld days, seed %llu\n\n",
+                config.fleetConfig.phoneCount, static_cast<long long>(days),
+                static_cast<unsigned long long>(config.fleetConfig.seed));
+    const auto campaign = fleet::runCampaign(config.fleetConfig);
+    (void)campaign;
+
+    std::printf("%s\n", profiler.renderReport().c_str());
+    std::printf("== Metrics ==\n%s\n", registry.renderText().c_str());
+    obsFiles.finish();
     return 0;
 }
 
@@ -279,6 +393,7 @@ int runCli(const std::vector<std::string>& args) {
     const std::vector<std::string> rest{args.begin() + 1, args.end()};
     try {
         if (command == "campaign") return runCampaign(rest);
+        if (command == "obs") return runObs(rest);
         if (command == "transport") return runTransport(rest);
         if (command == "analyze") return runAnalyze(rest);
         if (command == "forum") return runForum(rest);
