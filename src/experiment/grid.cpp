@@ -1,0 +1,316 @@
+#include "experiment/grid.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace symfail::experiment {
+namespace {
+
+/// Trims trailing zeros off a %.6f rendering so labels stay compact
+/// ("5", "2.5") while remaining unambiguous.
+std::string compactNum(double value) {
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%.6f", value);
+    std::string s{buf};
+    s.erase(s.find_last_not_of('0') + 1);
+    if (!s.empty() && s.back() == '.') s.pop_back();
+    return s;
+}
+
+/// Minimal JSON reader for the grid schema: one object mapping string
+/// keys to a number or a flat array of numbers.  Anything else is a
+/// schema error with the offending byte offset.
+class GridJsonReader {
+public:
+    explicit GridJsonReader(const std::string& text) : text_{text} {}
+
+    /// Parses the whole document into (key, values) pairs.
+    std::vector<std::pair<std::string, std::vector<double>>> read() {
+        std::vector<std::pair<std::string, std::vector<double>>> entries;
+        skipWs();
+        expect('{');
+        skipWs();
+        if (peek() == '}') {
+            ++pos_;
+        } else {
+            while (true) {
+                skipWs();
+                std::string key = readString();
+                skipWs();
+                expect(':');
+                skipWs();
+                std::vector<double> values;
+                if (peek() == '[') {
+                    ++pos_;
+                    skipWs();
+                    if (peek() == ']') {
+                        ++pos_;
+                    } else {
+                        while (true) {
+                            skipWs();
+                            values.push_back(readNumber());
+                            skipWs();
+                            if (peek() == ',') {
+                                ++pos_;
+                                continue;
+                            }
+                            expect(']');
+                            break;
+                        }
+                    }
+                } else {
+                    values.push_back(readNumber());
+                }
+                entries.emplace_back(std::move(key), std::move(values));
+                skipWs();
+                if (peek() == ',') {
+                    ++pos_;
+                    continue;
+                }
+                expect('}');
+                break;
+            }
+        }
+        skipWs();
+        if (pos_ != text_.size()) fail("trailing content after grid object");
+        return entries;
+    }
+
+private:
+    [[noreturn]] void fail(const std::string& what) const {
+        throw std::runtime_error("grid JSON at byte " + std::to_string(pos_) + ": " +
+                                 what);
+    }
+
+    [[nodiscard]] char peek() const {
+        if (pos_ >= text_.size()) return '\0';
+        return text_[pos_];
+    }
+
+    void expect(char c) {
+        if (peek() != c) fail(std::string{"expected '"} + c + "'");
+        ++pos_;
+    }
+
+    void skipWs() {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+            ++pos_;
+        }
+    }
+
+    std::string readString() {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos_ >= text_.size()) fail("unterminated string");
+            const char c = text_[pos_++];
+            if (c == '"') return out;
+            if (c == '\\') fail("escapes are not supported in grid keys");
+            out.push_back(c);
+        }
+    }
+
+    double readNumber() {
+        const std::size_t start = pos_;
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (std::isdigit(static_cast<unsigned char>(c)) != 0 || c == '-' ||
+                c == '+' || c == '.' || c == 'e' || c == 'E') {
+                ++pos_;
+            } else {
+                break;
+            }
+        }
+        if (pos_ == start) fail("expected a number");
+        const std::string token = text_.substr(start, pos_ - start);
+        std::size_t consumed = 0;
+        double value = 0.0;
+        try {
+            value = std::stod(token, &consumed);
+        } catch (const std::exception&) {
+            consumed = 0;
+        }
+        if (consumed != token.size() || !std::isfinite(value)) {
+            pos_ = start;
+            fail("malformed number '" + token + "'");
+        }
+        return value;
+    }
+
+    const std::string& text_;
+    std::size_t pos_{0};
+};
+
+void requireRange(const char* axis, double value, double lo, double hi) {
+    if (value < lo || value > hi) {
+        std::ostringstream msg;
+        msg << "grid axis '" << axis << "': value " << value << " outside [" << lo
+            << ", " << hi << "]";
+        throw std::runtime_error(msg.str());
+    }
+}
+
+void requireInteger(const char* axis, double value) {
+    if (value != std::floor(value)) {
+        std::ostringstream msg;
+        msg << "grid axis '" << axis << "': value " << value << " must be an integer";
+        throw std::runtime_error(msg.str());
+    }
+}
+
+template <typename T>
+std::vector<T> integerAxis(const char* axis, const std::vector<double>& values,
+                           double lo, double hi) {
+    std::vector<T> out;
+    out.reserve(values.size());
+    for (const double v : values) {
+        requireInteger(axis, v);
+        requireRange(axis, v, lo, hi);
+        out.push_back(static_cast<T>(v));
+    }
+    return out;
+}
+
+std::vector<double> realAxis(const char* axis, const std::vector<double>& values,
+                             double lo, double hi) {
+    for (const double v : values) requireRange(axis, v, lo, hi);
+    return values;
+}
+
+}  // namespace
+
+std::string Cell::label() const {
+    std::string out = "phones=" + std::to_string(phones) +
+                      " days=" + std::to_string(days) +
+                      " loss=" + compactNum(lossPct) + " dup=" + compactNum(dupPct) +
+                      " reorder=" + compactNum(reorderPct);
+    if (outageDay >= 0) {
+        out += " outage=" + std::to_string(outageDay) + "+" +
+               std::to_string(outageDays) + "d";
+    }
+    out += " hb=" + compactNum(heartbeatSeconds) +
+           " thresh=" + compactNum(selfShutdownThresholdSeconds);
+    return out;
+}
+
+core::StudyConfig Cell::toStudyConfig(std::uint64_t seed) const {
+    core::StudyConfig config;
+    auto& fleet = config.fleetConfig;
+    fleet.phoneCount = phones;
+    fleet.campaign = sim::Duration::days(days);
+    if (fleet.enrollmentWindow > fleet.campaign) {
+        fleet.enrollmentWindow = fleet.campaign / 2;
+    }
+    fleet.seed = seed;
+    fleet.loggerConfig.heartbeatPeriod = sim::Duration::fromSecondsF(heartbeatSeconds);
+    auto& transport = fleet.transport;
+    transport.dataChannel.lossProb = lossPct / 100.0;
+    transport.dataChannel.dupProb = dupPct / 100.0;
+    transport.dataChannel.reorderProb = reorderPct / 100.0;
+    transport.ackChannel.lossProb = lossPct / 100.0;
+    if (outageDay >= 0) {
+        const auto start =
+            sim::TimePoint::origin() + sim::Duration::days(outageDay);
+        const transport::OutageWindow window{start,
+                                             start + sim::Duration::days(outageDays)};
+        transport.dataChannel.outages.push_back(window);
+        transport.ackChannel.outages.push_back(window);
+    }
+    config.selfShutdownThresholdSeconds = selfShutdownThresholdSeconds;
+    return config;
+}
+
+Grid Grid::single(const Cell& cell) {
+    Grid grid;
+    grid.cells_.push_back(cell);
+    return grid;
+}
+
+Grid Grid::fromAxes(const GridAxes& axes, const Cell& defaults) {
+    // Missing axes collapse to the default value, so the product below is
+    // always over non-empty lists.
+    const auto orDefault = [](auto values, auto fallback) {
+        if (values.empty()) values.push_back(fallback);
+        return values;
+    };
+    const auto phones = orDefault(axes.phones, defaults.phones);
+    const auto days = orDefault(axes.days, defaults.days);
+    const auto loss = orDefault(axes.lossPct, defaults.lossPct);
+    const auto dup = orDefault(axes.dupPct, defaults.dupPct);
+    const auto reorder = orDefault(axes.reorderPct, defaults.reorderPct);
+    const auto outageDay = orDefault(axes.outageDay, defaults.outageDay);
+    const auto outageDays = orDefault(axes.outageDays, defaults.outageDays);
+    const auto heartbeat = orDefault(axes.heartbeatSeconds, defaults.heartbeatSeconds);
+    const auto threshold = orDefault(axes.selfShutdownThresholdSeconds,
+                                     defaults.selfShutdownThresholdSeconds);
+
+    Grid grid;
+    for (const int p : phones)
+        for (const long long d : days)
+            for (const double l : loss)
+                for (const double du : dup)
+                    for (const double r : reorder)
+                        for (const long long od : outageDay)
+                            for (const long long ods : outageDays)
+                                for (const double hb : heartbeat)
+                                    for (const double th : threshold) {
+                                        Cell cell;
+                                        cell.phones = p;
+                                        cell.days = d;
+                                        cell.lossPct = l;
+                                        cell.dupPct = du;
+                                        cell.reorderPct = r;
+                                        cell.outageDay = od;
+                                        cell.outageDays = ods;
+                                        cell.heartbeatSeconds = hb;
+                                        cell.selfShutdownThresholdSeconds = th;
+                                        grid.cells_.push_back(cell);
+                                    }
+    return grid;
+}
+
+Grid Grid::parse(const std::string& json, const Cell& defaults) {
+    GridJsonReader reader{json};
+    GridAxes axes;
+    for (const auto& [key, values] : reader.read()) {
+        if (key == "phones") {
+            axes.phones = integerAxis<int>("phones", values, 1, 100'000);
+        } else if (key == "days") {
+            axes.days = integerAxis<long long>("days", values, 1, 36'500);
+        } else if (key == "loss_pct") {
+            axes.lossPct = realAxis("loss_pct", values, 0.0, 100.0);
+        } else if (key == "dup_pct") {
+            axes.dupPct = realAxis("dup_pct", values, 0.0, 100.0);
+        } else if (key == "reorder_pct") {
+            axes.reorderPct = realAxis("reorder_pct", values, 0.0, 100.0);
+        } else if (key == "outage_day") {
+            axes.outageDay = integerAxis<long long>("outage_day", values, -1, 36'500);
+        } else if (key == "outage_days") {
+            axes.outageDays = integerAxis<long long>("outage_days", values, 0, 36'500);
+        } else if (key == "heartbeat_seconds") {
+            axes.heartbeatSeconds =
+                realAxis("heartbeat_seconds", values, 1.0, 86'400.0);
+        } else if (key == "self_shutdown_threshold_seconds") {
+            axes.selfShutdownThresholdSeconds =
+                realAxis("self_shutdown_threshold_seconds", values, 1.0, 86'400.0);
+        } else {
+            throw std::runtime_error("grid JSON: unknown axis '" + key + "'");
+        }
+    }
+    return fromAxes(axes, defaults);
+}
+
+Grid Grid::load(const std::string& path, const Cell& defaults) {
+    std::ifstream in{path, std::ios::binary};
+    if (!in) throw std::runtime_error("cannot read grid file: " + path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return parse(buffer.str(), defaults);
+}
+
+}  // namespace symfail::experiment

@@ -1,0 +1,88 @@
+// Parameter sweep grids.
+//
+// A Grid is the Cartesian product of per-parameter value lists ("axes")
+// over the campaign knobs worth sweeping: fleet size, campaign length,
+// transport loss/dup/reorder and outage windows, the logger heartbeat
+// period, and the self-shutdown discrimination threshold.  Each point of
+// the product is a Cell — one fully concrete campaign configuration that
+// the experiment Runner replicates N times with derived seeds.
+//
+// Grids load from a small JSON file (`symfail sweep --grid FILE.json`):
+// one object whose keys are axis names and whose values are a number or
+// an array of numbers, e.g.
+//
+//   { "phones": [5, 10], "days": 60, "loss_pct": [0, 5, 20] }
+//
+// Unknown keys are rejected loudly — a typo must not silently sweep the
+// default instead of the intended axis.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/study.hpp"
+
+namespace symfail::experiment {
+
+/// One concrete point of the sweep: every swept parameter pinned.
+struct Cell {
+    int phones{5};
+    long long days{60};
+    double lossPct{5.0};     ///< Data-channel frame loss, percent.
+    double dupPct{2.0};      ///< Frame duplication, percent.
+    double reorderPct{10.0}; ///< Frame reordering, percent.
+    long long outageDay{-1}; ///< First day of a transport outage; -1: none.
+    long long outageDays{3}; ///< Outage length, days.
+    double heartbeatSeconds{60.0};
+    double selfShutdownThresholdSeconds{360.0};
+
+    /// Stable human-readable identity, e.g.
+    /// "phones=5 days=60 loss=5 dup=2 reorder=10 hb=60 thresh=360".
+    [[nodiscard]] std::string label() const;
+
+    /// Materializes the study configuration for one trial of this cell.
+    [[nodiscard]] core::StudyConfig toStudyConfig(std::uint64_t seed) const;
+};
+
+/// Axis names accepted by the JSON schema, in canonical order.
+struct GridAxes {
+    std::vector<int> phones;
+    std::vector<long long> days;
+    std::vector<double> lossPct;
+    std::vector<double> dupPct;
+    std::vector<double> reorderPct;
+    std::vector<long long> outageDay;
+    std::vector<long long> outageDays;
+    std::vector<double> heartbeatSeconds;
+    std::vector<double> selfShutdownThresholdSeconds;
+};
+
+/// The sweep grid: an ordered list of cells.
+class Grid {
+public:
+    /// A single cell with the given defaults (the no-grid-file case).
+    [[nodiscard]] static Grid single(const Cell& cell);
+
+    /// Expands axes into cells (Cartesian product, axes varying slowest
+    /// to fastest in the canonical order above).  Missing axes take the
+    /// corresponding value from `defaults`.  Throws std::runtime_error on
+    /// an empty product or out-of-range values.
+    [[nodiscard]] static Grid fromAxes(const GridAxes& axes, const Cell& defaults);
+
+    /// Parses the JSON schema described above.  Throws std::runtime_error
+    /// with a position-annotated message on malformed input, unknown keys,
+    /// or out-of-range values.
+    [[nodiscard]] static Grid parse(const std::string& json, const Cell& defaults);
+
+    /// `parse` over a file's contents.
+    [[nodiscard]] static Grid load(const std::string& path, const Cell& defaults);
+
+    [[nodiscard]] const std::vector<Cell>& cells() const { return cells_; }
+    [[nodiscard]] std::size_t size() const { return cells_.size(); }
+
+private:
+    std::vector<Cell> cells_;
+};
+
+}  // namespace symfail::experiment

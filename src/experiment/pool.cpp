@@ -1,0 +1,86 @@
+#include "experiment/pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace symfail::experiment {
+namespace {
+
+/// One worker's task queue.  The owner pops from the back (LIFO keeps its
+/// cache warm); thieves take from the front (FIFO steals the tasks the
+/// owner would reach last, which for our round-robin seeding are the ones
+/// most worth redistributing).
+struct WorkerQueue {
+    std::mutex mutex;
+    std::deque<std::size_t> tasks;
+
+    bool popBack(std::size_t& out) {
+        const std::lock_guard<std::mutex> lock{mutex};
+        if (tasks.empty()) return false;
+        out = tasks.back();
+        tasks.pop_back();
+        return true;
+    }
+
+    bool stealFront(std::size_t& out) {
+        const std::lock_guard<std::mutex> lock{mutex};
+        if (tasks.empty()) return false;
+        out = tasks.front();
+        tasks.pop_front();
+        return true;
+    }
+};
+
+}  // namespace
+
+void runWorkStealing(std::size_t taskCount, int workers,
+                     const std::function<void(std::size_t)>& task) {
+    if (taskCount == 0) return;
+    const auto workerCount = static_cast<std::size_t>(std::max(workers, 1));
+    if (workerCount == 1) {
+        for (std::size_t i = 0; i < taskCount; ++i) task(i);
+        return;
+    }
+
+    // Round-robin seeding spreads neighbouring indices (same grid cell,
+    // similar cost) across workers, so stealing is the exception rather
+    // than the steady state.
+    std::vector<WorkerQueue> queues{workerCount};
+    for (std::size_t i = 0; i < taskCount; ++i) {
+        queues[i % workerCount].tasks.push_back(i);
+    }
+
+    std::atomic<std::size_t> remaining{taskCount};
+    const auto workerLoop = [&](std::size_t self) {
+        while (remaining.load(std::memory_order_acquire) > 0) {
+            std::size_t index = 0;
+            bool found = queues[self].popBack(index);
+            for (std::size_t k = 1; !found && k < workerCount; ++k) {
+                found = queues[(self + k) % workerCount].stealFront(index);
+            }
+            if (!found) {
+                // All queues momentarily empty but siblings still running;
+                // yield until they either finish or expose stealable work
+                // (they cannot: tasks are not subdivided — so this ends).
+                std::this_thread::yield();
+                continue;
+            }
+            task(index);
+            remaining.fetch_sub(1, std::memory_order_acq_rel);
+        }
+    };
+
+    std::vector<std::thread> threads;
+    threads.reserve(workerCount - 1);
+    for (std::size_t w = 1; w < workerCount; ++w) {
+        threads.emplace_back(workerLoop, w);
+    }
+    workerLoop(0);
+    for (auto& thread : threads) thread.join();
+}
+
+}  // namespace symfail::experiment

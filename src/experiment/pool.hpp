@@ -1,0 +1,28 @@
+// Work-stealing execution of an indexed task set.
+//
+// The experiment Runner has an embarrassingly parallel workload — hundreds
+// of independent trials of very unequal cost (cells differ in fleet size
+// and campaign length).  A static block split would leave workers idle
+// behind the biggest cell, so each worker owns a deque of task indices and
+// steals from the busiest sibling when its own runs dry.
+//
+// Determinism contract: the pool decides only *where* and *when* a task
+// runs, never *what* it computes — tasks must depend solely on their index
+// (the Runner derives every trial's RNG stream from its coordinates) and
+// must write only to their own result slot.  Under that contract the
+// output is byte-identical for any worker count, including 1 (which runs
+// inline on the calling thread with no threads spawned at all).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace symfail::experiment {
+
+/// Runs `task(0) .. task(taskCount-1)` across `workers` threads and blocks
+/// until all complete.  `workers <= 1` executes inline.  Tasks must not
+/// throw — wrap the body and capture failures in the result slot.
+void runWorkStealing(std::size_t taskCount, int workers,
+                     const std::function<void(std::size_t)>& task);
+
+}  // namespace symfail::experiment

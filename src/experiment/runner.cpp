@@ -1,0 +1,174 @@
+#include "experiment/runner.hpp"
+
+#include <stdexcept>
+
+#include "analysis/panic_stats.hpp"
+#include "experiment/pool.hpp"
+#include "experiment/seed.hpp"
+
+namespace symfail::experiment {
+namespace {
+
+/// Salt for per-metric bootstrap streams; combined with the cell index so
+/// no bootstrap resampler shares a stream with any trial or other cell.
+constexpr std::uint64_t kBootstrapLane = ~0ULL;
+
+}  // namespace
+
+const SummaryStats* CellSummary::find(const std::string& name) const {
+    for (const auto& [metric, stats] : metrics) {
+        if (metric == name) return &stats;
+    }
+    return nullptr;
+}
+
+std::size_t Summary::failedTrials() const {
+    std::size_t failed = 0;
+    for (const auto& cell : cells) failed += cell.failedCount;
+    return failed;
+}
+
+TrialMetrics fieldTrialMetrics(const Cell& cell, std::uint64_t seed) {
+    const core::FailureStudy study{cell.toStudyConfig(seed)};
+    const auto results = study.runFieldStudy();
+    const auto& mtbf = results.mtbf;
+    const double panics = static_cast<double>(results.dataset.panics().size());
+    const double hours = mtbf.observedPhoneHours;
+    // The two Table 2 shares the paper headlines: KERN-EXEC 3 (56.3%)
+    // and the E32USER-CBase heap/active-object family (~18%).
+    double kernExec3SharePct = 0.0;
+    for (const auto& row : results.table2) {
+        if (row.panic == symbos::kKernExecAccessViolation) {
+            kernExec3SharePct = row.percent;
+        }
+    }
+    const double cbaseSharePct = analysis::categoryShare(
+        results.dataset, symbos::PanicCategory::E32UserCBase);
+    return {
+        {"mtbf_freeze_hours", mtbf.mtbfFreezeHours},
+        {"mtbf_self_shutdown_hours", mtbf.mtbfSelfShutdownHours},
+        {"mtbf_any_hours", mtbf.mtbfAnyFailureHours},
+        {"freeze_count", static_cast<double>(mtbf.freezeCount)},
+        {"self_shutdown_count", static_cast<double>(mtbf.selfShutdownCount)},
+        {"panic_count", panics},
+        {"panics_per_khour", hours > 0.0 ? 1000.0 * panics / hours : 0.0},
+        {"kern_exec3_share_pct", kernExec3SharePct},
+        {"cbase_share_pct", cbaseSharePct},
+        {"panic_burst_fraction", analysis::burstFraction(results.fig3BurstLengths)},
+        {"coalescence_related_fraction", results.fig5Coalescence.relatedFraction()},
+        {"transport_delivery_ratio", results.fleet.transport.deliveryRatio()},
+        {"observed_phone_hours", hours},
+        {"boots", static_cast<double>(results.fleet.totalBoots)},
+    };
+}
+
+Runner::Runner(RunnerOptions options) : options_{std::move(options)} {
+    if (!options_.trialFn) options_.trialFn = fieldTrialMetrics;
+}
+
+Summary Runner::run(const Grid& grid) const {
+    if (options_.trials < 1) {
+        throw std::runtime_error("experiment: trials must be >= 1");
+    }
+    if (grid.cells().empty()) {
+        throw std::runtime_error("experiment: the grid has no cells");
+    }
+
+    Summary summary;
+    summary.masterSeed = options_.masterSeed;
+    summary.trialsPerCell = options_.trials;
+    summary.jobs = options_.jobs;
+
+    const auto trials = static_cast<std::size_t>(options_.trials);
+    const std::size_t taskCount = grid.size() * trials;
+    summary.trials.resize(taskCount);
+
+    // Each task writes exclusively to its own pre-sized slot; the task
+    // body depends only on (master seed, cell, trial), so any worker
+    // count yields the same slots — see pool.hpp's determinism contract.
+    runWorkStealing(taskCount, options_.jobs, [&](std::size_t index) {
+        const std::size_t cellIndex = index / trials;
+        const std::size_t trialIndex = index % trials;
+        TrialResult& slot = summary.trials[index];
+        slot.cellIndex = cellIndex;
+        slot.trialIndex = trialIndex;
+        slot.seed = deriveTrialSeed(options_.masterSeed, cellIndex, trialIndex);
+        try {
+            slot.metrics = options_.trialFn(grid.cells()[cellIndex], slot.seed);
+            slot.ok = true;
+        } catch (const std::exception& error) {
+            slot.ok = false;
+            slot.error = error.what();
+        } catch (...) {
+            slot.ok = false;
+            slot.error = "unknown exception";
+        }
+    });
+
+    // Aggregate sequentially in (cell, trial) order — the only order the
+    // output ever sees.
+    summary.cells.reserve(grid.size());
+    for (std::size_t cellIndex = 0; cellIndex < grid.size(); ++cellIndex) {
+        CellSummary cell;
+        cell.cell = grid.cells()[cellIndex];
+        cell.trialCount = trials;
+
+        std::vector<std::string> metricOrder;
+        std::vector<std::vector<double>> samples;
+        for (std::size_t t = 0; t < trials; ++t) {
+            const TrialResult& trial = summary.trials[cellIndex * trials + t];
+            if (!trial.ok) {
+                ++cell.failedCount;
+                cell.errors.push_back("trial " + std::to_string(t) + " (seed " +
+                                      std::to_string(trial.seed) +
+                                      "): " + trial.error);
+                continue;
+            }
+            for (const auto& [name, value] : trial.metrics) {
+                std::size_t slot = 0;
+                while (slot < metricOrder.size() && metricOrder[slot] != name) ++slot;
+                if (slot == metricOrder.size()) {
+                    metricOrder.push_back(name);
+                    samples.emplace_back();
+                }
+                samples[slot].push_back(value);
+            }
+        }
+
+        for (std::size_t m = 0; m < metricOrder.size(); ++m) {
+            const std::uint64_t bootstrapSeed = deriveNamedSeed(
+                deriveTrialSeed(options_.masterSeed, cellIndex, kBootstrapLane),
+                metricOrder[m].c_str());
+            cell.metrics.emplace_back(
+                metricOrder[m],
+                summarize(samples[m], bootstrapSeed, options_.bootstrapResamples));
+        }
+        summary.cells.push_back(std::move(cell));
+    }
+
+    if (options_.metrics != nullptr) {
+        auto& registry = *options_.metrics;
+        registry.counter("experiment", "cells", "grid cells swept")
+            .inc(summary.cells.size());
+        registry.counter("experiment", "trials_run", "trials executed").inc(taskCount);
+        registry
+            .counter("experiment", "trials_failed", "trials that threw an exception")
+            .inc(summary.failedTrials());
+        for (const auto& cell : summary.cells) {
+            const std::string label = cell.cell.label();
+            for (const auto& [name, stats] : cell.metrics) {
+                registry
+                    .gauge("experiment", name + "_mean", "cell", label,
+                           "per-cell trial mean")
+                    .set(stats.mean);
+                registry
+                    .gauge("experiment", name + "_stddev", "cell", label,
+                           "per-cell trial stddev")
+                    .set(stats.stddev);
+            }
+        }
+    }
+    return summary;
+}
+
+}  // namespace symfail::experiment

@@ -1,0 +1,41 @@
+#include "experiment/seed.hpp"
+
+namespace symfail::experiment {
+namespace {
+
+/// SplitMix64 finalizer: a full-avalanche bijection on 64-bit words.
+constexpr std::uint64_t mix(std::uint64_t z) {
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+
+/// Feeds one word into a running SplitMix64 stream state.
+constexpr std::uint64_t absorb(std::uint64_t state, std::uint64_t word) {
+    return mix(state + word + 0x9E3779B97F4A7C15ULL);
+}
+
+}  // namespace
+
+std::uint64_t deriveTrialSeed(std::uint64_t masterSeed, std::uint64_t cellIndex,
+                              std::uint64_t trialIndex) {
+    // Absorb the coordinates one at a time: the packing is injective
+    // (each absorption is a bijection of the running state for a fixed
+    // input word), so distinct (master, cell, trial) triples cannot
+    // collide by construction of the first two words and collide on the
+    // final mix only with ~2^-64 probability.
+    std::uint64_t state = mix(masterSeed ^ 0x5265706C6963ULL);  // "Replic"
+    state = absorb(state, cellIndex);
+    state = absorb(state, trialIndex);
+    return state;
+}
+
+std::uint64_t deriveNamedSeed(std::uint64_t masterSeed, const char* salt) {
+    std::uint64_t state = mix(masterSeed ^ 0x426F6F7473ULL);  // "Boots"
+    for (const char* p = salt; *p != '\0'; ++p) {
+        state = absorb(state, static_cast<std::uint64_t>(static_cast<unsigned char>(*p)));
+    }
+    return state;
+}
+
+}  // namespace symfail::experiment

@@ -1,0 +1,88 @@
+#include "experiment/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "simkernel/rng.hpp"
+
+namespace symfail::experiment {
+namespace {
+
+/// Two-sided 95% critical values of the t distribution, df = 1..30.
+constexpr double kT95[] = {
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+    2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+    2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+};
+
+/// Mean of `samples` indexed through `pick` (identity for the plain mean).
+double meanOf(std::span<const double> samples) {
+    double total = 0.0;
+    for (const double s : samples) total += s;
+    return total / static_cast<double>(samples.size());
+}
+
+}  // namespace
+
+double studentT95(std::size_t degreesOfFreedom) {
+    if (degreesOfFreedom == 0) return 0.0;
+    if (degreesOfFreedom <= std::size(kT95)) return kT95[degreesOfFreedom - 1];
+    // Large-sample correction toward the normal quantile (Fisher's
+    // expansion, accurate to ~1e-3 for df > 30).
+    const double z = 1.959963985;
+    const double df = static_cast<double>(degreesOfFreedom);
+    return z + (z * z * z + z) / (4.0 * df) +
+           (5.0 * z * z * z * z * z + 16.0 * z * z * z + 3.0 * z) / (96.0 * df * df);
+}
+
+SummaryStats summarize(std::span<const double> samples, std::uint64_t bootstrapSeed,
+                       int bootstrapResamples) {
+    SummaryStats stats;
+    stats.n = samples.size();
+    if (samples.empty()) return stats;
+
+    stats.mean = meanOf(samples);
+    stats.min = *std::min_element(samples.begin(), samples.end());
+    stats.max = *std::max_element(samples.begin(), samples.end());
+    stats.ciLow = stats.ciHigh = stats.mean;
+    stats.bootstrapLow = stats.bootstrapHigh = stats.mean;
+    if (samples.size() < 2) return stats;
+
+    double ss = 0.0;
+    for (const double s : samples) {
+        const double d = s - stats.mean;
+        ss += d * d;
+    }
+    stats.stddev = std::sqrt(ss / static_cast<double>(samples.size() - 1));
+
+    const double half = studentT95(samples.size() - 1) * stats.stddev /
+                        std::sqrt(static_cast<double>(samples.size()));
+    stats.ciLow = stats.mean - half;
+    stats.ciHigh = stats.mean + half;
+
+    if (bootstrapResamples > 0) {
+        sim::Rng rng{bootstrapSeed};
+        std::vector<double> means;
+        means.reserve(static_cast<std::size_t>(bootstrapResamples));
+        const auto count = static_cast<std::int64_t>(samples.size());
+        for (int r = 0; r < bootstrapResamples; ++r) {
+            double total = 0.0;
+            for (std::size_t i = 0; i < samples.size(); ++i) {
+                total += samples[static_cast<std::size_t>(rng.uniformInt(0, count - 1))];
+            }
+            means.push_back(total / static_cast<double>(samples.size()));
+        }
+        std::sort(means.begin(), means.end());
+        // Percentile interval with nearest-rank indexing.
+        const auto rank = [&](double q) {
+            const auto idx = static_cast<std::size_t>(
+                q * static_cast<double>(means.size() - 1) + 0.5);
+            return means[std::min(idx, means.size() - 1)];
+        };
+        stats.bootstrapLow = rank(0.025);
+        stats.bootstrapHigh = rank(0.975);
+    }
+    return stats;
+}
+
+}  // namespace symfail::experiment

@@ -1,0 +1,51 @@
+// Replication statistics: mean, sample stddev, and 95% confidence
+// intervals for per-trial scalar metrics.
+//
+// Two interval constructions are reported side by side:
+//   * Student-t — exact under normally distributed trial means; the
+//     default headline interval.
+//   * Bootstrap percentile — distribution-free; resamples the trials with
+//     replacement (deterministically, from a derived seed) and takes the
+//     2.5%/97.5% quantiles of the resampled means.  Cross-checking the
+//     two guards against heavy-tailed metrics (rare-event counts on short
+//     campaigns) where the t interval is optimistic.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace symfail::experiment {
+
+/// Summary of one scalar metric across N trials.
+struct SummaryStats {
+    std::size_t n{0};
+    double mean{0.0};
+    double stddev{0.0};  ///< Sample standard deviation (n-1 denominator).
+    double min{0.0};
+    double max{0.0};
+    /// Student-t 95% CI for the mean; equals [mean, mean] when n < 2.
+    double ciLow{0.0};
+    double ciHigh{0.0};
+    /// Bootstrap percentile 95% CI for the mean; equals [mean, mean] when
+    /// n < 2 or resampling is disabled.
+    double bootstrapLow{0.0};
+    double bootstrapHigh{0.0};
+
+    /// Half-width of the Student-t interval.
+    [[nodiscard]] double halfWidth() const { return (ciHigh - ciLow) / 2.0; }
+};
+
+/// Two-sided 95% Student-t critical value for `degreesOfFreedom` >= 1
+/// (tabulated to 30, then the large-sample approximation; converges to
+/// the normal 1.96 quantile).
+[[nodiscard]] double studentT95(std::size_t degreesOfFreedom);
+
+/// Summarizes `samples`.  `bootstrapSeed` drives the resampler (derive it
+/// from the sweep's master seed so summaries are reproducible);
+/// `bootstrapResamples` <= 0 disables the bootstrap interval.
+[[nodiscard]] SummaryStats summarize(std::span<const double> samples,
+                                     std::uint64_t bootstrapSeed,
+                                     int bootstrapResamples = 1000);
+
+}  // namespace symfail::experiment

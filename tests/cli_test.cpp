@@ -98,6 +98,24 @@ TEST(Cli, RejectsPartiallyNumericOptions) {
               1);
 }
 
+// The `--phones/--days/--seed` parsing is shared via parseFleetOptions():
+// every campaign-shaped subcommand must reject the same malformed inputs
+// the same way, so a fifth subcommand can't quietly regress to partial
+// parses.
+TEST(Cli, FleetOptionParsingParityAcrossSubcommands) {
+    for (const char* command : {"campaign", "transport", "obs", "sweep"}) {
+        EXPECT_EQ(cli::runCli({command, "--phones", "25x"}), 1) << command;
+        EXPECT_EQ(cli::runCli({command, "--phones", ""}), 1) << command;
+        EXPECT_EQ(cli::runCli({command, "--days", "3d"}), 1) << command;
+        EXPECT_EQ(cli::runCli({command, "--days", "ten"}), 1) << command;
+        EXPECT_EQ(cli::runCli({command, "--seed", "0x9"}), 1) << command;
+        EXPECT_EQ(cli::runCli({command, "--phones", "-3"}), 1) << command;
+        EXPECT_EQ(cli::runCli({command, "--phones", "0"}), 1) << command;
+        EXPECT_EQ(cli::runCli({command, "--days", "0"}), 1) << command;
+        EXPECT_EQ(cli::runCli({command, "--days", "-7"}), 1) << command;
+    }
+}
+
 TEST(Cli, AnalyzeRequiresDirectory) {
     EXPECT_EQ(cli::runCli({"analyze"}), 2);
     EXPECT_EQ(cli::runCli({"analyze", "/definitely/not/there"}), 1);
@@ -150,6 +168,42 @@ TEST(Cli, CampaignWritesTraceAndMetricsFiles) {
 TEST(Cli, ObsSubcommandRuns) {
     EXPECT_EQ(cli::runCli({"obs", "--phones", "2", "--days", "6", "--seed", "5"}),
               0);
+}
+
+TEST(Cli, SweepRunsAndWritesArtifacts) {
+    const auto dir = std::filesystem::temp_directory_path() / "symfail-cli-sweep";
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    const auto gridPath = (dir / "grid.json").string();
+    std::ofstream{gridPath} << R"({"loss_pct": [0, 25]})";
+    const auto jsonPath = (dir / "sweep.json").string();
+    const auto metricsPath = (dir / "sweep.prom").string();
+    EXPECT_EQ(cli::runCli({"sweep", "--trials", "2", "--jobs", "2", "--phones",
+                           "2", "--days", "8", "--seed", "13", "--bootstrap",
+                           "100", "--grid", gridPath, "--json", jsonPath, "--csv",
+                           dir.string(), "--metrics", metricsPath}),
+              0);
+    ASSERT_TRUE(std::filesystem::exists(jsonPath));
+    ASSERT_TRUE(std::filesystem::exists(dir / "sweep_summary.csv"));
+    ASSERT_TRUE(std::filesystem::exists(dir / "sweep_trials.csv"));
+    std::ifstream jsonFile{jsonPath};
+    const std::string json{std::istreambuf_iterator<char>{jsonFile},
+                           std::istreambuf_iterator<char>{}};
+    EXPECT_NE(json.find("\"sweep\""), std::string::npos);
+    EXPECT_NE(json.find("\"mtbf_freeze_hours\""), std::string::npos);
+    EXPECT_NE(json.find("\"ci95\""), std::string::npos);
+    std::ifstream metricsFile{metricsPath};
+    const std::string metrics{std::istreambuf_iterator<char>{metricsFile},
+                              std::istreambuf_iterator<char>{}};
+    EXPECT_NE(metrics.find("symfail_experiment_trials_run 4"), std::string::npos);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Cli, SweepRejectsBadOptions) {
+    EXPECT_EQ(cli::runCli({"sweep", "--trials", "2x"}), 1);
+    EXPECT_EQ(cli::runCli({"sweep", "--trials", "0"}), 1);
+    EXPECT_EQ(cli::runCli({"sweep", "--jobs", "0"}), 1);
+    EXPECT_EQ(cli::runCli({"sweep", "--grid", "/definitely/not/there.json"}), 1);
 }
 
 }  // namespace

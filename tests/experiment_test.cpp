@@ -1,0 +1,386 @@
+// Tests for the experiment engine: seed derivation, replication
+// statistics, the work-stealing pool, grid parsing, and scheduling
+// determinism (byte-identical output across --jobs values).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <thread>
+
+#include "experiment/export.hpp"
+#include "experiment/grid.hpp"
+#include "experiment/pool.hpp"
+#include "experiment/runner.hpp"
+#include "experiment/seed.hpp"
+#include "experiment/stats.hpp"
+
+namespace symfail {
+namespace {
+
+// -- Seed derivation ------------------------------------------------------------
+
+TEST(ExperimentSeed, DistinctAcrossCellsAndTrials) {
+    std::set<std::uint64_t> seen;
+    for (std::uint64_t cell = 0; cell < 64; ++cell) {
+        for (std::uint64_t trial = 0; trial < 64; ++trial) {
+            seen.insert(experiment::deriveTrialSeed(2007, cell, trial));
+        }
+    }
+    EXPECT_EQ(seen.size(), 64u * 64u) << "trial seed collision";
+}
+
+TEST(ExperimentSeed, PureAndMasterSeedSensitive) {
+    EXPECT_EQ(experiment::deriveTrialSeed(7, 3, 5),
+              experiment::deriveTrialSeed(7, 3, 5));
+    EXPECT_NE(experiment::deriveTrialSeed(7, 3, 5),
+              experiment::deriveTrialSeed(8, 3, 5));
+    // Swapping coordinates must not alias: (cell, trial) is absorbed in
+    // order, not xor-folded.
+    EXPECT_NE(experiment::deriveTrialSeed(7, 3, 5),
+              experiment::deriveTrialSeed(7, 5, 3));
+}
+
+TEST(ExperimentSeed, NamedSeedsDifferBySalt) {
+    EXPECT_NE(experiment::deriveNamedSeed(42, "mtbf_freeze_hours"),
+              experiment::deriveNamedSeed(42, "panic_count"));
+    // The bootstrap lane never collides with any trial lane.
+    std::set<std::uint64_t> trialSeeds;
+    for (std::uint64_t t = 0; t < 1024; ++t) {
+        trialSeeds.insert(experiment::deriveTrialSeed(42, 0, t));
+    }
+    EXPECT_EQ(trialSeeds.count(experiment::deriveNamedSeed(
+                  experiment::deriveTrialSeed(42, 0, ~0ULL), "panic_count")),
+              0u);
+}
+
+// -- Statistics -----------------------------------------------------------------
+
+TEST(ExperimentStats, StudentTCriticalValues) {
+    EXPECT_NEAR(experiment::studentT95(1), 12.706, 1e-3);
+    EXPECT_NEAR(experiment::studentT95(4), 2.776, 1e-3);
+    EXPECT_NEAR(experiment::studentT95(10), 2.228, 1e-3);
+    EXPECT_NEAR(experiment::studentT95(30), 2.042, 1e-3);
+    EXPECT_NEAR(experiment::studentT95(100), 1.984, 2e-3);
+    EXPECT_NEAR(experiment::studentT95(1'000'000), 1.960, 1e-3);
+}
+
+TEST(ExperimentStats, KnownSampleSummary) {
+    const double samples[] = {1.0, 2.0, 3.0, 4.0, 5.0};
+    const auto stats = experiment::summarize(samples, 99, 400);
+    EXPECT_EQ(stats.n, 5u);
+    EXPECT_DOUBLE_EQ(stats.mean, 3.0);
+    EXPECT_NEAR(stats.stddev, std::sqrt(2.5), 1e-12);
+    EXPECT_DOUBLE_EQ(stats.min, 1.0);
+    EXPECT_DOUBLE_EQ(stats.max, 5.0);
+    const double half = 2.776 * std::sqrt(2.5) / std::sqrt(5.0);
+    EXPECT_NEAR(stats.ciLow, 3.0 - half, 1e-3);
+    EXPECT_NEAR(stats.ciHigh, 3.0 + half, 1e-3);
+    // The bootstrap interval lives inside the sample range, brackets the
+    // mean, and is narrower than the full range with 400 resamples.
+    EXPECT_GE(stats.bootstrapLow, 1.0);
+    EXPECT_LE(stats.bootstrapHigh, 5.0);
+    EXPECT_LE(stats.bootstrapLow, 3.0);
+    EXPECT_GE(stats.bootstrapHigh, 3.0);
+}
+
+TEST(ExperimentStats, BootstrapIsDeterministic) {
+    const double samples[] = {4.0, 8.0, 15.0, 16.0, 23.0, 42.0};
+    const auto a = experiment::summarize(samples, 1234, 500);
+    const auto b = experiment::summarize(samples, 1234, 500);
+    EXPECT_DOUBLE_EQ(a.bootstrapLow, b.bootstrapLow);
+    EXPECT_DOUBLE_EQ(a.bootstrapHigh, b.bootstrapHigh);
+    const auto c = experiment::summarize(samples, 1235, 500);
+    EXPECT_TRUE(c.bootstrapLow != a.bootstrapLow ||
+                c.bootstrapHigh != a.bootstrapHigh)
+        << "different bootstrap seeds produced identical intervals";
+}
+
+TEST(ExperimentStats, DegenerateSamples) {
+    const auto empty = experiment::summarize({}, 1, 100);
+    EXPECT_EQ(empty.n, 0u);
+    const double one[] = {7.5};
+    const auto single = experiment::summarize(one, 1, 100);
+    EXPECT_DOUBLE_EQ(single.mean, 7.5);
+    EXPECT_DOUBLE_EQ(single.ciLow, 7.5);
+    EXPECT_DOUBLE_EQ(single.ciHigh, 7.5);
+    EXPECT_DOUBLE_EQ(single.bootstrapLow, 7.5);
+}
+
+// -- Work-stealing pool ---------------------------------------------------------
+
+TEST(ExperimentPool, RunsEveryTaskExactlyOnce) {
+    constexpr std::size_t kTasks = 257;
+    std::vector<std::atomic<int>> counts(kTasks);
+    experiment::runWorkStealing(kTasks, 8, [&](std::size_t i) {
+        counts[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < kTasks; ++i) {
+        EXPECT_EQ(counts[i].load(), 1) << "task " << i;
+    }
+}
+
+TEST(ExperimentPool, SingleWorkerRunsInline) {
+    const auto caller = std::this_thread::get_id();
+    std::size_t ran = 0;
+    experiment::runWorkStealing(10, 1, [&](std::size_t) {
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+        ++ran;
+    });
+    EXPECT_EQ(ran, 10u);
+}
+
+TEST(ExperimentPool, MoreWorkersThanTasks) {
+    std::vector<std::atomic<int>> counts(3);
+    experiment::runWorkStealing(3, 16, [&](std::size_t i) {
+        counts[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(counts[i].load(), 1);
+}
+
+// -- Grid -----------------------------------------------------------------------
+
+TEST(ExperimentGrid, CartesianProductInCanonicalOrder) {
+    const experiment::Cell defaults;
+    const auto grid = experiment::Grid::parse(
+        R"({"phones": [2, 4], "days": 30, "loss_pct": [0, 10, 20]})", defaults);
+    ASSERT_EQ(grid.size(), 6u);
+    // phones varies slowest, loss fastest.
+    EXPECT_EQ(grid.cells()[0].phones, 2);
+    EXPECT_DOUBLE_EQ(grid.cells()[0].lossPct, 0.0);
+    EXPECT_DOUBLE_EQ(grid.cells()[2].lossPct, 20.0);
+    EXPECT_EQ(grid.cells()[3].phones, 4);
+    EXPECT_EQ(grid.cells()[0].days, 30);
+    // Unswept axes keep the defaults.
+    EXPECT_DOUBLE_EQ(grid.cells()[0].dupPct, defaults.dupPct);
+}
+
+TEST(ExperimentGrid, EmptyObjectIsTheDefaultCell) {
+    experiment::Cell defaults;
+    defaults.phones = 7;
+    const auto grid = experiment::Grid::parse("{}", defaults);
+    ASSERT_EQ(grid.size(), 1u);
+    EXPECT_EQ(grid.cells()[0].phones, 7);
+}
+
+TEST(ExperimentGrid, RejectsMalformedInput) {
+    const experiment::Cell defaults;
+    EXPECT_THROW((void)experiment::Grid::parse("", defaults), std::runtime_error);
+    EXPECT_THROW((void)experiment::Grid::parse("[]", defaults), std::runtime_error);
+    EXPECT_THROW((void)experiment::Grid::parse(R"({"phones": "five"})", defaults),
+                 std::runtime_error);
+    EXPECT_THROW((void)experiment::Grid::parse(R"({"phones": [2],)", defaults),
+                 std::runtime_error);
+    EXPECT_THROW((void)experiment::Grid::parse(R"({"phones": [2]} trailing)", defaults),
+                 std::runtime_error);
+    // Typos must fail loudly, not silently sweep the default.
+    EXPECT_THROW((void)experiment::Grid::parse(R"({"phoness": [2]})", defaults),
+                 std::runtime_error);
+    // Out-of-range and non-integer values.
+    EXPECT_THROW((void)experiment::Grid::parse(R"({"phones": 0})", defaults),
+                 std::runtime_error);
+    EXPECT_THROW((void)experiment::Grid::parse(R"({"phones": 2.5})", defaults),
+                 std::runtime_error);
+    EXPECT_THROW((void)experiment::Grid::parse(R"({"loss_pct": 150})", defaults),
+                 std::runtime_error);
+}
+
+TEST(ExperimentGrid, CellMaterializesStudyConfig) {
+    experiment::Cell cell;
+    cell.phones = 3;
+    cell.days = 45;
+    cell.lossPct = 12.0;
+    cell.outageDay = 10;
+    cell.outageDays = 2;
+    cell.heartbeatSeconds = 30.0;
+    cell.selfShutdownThresholdSeconds = 200.0;
+    const auto config = cell.toStudyConfig(99);
+    EXPECT_EQ(config.fleetConfig.phoneCount, 3);
+    EXPECT_EQ(config.fleetConfig.seed, 99u);
+    EXPECT_DOUBLE_EQ(config.fleetConfig.transport.dataChannel.lossProb, 0.12);
+    ASSERT_EQ(config.fleetConfig.transport.dataChannel.outages.size(), 1u);
+    EXPECT_DOUBLE_EQ(config.fleetConfig.loggerConfig.heartbeatPeriod.asSecondsF(),
+                     30.0);
+    EXPECT_DOUBLE_EQ(config.selfShutdownThresholdSeconds, 200.0);
+    EXPECT_LE(config.fleetConfig.enrollmentWindow.asSecondsF(),
+              config.fleetConfig.campaign.asSecondsF());
+}
+
+TEST(ExperimentGrid, LoadsFromFile) {
+    const auto path =
+        std::filesystem::temp_directory_path() / "symfail-grid-test.json";
+    std::ofstream{path} << R"({"days": [20, 40]})";
+    const auto grid = experiment::Grid::load(path.string(), experiment::Cell{});
+    EXPECT_EQ(grid.size(), 2u);
+    std::filesystem::remove(path);
+    EXPECT_THROW(
+        (void)experiment::Grid::load((path / "absent").string(), experiment::Cell{}),
+        std::runtime_error);
+}
+
+// -- Runner ---------------------------------------------------------------------
+
+/// A cheap trial body: deterministic metrics derived from the seed, so
+/// runner tests don't pay for real campaigns.
+experiment::TrialMetrics syntheticTrial(const experiment::Cell& cell,
+                                        std::uint64_t seed) {
+    return {{"seed_lo", static_cast<double>(seed & 0xFFFFFFFFu)},
+            {"phones", static_cast<double>(cell.phones)}};
+}
+
+TEST(ExperimentRunner, TrialsNeverShareSubstreams) {
+    experiment::RunnerOptions options;
+    options.trials = 8;
+    options.jobs = 4;
+    options.masterSeed = 77;
+    options.bootstrapResamples = 0;
+    options.trialFn = syntheticTrial;
+    const experiment::Runner runner{options};
+
+    experiment::GridAxes axes;
+    axes.phones = {2, 3, 4};
+    const auto summary =
+        runner.run(experiment::Grid::fromAxes(axes, experiment::Cell{}));
+    std::set<std::uint64_t> seeds;
+    for (const auto& trial : summary.trials) seeds.insert(trial.seed);
+    EXPECT_EQ(seeds.size(), summary.trials.size());
+}
+
+TEST(ExperimentRunner, ThrowingTrialDoesNotPoisonSiblings) {
+    // Blow up exactly cell 0 / trial 1, identified by its derived seed.
+    const std::uint64_t poisoned = experiment::deriveTrialSeed(5, 0, 1);
+    experiment::RunnerOptions options;
+    options.trials = 4;
+    options.jobs = 3;
+    options.masterSeed = 5;
+    options.bootstrapResamples = 0;
+    options.trialFn = [&](const experiment::Cell& cell, std::uint64_t seed) {
+        if (seed == poisoned) throw std::runtime_error("synthetic trial failure");
+        return syntheticTrial(cell, seed);
+    };
+    const experiment::Runner runner{options};
+
+    experiment::GridAxes axes;
+    axes.days = {10, 20};
+    const auto summary =
+        runner.run(experiment::Grid::fromAxes(axes, experiment::Cell{}));
+    ASSERT_EQ(summary.cells.size(), 2u);
+    EXPECT_EQ(summary.cells[0].failedCount, 1u);
+    EXPECT_EQ(summary.cells[1].failedCount, 0u);
+    EXPECT_EQ(summary.failedTrials(), 1u);
+    ASSERT_EQ(summary.cells[0].errors.size(), 1u);
+    EXPECT_NE(summary.cells[0].errors[0].find("synthetic trial failure"),
+              std::string::npos);
+    EXPECT_NE(summary.cells[0].errors[0].find("trial 1"), std::string::npos);
+    // The poisoned cell still aggregates its three surviving trials.
+    const auto* stats = summary.cells[0].find("seed_lo");
+    ASSERT_NE(stats, nullptr);
+    EXPECT_EQ(stats->n, 3u);
+    const auto* sibling = summary.cells[1].find("seed_lo");
+    ASSERT_NE(sibling, nullptr);
+    EXPECT_EQ(sibling->n, 4u);
+}
+
+TEST(ExperimentRunner, RejectsInvalidOptions) {
+    experiment::RunnerOptions options;
+    options.trials = 0;
+    const experiment::Runner runner{options};
+    EXPECT_THROW((void)runner.run(experiment::Grid::single(experiment::Cell{})),
+                 std::runtime_error);
+}
+
+TEST(ExperimentRunner, PublishesMetricsRollup) {
+    obs::MetricsRegistry registry;
+    experiment::RunnerOptions options;
+    options.trials = 3;
+    options.masterSeed = 21;
+    options.bootstrapResamples = 0;
+    options.metrics = &registry;
+    options.trialFn = syntheticTrial;
+    const experiment::Runner runner{options};
+    (void)runner.run(experiment::Grid::single(experiment::Cell{}));
+    const auto text = registry.renderPrometheus();
+    EXPECT_NE(text.find("symfail_experiment_trials_run 3"), std::string::npos);
+    EXPECT_NE(text.find("symfail_experiment_trials_failed 0"), std::string::npos);
+    EXPECT_NE(text.find("symfail_experiment_seed_lo_mean"), std::string::npos);
+}
+
+// -- Scheduling determinism (the tentpole guarantee) ---------------------------
+
+/// Tiny-but-real grid: two cells of genuine field-study campaigns.
+experiment::Grid tinyRealGrid() {
+    experiment::Cell defaults;
+    defaults.phones = 2;
+    defaults.days = 8;
+    experiment::GridAxes axes;
+    axes.lossPct = {0.0, 20.0};
+    return experiment::Grid::fromAxes(axes, defaults);
+}
+
+experiment::Summary runTinySweep(int jobs) {
+    experiment::RunnerOptions options;
+    options.trials = 3;
+    options.jobs = jobs;
+    options.masterSeed = 424242;
+    options.bootstrapResamples = 200;
+    const experiment::Runner runner{options};
+    return runner.run(tinyRealGrid());
+}
+
+TEST(ExperimentDeterminism, ByteIdenticalAcrossJobCounts) {
+    const auto j1 = runTinySweep(1);
+    const auto json1 = experiment::sweepToJson(j1);
+    for (const int jobs : {4, 16}) {
+        const auto summary = runTinySweep(jobs);
+        EXPECT_EQ(json1, experiment::sweepToJson(summary))
+            << "sweep JSON differs between --jobs 1 and --jobs " << jobs;
+    }
+
+    // CSV export is byte-identical too (both files).
+    const auto base = std::filesystem::temp_directory_path() / "symfail-det";
+    std::filesystem::remove_all(base);
+    const auto read = [](const std::filesystem::path& p) {
+        std::ifstream in{p, std::ios::binary};
+        return std::string{std::istreambuf_iterator<char>{in},
+                           std::istreambuf_iterator<char>{}};
+    };
+    const auto files1 = experiment::exportSweepCsv(j1, (base / "j1").string());
+    const auto files4 =
+        experiment::exportSweepCsv(runTinySweep(4), (base / "j4").string());
+    ASSERT_EQ(files1.size(), files4.size());
+    for (std::size_t i = 0; i < files1.size(); ++i) {
+        EXPECT_EQ(read(files1[i]), read(files4[i]));
+    }
+    std::filesystem::remove_all(base);
+}
+
+TEST(ExperimentDeterminism, TrialsActuallyVary) {
+    // Replication is pointless if every trial re-rolls the same numbers:
+    // distinct substreams must produce dispersion in the raw counts.
+    const auto summary = runTinySweep(1);
+    const auto* hours = summary.cells[0].find("observed_phone_hours");
+    ASSERT_NE(hours, nullptr);
+    EXPECT_GT(hours->stddev, 0.0);
+    EXPECT_LT(hours->ciLow, hours->ciHigh);
+}
+
+TEST(ExperimentDeterminism, MasterSeedChangesResults) {
+    experiment::RunnerOptions a;
+    a.trials = 2;
+    a.masterSeed = 1;
+    a.bootstrapResamples = 0;
+    a.trialFn = syntheticTrial;
+    experiment::RunnerOptions b = a;
+    b.masterSeed = 2;
+    const auto ja =
+        experiment::sweepToJson(experiment::Runner{a}.run(tinyRealGrid()));
+    const auto jb =
+        experiment::sweepToJson(experiment::Runner{b}.run(tinyRealGrid()));
+    EXPECT_NE(ja, jb);
+}
+
+}  // namespace
+}  // namespace symfail

@@ -11,6 +11,9 @@
 #include "core/logio.hpp"
 #include "core/render.hpp"
 #include "core/study.hpp"
+#include "experiment/export.hpp"
+#include "experiment/grid.hpp"
+#include "experiment/runner.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
 #include "obs/trace.hpp"
@@ -45,6 +48,12 @@ void printUsage() {
         "           [--metrics FILE]\n"
         "           run an instrumented campaign (default 60 days) and print\n"
         "           the host-time profile and the metric snapshot\n"
+        "  sweep    [--trials N] [--jobs J] [--grid FILE.json] [--seed S]\n"
+        "           [--phones N] [--days D] [--bootstrap R] [--json FILE]\n"
+        "           [--csv DIR] [--metrics FILE]\n"
+        "           run N replicated trials of every grid cell on J workers\n"
+        "           and report mean / stddev / 95%% CI per metric; output is\n"
+        "           byte-identical for any --jobs value at a fixed seed\n"
         "  tables   print the paper's reference taxonomies\n"
         "  help     show this message\n");
 }
@@ -105,6 +114,58 @@ double percentOption(const std::vector<std::string>& args, const std::string& na
     return percent;
 }
 
+/// Shared `--phones/--days/--seed` parsing for every campaign-shaped
+/// subcommand (campaign/obs/transport/sweep), so the flags parse — and
+/// reject malformed values — identically everywhere.  `--phones` falls
+/// back to the preset `config.phoneCount`, `--days` to `defaultDays`
+/// (subcommands default to different campaign lengths), `--seed` to the
+/// preset `config.seed`.  Returns the campaign length in days for banner
+/// printing.
+long long parseFleetOptions(const std::vector<std::string>& args,
+                            fleet::FleetConfig& config, long long defaultDays) {
+    const auto phones = numericOption(args, "--phones", config.phoneCount);
+    if (phones < 1 || phones > 100000) {
+        throw std::runtime_error("--phones must be in [1, 100000], got " +
+                                 std::to_string(phones));
+    }
+    config.phoneCount = static_cast<int>(phones);
+    const auto days = numericOption(args, "--days", defaultDays);
+    if (days < 1 || days > 100000) {
+        throw std::runtime_error("--days must be in [1, 100000], got " +
+                                 std::to_string(days));
+    }
+    config.campaign = sim::Duration::days(days);
+    if (config.enrollmentWindow > config.campaign) {
+        config.enrollmentWindow = config.campaign / 2;
+    }
+    config.seed = static_cast<std::uint64_t>(
+        numericOption(args, "--seed", static_cast<long long>(config.seed)));
+    return days;
+}
+
+/// Writes a metrics snapshot to `path`.  Format follows the extension:
+/// .json and .csv as named, anything else Prometheus text exposition.
+void writeMetricsFile(const obs::MetricsRegistry& registry, const std::string& path) {
+    const auto endsWith = [&](std::string_view suffix) {
+        return path.size() >= suffix.size() &&
+               path.compare(path.size() - suffix.size(), suffix.size(), suffix) == 0;
+    };
+    std::string body;
+    if (endsWith(".json")) {
+        body = registry.renderJson();
+    } else if (endsWith(".csv")) {
+        body = registry.renderCsv();
+    } else {
+        body = registry.renderPrometheus();
+    }
+    std::ofstream out{path, std::ios::binary};
+    out << body;
+    if (!out) {
+        throw std::runtime_error("cannot write metrics file: " + path);
+    }
+    std::printf("wrote %zu metrics to %s\n", registry.size(), path.c_str());
+}
+
 /// Observability attachments requested via --trace/--metrics; owns the
 /// sinks for the duration of the run and writes the files afterwards.
 struct ObsAttachment {
@@ -132,28 +193,7 @@ struct ObsAttachment {
             std::printf("wrote trace (%zu events) to %s\n",
                         traceWriter->eventCount(), tracePath->c_str());
         }
-        if (metricsPath) {
-            const auto endsWith = [&](std::string_view suffix) {
-                return metricsPath->size() >= suffix.size() &&
-                       metricsPath->compare(metricsPath->size() - suffix.size(),
-                                            suffix.size(), suffix) == 0;
-            };
-            std::string body;
-            if (endsWith(".json")) {
-                body = registry.renderJson();
-            } else if (endsWith(".csv")) {
-                body = registry.renderCsv();
-            } else {
-                body = registry.renderPrometheus();
-            }
-            std::ofstream out{*metricsPath, std::ios::binary};
-            out << body;
-            if (!out) {
-                throw std::runtime_error("cannot write metrics file: " + *metricsPath);
-            }
-            std::printf("wrote %zu metrics to %s\n", registry.size(),
-                        metricsPath->c_str());
-        }
+        if (metricsPath) writeMetricsFile(registry, *metricsPath);
     }
 };
 
@@ -204,15 +244,7 @@ void printFieldResults(const core::FieldStudyResults& results, bool withEvaluati
 
 int runCampaign(const std::vector<std::string>& args) {
     core::StudyConfig config;
-    config.fleetConfig.phoneCount =
-        static_cast<int>(numericOption(args, "--phones", config.fleetConfig.phoneCount));
-    const auto days = numericOption(args, "--days", 425);
-    config.fleetConfig.campaign = sim::Duration::days(days);
-    if (config.fleetConfig.enrollmentWindow > config.fleetConfig.campaign) {
-        config.fleetConfig.enrollmentWindow = config.fleetConfig.campaign / 2;
-    }
-    config.fleetConfig.seed = static_cast<std::uint64_t>(
-        numericOption(args, "--seed", static_cast<long long>(config.fleetConfig.seed)));
+    const auto days = parseFleetOptions(args, config.fleetConfig, 425);
     if (hasFlag(args, "--no-transport")) config.fleetConfig.transport.enabled = false;
     applyTransportOptions(args, config.fleetConfig);
     ObsAttachment obsFiles;
@@ -244,15 +276,7 @@ int runCampaign(const std::vector<std::string>& args) {
 
 int runObs(const std::vector<std::string>& args) {
     core::StudyConfig config;
-    config.fleetConfig.phoneCount =
-        static_cast<int>(numericOption(args, "--phones", config.fleetConfig.phoneCount));
-    const auto days = numericOption(args, "--days", 60);
-    config.fleetConfig.campaign = sim::Duration::days(days);
-    if (config.fleetConfig.enrollmentWindow > config.fleetConfig.campaign) {
-        config.fleetConfig.enrollmentWindow = config.fleetConfig.campaign / 2;
-    }
-    config.fleetConfig.seed = static_cast<std::uint64_t>(
-        numericOption(args, "--seed", static_cast<long long>(config.fleetConfig.seed)));
+    const auto days = parseFleetOptions(args, config.fleetConfig, 60);
     applyTransportOptions(args, config.fleetConfig);
 
     // Always profile and collect metrics; trace only when asked (traces of
@@ -278,15 +302,7 @@ int runObs(const std::vector<std::string>& args) {
 
 int runTransport(const std::vector<std::string>& args) {
     core::StudyConfig config;
-    config.fleetConfig.phoneCount =
-        static_cast<int>(numericOption(args, "--phones", config.fleetConfig.phoneCount));
-    const auto days = numericOption(args, "--days", 120);
-    config.fleetConfig.campaign = sim::Duration::days(days);
-    if (config.fleetConfig.enrollmentWindow > config.fleetConfig.campaign) {
-        config.fleetConfig.enrollmentWindow = config.fleetConfig.campaign / 2;
-    }
-    config.fleetConfig.seed = static_cast<std::uint64_t>(
-        numericOption(args, "--seed", static_cast<long long>(config.fleetConfig.seed)));
+    const auto days = parseFleetOptions(args, config.fleetConfig, 120);
     config.fleetConfig.transport.enabled = true;
     applyTransportOptions(args, config.fleetConfig);
 
@@ -320,6 +336,58 @@ int runTransport(const std::vector<std::string>& args) {
         std::printf("no coverage loss: every phone's log was fully delivered\n");
     }
     return 0;
+}
+
+int runSweep(const std::vector<std::string>& args) {
+    // The --phones/--days/--seed flags set the *default cell*; a grid
+    // file's axes override them per cell.  --seed is the sweep's master
+    // seed — every trial seed derives from it.
+    fleet::FleetConfig defaults;
+    defaults.phoneCount = 5;
+    const auto days = parseFleetOptions(args, defaults, 60);
+    experiment::Cell defaultCell;
+    defaultCell.phones = defaults.phoneCount;
+    defaultCell.days = days;
+
+    experiment::RunnerOptions options;
+    options.masterSeed = defaults.seed;
+    options.trials = static_cast<int>(numericOption(args, "--trials", 5));
+    options.jobs = static_cast<int>(numericOption(args, "--jobs", 1));
+    options.bootstrapResamples =
+        static_cast<int>(numericOption(args, "--bootstrap", 1000));
+    if (options.trials < 1 || options.trials > 100'000) {
+        throw std::runtime_error("--trials must be in [1, 100000]");
+    }
+    if (options.jobs < 1 || options.jobs > 1024) {
+        throw std::runtime_error("--jobs must be in [1, 1024]");
+    }
+    obs::MetricsRegistry registry;
+    const auto metricsPath = option(args, "--metrics");
+    if (metricsPath) options.metrics = &registry;
+
+    const auto gridPath = option(args, "--grid");
+    const auto grid = gridPath ? experiment::Grid::load(*gridPath, defaultCell)
+                               : experiment::Grid::single(defaultCell);
+
+    std::printf("sweep: %zu cell(s) x %d trial(s), %d job(s), master seed %llu\n\n",
+                grid.size(), options.trials, options.jobs,
+                static_cast<unsigned long long>(options.masterSeed));
+    const experiment::Runner runner{std::move(options)};
+    const auto summary = runner.run(grid);
+    std::printf("%s", experiment::renderSweepReport(summary).c_str());
+
+    if (const auto path = option(args, "--json")) {
+        experiment::exportSweepJson(summary, *path);
+        std::printf("wrote sweep JSON to %s\n", path->c_str());
+    }
+    if (const auto dir = option(args, "--csv")) {
+        const auto files = experiment::exportSweepCsv(summary, *dir);
+        std::printf("wrote %zu CSV files to %s\n", files.size(), dir->c_str());
+    }
+    if (metricsPath) writeMetricsFile(registry, *metricsPath);
+    // Failed trials are reported per cell without poisoning siblings, but
+    // the exit status must still say something went wrong.
+    return summary.failedTrials() == 0 ? 0 : 1;
 }
 
 int runAnalyze(const std::vector<std::string>& args) {
@@ -395,6 +463,7 @@ int runCli(const std::vector<std::string>& args) {
         if (command == "campaign") return runCampaign(rest);
         if (command == "obs") return runObs(rest);
         if (command == "transport") return runTransport(rest);
+        if (command == "sweep") return runSweep(rest);
         if (command == "analyze") return runAnalyze(rest);
         if (command == "forum") return runForum(rest);
         if (command == "tables") return runTables();
