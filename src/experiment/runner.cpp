@@ -5,6 +5,7 @@
 #include "analysis/panic_stats.hpp"
 #include "experiment/pool.hpp"
 #include "experiment/seed.hpp"
+#include "monitor/monitor.hpp"
 
 namespace symfail::experiment {
 namespace {
@@ -29,7 +30,13 @@ std::size_t Summary::failedTrials() const {
 }
 
 TrialMetrics fieldTrialMetrics(const Cell& cell, std::uint64_t seed) {
-    const core::FailureStudy study{cell.toStudyConfig(seed)};
+    auto config = cell.toStudyConfig(seed);
+    // Each trial carries its own online monitor; it is read-only and
+    // draws no randomness, so the campaign results are unchanged and the
+    // alert counts are a pure function of the trial seed.
+    monitor::FleetMonitor fleetMonitor;
+    config.fleetConfig.obs.monitor = &fleetMonitor;
+    const core::FailureStudy study{std::move(config)};
     const auto results = study.runFieldStudy();
     const auto& mtbf = results.mtbf;
     const double panics = static_cast<double>(results.dataset.panics().size());
@@ -59,6 +66,13 @@ TrialMetrics fieldTrialMetrics(const Cell& cell, std::uint64_t seed) {
         {"transport_delivery_ratio", results.fleet.transport.deliveryRatio()},
         {"observed_phone_hours", hours},
         {"boots", static_cast<double>(results.fleet.totalBoots)},
+        {"monitor_alerts_fired", static_cast<double>(fleetMonitor.alerts().fired())},
+        {"monitor_alerts_cleared",
+         static_cast<double>(fleetMonitor.alerts().cleared())},
+        {"monitor_related_panics",
+         static_cast<double>(fleetMonitor.health().coalescence().relatedCount)},
+        {"monitor_multi_bursts",
+         static_cast<double>(fleetMonitor.health().multiBursts())},
     };
 }
 

@@ -22,13 +22,23 @@ void CollectionServer::receive(const std::string& phoneName,
         // A truncated late upload: keeping it would lose data that already
         // made it to the server.
         ++truncatedUploadsIgnored_;
+        if (observer_ != nullptr) {
+            observer_->onWholeFile(phoneName, logFileContent, false);
+        }
         return;
     }
     latest_[phoneName] = StoredLog{logFileContent, records};
+    if (observer_ != nullptr) {
+        observer_->onWholeFile(phoneName, logFileContent, true);
+    }
 }
 
 std::optional<transport::Ack> CollectionServer::receiveFrame(std::string_view bytes) {
-    return reassembler_.receiveFrame(bytes);
+    const auto result = reassembler_.ingest(bytes);
+    if (result.ack && observer_ != nullptr) {
+        observer_->onFrameAccepted(result);
+    }
+    return result.ack;
 }
 
 std::size_t CollectionServer::phoneCount() const {

@@ -33,6 +33,21 @@
 
 namespace symfail::fleet {
 
+/// Streaming tap on the server's ingest path.  Implementations (the
+/// fleet-health monitor) observe every accepted upload as it arrives, in
+/// simulated time, without perturbing storage or acking.
+class IngestObserver {
+public:
+    virtual ~IngestObserver() = default;
+    /// A whole-file upload arrived.  `stored` is false when the server
+    /// refused it as a truncated late upload.
+    virtual void onWholeFile(const std::string& phoneName, std::string_view content,
+                             bool stored) = 0;
+    /// A chunked frame decoded cleanly and was filed (duplicates included;
+    /// see transport::IngestResult::duplicate).
+    virtual void onFrameAccepted(const transport::IngestResult& frame) = 0;
+};
+
 /// Reconciling collection store.
 class CollectionServer {
 public:
@@ -68,6 +83,11 @@ public:
         return reassembler_;
     }
 
+    /// Attaches a streaming ingest tap (non-owning; nullptr detaches).
+    /// Purely observational: attaching one never changes what the server
+    /// stores or acks.
+    void setIngestObserver(IngestObserver* observer) { observer_ = observer; }
+
 private:
     struct StoredLog {
         std::string content;
@@ -82,6 +102,7 @@ private:
 
     std::map<std::string, StoredLog> latest_;
     transport::Reassembler reassembler_;
+    IngestObserver* observer_{nullptr};
     std::uint64_t uploads_{0};
     std::uint64_t truncatedUploadsIgnored_{0};
 };

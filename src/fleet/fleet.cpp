@@ -6,6 +6,7 @@
 
 #include "faults/injector.hpp"
 #include "fleet/collection.hpp"
+#include "fleet/observer.hpp"
 #include "logger/records.hpp"
 #include "simkernel/simulator.hpp"
 #include "transport/frame.hpp"
@@ -80,6 +81,15 @@ FleetResult runCampaign(const FleetConfig& config) {
 
     CollectionServer server;
 
+    // The monitor taps the ingest stream and learns the campaign shape
+    // before any event fires, so its own periodic work rides the same
+    // simulated clock as everything else.
+    CampaignObserver* monitor = config.obs.monitor;
+    if (monitor != nullptr) {
+        server.setIngestObserver(monitor);
+        monitor->onCampaignBegin(simulator, config);
+    }
+
     FleetResult result;
     result.derivedRates = rates;
 
@@ -139,9 +149,18 @@ FleetResult runCampaign(const FleetConfig& config) {
         const double joinHours = (static_cast<double>(i) + 0.5) /
                                  static_cast<double>(config.phoneCount) *
                                  config.enrollmentWindow.asHoursF();
+        const sim::TimePoint enrollAt =
+            sim::TimePoint::origin() + sim::Duration::fromSecondsF(joinHours * 3'600.0);
+        if (monitor != nullptr) {
+            OutageProbe probe;
+            if (const transport::Channel* data = dataChannel.get()) {
+                probe = [data](sim::TimePoint t) { return data->inOutage(t); };
+            }
+            monitor->onPhoneEnrolled(deviceConfig.name, enrollAt, std::move(probe));
+        }
         phone::PhoneDevice* devicePtr = device.get();
         simulator.scheduleAt(
-            sim::TimePoint::origin() + sim::Duration::fromSecondsF(joinHours * 3'600.0),
+            enrollAt,
             "fleet.enroll", [devicePtr, &simulator, fleetTrack]() {
                 if (auto* trace = simulator.traceSink()) {
                     const obs::TraceArg args[] = {{"phone", devicePtr->name()}};
@@ -158,6 +177,10 @@ FleetResult runCampaign(const FleetConfig& config) {
     }
 
     simulator.runUntil(sim::TimePoint::origin() + config.campaign);
+    if (monitor != nullptr) {
+        monitor->onCampaignEnd(sim::TimePoint::origin() + config.campaign);
+        server.setIngestObserver(nullptr);
+    }
 
     std::uint64_t heartbeatsWritten = 0;
     std::uint64_t panicsLogged = 0;
@@ -197,6 +220,9 @@ FleetResult runCampaign(const FleetConfig& config) {
             report.retransmits += agentStats.retransmits;
             report.retryBudgetExhausted += agentStats.retryBudgetExhausted;
             report.acksReceived += agentStats.acksReceived;
+            report.staleAcks += agentStats.staleAcks;
+            report.bytesSent += agentStats.bytesSent;
+            report.backoffWaitSeconds += agentStats.backoffWait.asSecondsF();
             for (const transport::Channel* channel :
                  {unit.dataChannel.get(), unit.ackChannel.get()}) {
                 const auto& stats = channel->stats();
@@ -205,6 +231,8 @@ FleetResult runCampaign(const FleetConfig& config) {
                 report.framesReordered += stats.framesReordered;
                 report.outageDrops += stats.outageDrops;
                 report.bytesOnWire += stats.bytesOffered;
+                report.framesDelivered += stats.framesDelivered;
+                report.bytesDelivered += stats.bytesDelivered;
             }
             report.deliveryLatency.merge(unit.dataChannel->stats().latency);
         }

@@ -32,6 +32,8 @@
 
 namespace symfail::fleet {
 
+class CampaignObserver;
+
 /// Collection-path configuration: how each phone's Log File travels to the
 /// collection server.  Default: chunked uploads over a lossy GPRS-like
 /// channel with retries — the realistic setting; disable for the ideal
@@ -54,6 +56,10 @@ struct ObsOptions {
     obs::TraceSink* trace{nullptr};
     obs::MetricsRegistry* metrics{nullptr};
     obs::CampaignProfiler* profiler{nullptr};
+    /// Streaming campaign observer (the fleet-health monitor).  Receives
+    /// the server's ingest stream plus lifecycle callbacks; read-only with
+    /// respect to the campaign (see fleet/observer.hpp for the contract).
+    CampaignObserver* monitor{nullptr};
 };
 
 /// Campaign configuration.

@@ -1,0 +1,57 @@
+// Campaign observation hooks.
+//
+// A CampaignObserver extends the collection server's ingest tap with the
+// campaign lifecycle: it learns when the simulation starts (so it can
+// schedule its own periodic work on the same simulated clock), when each
+// phone enrolls (with a probe into the phone's upload-channel outage
+// schedule, so server-side silence can be attributed to transport rather
+// than the device), and when the campaign ends.
+//
+// The contract that keeps campaigns reproducible: an observer is strictly
+// read-only with respect to the simulated world.  It may schedule events
+// for its own bookkeeping, but it must never mutate device, transport or
+// server state and must never draw from any campaign RNG stream — with an
+// observer attached, the collected logs and every regenerated table stay
+// bit-identical to an unobserved run.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "fleet/collection.hpp"
+#include "simkernel/simulator.hpp"
+#include "simkernel/time.hpp"
+
+namespace symfail::fleet {
+
+struct FleetConfig;
+
+/// Probe into a phone's upload-path outage schedule: true when the data
+/// channel is inside a scheduled outage window at `t`.  Valid only while
+/// the campaign's simulation objects are alive (between onCampaignBegin
+/// and the return of runCampaign).
+using OutageProbe = std::function<bool(sim::TimePoint)>;
+
+/// Lifecycle + ingest hooks for one campaign.  All default to no-ops so
+/// implementations opt into what they need.
+class CampaignObserver : public IngestObserver {
+public:
+    /// The simulator exists and the fleet is configured, but no event has
+    /// fired yet.  `simulator` outlives the campaign run.
+    virtual void onCampaignBegin(sim::Simulator& /*simulator*/,
+                                 const FleetConfig& /*config*/) {}
+    /// A phone was added to the fleet; it powers on at `enrollAt`.  The
+    /// probe is empty when the campaign runs without transport.
+    virtual void onPhoneEnrolled(const std::string& /*phoneName*/,
+                                 sim::TimePoint /*enrollAt*/,
+                                 OutageProbe /*outageProbe*/) {}
+    /// The simulation clock reached campaign end; simulation objects are
+    /// still alive.
+    virtual void onCampaignEnd(sim::TimePoint /*at*/) {}
+
+    void onWholeFile(const std::string& /*phoneName*/, std::string_view /*content*/,
+                     bool /*stored*/) override {}
+    void onFrameAccepted(const transport::IngestResult& /*frame*/) override {}
+};
+
+}  // namespace symfail::fleet

@@ -1,0 +1,285 @@
+#include "monitor/health.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace symfail::monitor {
+namespace {
+
+/// Inserts keeping the (almost always already-sorted) deque time-ordered;
+/// revealed-event times can trail the watermark by up to one heartbeat
+/// period, so the slot is never far from the back.
+void insertSorted(std::deque<sim::TimePoint>& events, sim::TimePoint t) {
+    events.push_back(t);
+    for (std::size_t i = events.size() - 1; i > 0 && events[i - 1] > events[i]; --i) {
+        std::swap(events[i - 1], events[i]);
+    }
+}
+
+void trimBefore(std::deque<sim::TimePoint>& events, sim::TimePoint cutoff) {
+    while (!events.empty() && events.front() <= cutoff) events.pop_front();
+}
+
+double safeRatio(double hours, std::uint64_t failures) {
+    return failures == 0 ? 0.0 : hours / static_cast<double>(failures);
+}
+
+}  // namespace
+
+HealthEngine::HealthEngine(HealthConfig config) : config_{config} {}
+
+sim::TimePoint HealthEngine::windowCutoff(sim::TimePoint now) const {
+    return now - config_.rateWindow;
+}
+
+void HealthEngine::addHl(PhoneState& state, sim::TimePoint time,
+                         analysis::PanicRelation kind) {
+    // HL reveal order follows event order per phone, so this append keeps
+    // the list time-sorted (matching the batch pipeline's sort).
+    auto it = state.hls.end();
+    while (it != state.hls.begin() && std::prev(it)->time > time) --it;
+    state.hls.insert(it, HlEvent{time, kind, false});
+}
+
+void HealthEngine::feedPanic(PhoneState& state, sim::TimePoint time) {
+    if (state.burstLen == 0 ||
+        (time - state.prevPanicAt).asSecondsF() <= config_.burstGapSeconds) {
+        ++state.burstLen;
+    } else {
+        closeBurst(state);
+        state.burstLen = 1;
+    }
+    state.prevPanicAt = time;
+}
+
+void HealthEngine::closeBurst(PhoneState& state) {
+    if (state.burstLen == 0) return;
+    bursts_.add(static_cast<std::int64_t>(state.burstLen));
+    if (state.burstLen >= 2) {
+        ++multiBursts_;
+        insertSorted(windowMultiBursts_, state.prevPanicAt);
+    }
+    state.burstLen = 0;
+}
+
+void HealthEngine::resolvePanic(PhoneState& state, const PendingPanic& panic) {
+    // Mirrors analysis::coalesce: nearest HL event within the window wins,
+    // later equal-gap events replacing earlier ones.
+    auto relation = analysis::PanicRelation::Isolated;
+    double best = config_.coalescenceWindowSeconds;
+    std::size_t bestIdx = state.hls.size();
+    for (std::size_t i = 0; i < state.hls.size(); ++i) {
+        const double gap = std::abs((state.hls[i].time - panic.time).asSecondsF());
+        if (gap <= best) {
+            best = gap;
+            bestIdx = i;
+        }
+    }
+    if (bestIdx < state.hls.size()) {
+        relation = state.hls[bestIdx].kind;
+        if (!state.hls[bestIdx].matched) {
+            state.hls[bestIdx].matched = true;
+            ++hlMatched_;
+        }
+    }
+
+    auto& row = byCategory_[panic.category];
+    row.category = panic.category;
+    ++row.total;
+    if (relation == analysis::PanicRelation::Freeze) {
+        ++row.toFreeze;
+        ++relatedCount_;
+    } else if (relation == analysis::PanicRelation::SelfShutdown) {
+        ++row.toSelfShutdown;
+        ++relatedCount_;
+    }
+    ++panicsResolved_;
+}
+
+void HealthEngine::resolveReady(const std::string& /*phone*/, PhoneState& state) {
+    // A pending panic is safe to resolve once no future record of this
+    // phone can reveal an HL event inside its coalescence window: an
+    // unrevealed HL is later than watermark - heartbeatPeriod.
+    const auto window = sim::Duration::fromSecondsF(config_.coalescenceWindowSeconds);
+    while (!state.pending.empty() &&
+           state.watermark > state.pending.front().time + window +
+                                 config_.heartbeatPeriod) {
+        resolvePanic(state, state.pending.front());
+        state.pending.pop_front();
+    }
+}
+
+void HealthEngine::onRecord(const std::string& phone,
+                            const logger::LogFileEntry& entry) {
+    PhoneState& state = phones_[phone];
+    sim::TimePoint t{};
+    switch (entry.type) {
+        case logger::LogFileEntry::Type::Panic: t = entry.panic.time; break;
+        case logger::LogFileEntry::Type::Boot: t = entry.boot.time; break;
+        case logger::LogFileEntry::Type::UserReport: t = entry.userReport.time; break;
+        case logger::LogFileEntry::Type::Meta: t = entry.meta.time; break;
+    }
+    if (!state.heard) {
+        state.heard = true;
+        state.firstRecordAt = t;
+        state.watermark = t;
+    }
+    state.watermark = std::max(state.watermark, t);
+    ++totals_.records;
+
+    switch (entry.type) {
+        case logger::LogFileEntry::Type::Meta:
+            break;
+        case logger::LogFileEntry::Type::UserReport:
+            ++totals_.userReports;
+            break;
+        case logger::LogFileEntry::Type::Panic: {
+            ++totals_.panics;
+            ++state.panics;
+            insertSorted(state.windowPanics, t);
+            feedPanic(state, t);
+            state.pending.push_back(PendingPanic{t, entry.panic.panic.category});
+            break;
+        }
+        case logger::LogFileEntry::Type::Boot: {
+            ++totals_.boots;
+            ++state.reboots;
+            insertSorted(state.windowBoots, t);
+            const auto& boot = entry.boot;
+            switch (boot.prior) {
+                case logger::PriorShutdown::None:
+                    break;
+                case logger::PriorShutdown::Freeze:
+                    ++totals_.freezes;
+                    ++state.freezes;
+                    insertSorted(state.windowFreezes, boot.lastBeatAt);
+                    addHl(state, boot.lastBeatAt, analysis::PanicRelation::Freeze);
+                    break;
+                case logger::PriorShutdown::Reboot: {
+                    // The paper's discriminator: off-durations under the
+                    // threshold are self-shutdowns, the rest deliberate.
+                    const double off = (boot.time - boot.lastBeatAt).asSecondsF();
+                    if (off < config_.selfShutdownThresholdSeconds) {
+                        ++totals_.selfShutdowns;
+                        ++state.selfShutdowns;
+                        insertSorted(state.windowSelf, boot.lastBeatAt);
+                        addHl(state, boot.lastBeatAt,
+                              analysis::PanicRelation::SelfShutdown);
+                    } else {
+                        ++totals_.userShutdowns;
+                    }
+                    break;
+                }
+                case logger::PriorShutdown::LowBattery:
+                    ++totals_.lowBatteryShutdowns;
+                    break;
+                case logger::PriorShutdown::ManualOff:
+                    ++totals_.manualOffBoots;
+                    break;
+            }
+            break;
+        }
+    }
+    resolveReady(phone, state);
+}
+
+void HealthEngine::trimTo(sim::TimePoint now) {
+    const auto cutoff = windowCutoff(now);
+    for (auto& [name, state] : phones_) {
+        trimBefore(state.windowFreezes, cutoff);
+        trimBefore(state.windowSelf, cutoff);
+        trimBefore(state.windowBoots, cutoff);
+        trimBefore(state.windowPanics, cutoff);
+    }
+    trimBefore(windowMultiBursts_, cutoff);
+}
+
+void HealthEngine::finalize() {
+    if (finalized_) return;
+    finalized_ = true;
+    for (auto& [name, state] : phones_) {
+        while (!state.pending.empty()) {
+            resolvePanic(state, state.pending.front());
+            state.pending.pop_front();
+        }
+        closeBurst(state);
+    }
+}
+
+WindowStats HealthEngine::windowStats(sim::TimePoint now) const {
+    WindowStats stats;
+    const auto cutoff = windowCutoff(now);
+    for (const auto& [name, state] : phones_) {
+        stats.freezes += state.windowFreezes.size();
+        stats.selfShutdowns += state.windowSelf.size();
+        stats.reboots += state.windowBoots.size();
+        stats.panics += state.windowPanics.size();
+        if (state.heard) {
+            const auto lo = std::max(state.firstRecordAt, cutoff);
+            const auto hi = std::min(state.watermark, now);
+            if (hi > lo) stats.observedHours += (hi - lo).asHoursF();
+        }
+    }
+    stats.multiBursts = windowMultiBursts_.size();
+    stats.mtbfFreezeHours = safeRatio(stats.observedHours, stats.freezes);
+    stats.mtbfSelfShutdownHours = safeRatio(stats.observedHours, stats.selfShutdowns);
+    const std::uint64_t failures = stats.freezes + stats.selfShutdowns;
+    stats.mtbfAnyHours = safeRatio(stats.observedHours, failures);
+    stats.failureRatePerKiloHour =
+        stats.observedHours <= 0.0
+            ? 0.0
+            : 1000.0 * static_cast<double>(failures) / stats.observedHours;
+    return stats;
+}
+
+CoalescenceCounts HealthEngine::coalescence() const {
+    CoalescenceCounts counts;
+    counts.panicsResolved = panicsResolved_;
+    counts.relatedCount = relatedCount_;
+    counts.hlWithPanic = hlMatched_;
+    for (const auto& [name, state] : phones_) {
+        counts.pendingPanics += state.pending.size();
+        counts.hlTotal += state.hls.size();
+    }
+    counts.byCategory.reserve(byCategory_.size());
+    for (const auto& [category, row] : byCategory_) counts.byCategory.push_back(row);
+    return counts;
+}
+
+std::vector<PhoneHealthView> HealthEngine::phones(sim::TimePoint now) const {
+    std::vector<PhoneHealthView> views;
+    views.reserve(phones_.size());
+    const auto cutoff = windowCutoff(now);
+    for (const auto& [name, state] : phones_) {
+        PhoneHealthView view;
+        view.name = name;
+        view.freezes = state.freezes;
+        view.selfShutdowns = state.selfShutdowns;
+        view.panics = state.panics;
+        view.reboots = state.reboots;
+        view.windowFreezes = state.windowFreezes.size();
+        view.windowSelfShutdowns = state.windowSelf.size();
+        view.windowPanics = state.windowPanics.size();
+        if (state.heard) {
+            const auto lo = std::max(state.firstRecordAt, cutoff);
+            const auto hi = std::min(state.watermark, now);
+            if (hi > lo) view.windowObservedHours = (hi - lo).asHoursF();
+        }
+        view.windowMtbfAnyHours = safeRatio(
+            view.windowObservedHours, view.windowFreezes + view.windowSelfShutdowns);
+        view.openBurstLen = state.burstLen;
+        view.lastRecordAt = state.watermark;
+        views.push_back(std::move(view));
+    }
+    return views;
+}
+
+std::optional<PhoneHealthView> HealthEngine::phone(const std::string& name,
+                                                   sim::TimePoint now) const {
+    for (auto& view : phones(now)) {
+        if (view.name == name) return view;
+    }
+    return std::nullopt;
+}
+
+}  // namespace symfail::monitor

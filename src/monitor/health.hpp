@@ -1,0 +1,201 @@
+// Online fleet-health analytics.
+//
+// The batch pipeline (src/analysis) answers the paper's questions after
+// the campaign: burst structure (Figure 3), self-shutdown discrimination
+// (Figure 2), panic/HL-event coalescence (Figures 4-5), MTBF.  The
+// HealthEngine answers the same questions *while records stream in*,
+// advancing only on simulated event time.
+//
+// Exactness contract: fed one phone's records in log order and then
+// finalized, the engine's burst-length counter and coalescence counts
+// equal the batch results on the same data, bit for bit.  The key
+// obstacle is that high-level (HL) events are revealed retroactively — a
+// freeze only becomes visible in the *next* boot record, timestamped at
+// the last ALIVE heartbeat before it.  The engine therefore holds each
+// panic pending until no future record can change its relation: an
+// unrevealed HL event of a phone is always later than that phone's record
+// watermark minus one heartbeat period (nothing is logged between the
+// last beat and the shutdown except, for freezes, records within the beat
+// period), so a panic at t is safe to resolve once the watermark passes
+// t + window + heartbeatPeriod.  finalize() resolves everything left.
+//
+// Sliding-window rates (not part of the batch pipeline) count revealed
+// events in (now - rateWindow, now] against the observed phone-time
+// overlapping the window.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/coalescence.hpp"
+#include "analysis/discriminator.hpp"
+#include "logger/records.hpp"
+#include "simkernel/histogram.hpp"
+#include "simkernel/time.hpp"
+
+namespace symfail::monitor {
+
+/// Analytic knobs; defaults mirror the paper's batch analysis.
+struct HealthConfig {
+    double coalescenceWindowSeconds = analysis::kCoalescenceWindowSeconds;
+    double burstGapSeconds = 300.0;
+    double selfShutdownThresholdSeconds = analysis::kSelfShutdownThresholdSeconds;
+    /// Sliding window for rates and windowed MTBF.
+    sim::Duration rateWindow = sim::Duration::days(7);
+    /// Lateness bound for live panic finalization (see file comment).
+    sim::Duration heartbeatPeriod = sim::Duration::seconds(60);
+};
+
+/// Fleet-wide windowed counts at one instant.
+struct WindowStats {
+    std::uint64_t freezes{0};
+    std::uint64_t selfShutdowns{0};
+    std::uint64_t reboots{0};  ///< All boot records in the window.
+    std::uint64_t panics{0};
+    std::uint64_t multiBursts{0};  ///< Bursts of length >= 2 closed in the window.
+    double observedHours{0.0};     ///< Phone-time overlapping the window.
+    /// Observed hours per failure; 0 when the window holds no failure.
+    double mtbfFreezeHours{0.0};
+    double mtbfSelfShutdownHours{0.0};
+    double mtbfAnyHours{0.0};
+    /// (freezes + self-shutdowns) per 1000 observed hours.
+    double failureRatePerKiloHour{0.0};
+};
+
+/// Lifetime tallies across the fed stream.
+struct HealthTotals {
+    std::uint64_t records{0};
+    std::uint64_t boots{0};
+    std::uint64_t panics{0};
+    std::uint64_t freezes{0};
+    std::uint64_t selfShutdowns{0};
+    std::uint64_t userShutdowns{0};
+    std::uint64_t lowBatteryShutdowns{0};
+    std::uint64_t manualOffBoots{0};
+    std::uint64_t userReports{0};
+};
+
+/// Online coalescence summary; field names follow analysis::CoalescenceResult.
+struct CoalescenceCounts {
+    std::size_t panicsResolved{0};
+    std::size_t relatedCount{0};
+    std::size_t pendingPanics{0};
+    std::size_t hlWithPanic{0};
+    std::size_t hlTotal{0};
+    std::vector<analysis::CategoryRelationRow> byCategory;  ///< Category-sorted.
+    [[nodiscard]] double relatedFraction() const {
+        return panicsResolved == 0 ? 0.0
+                                   : static_cast<double>(relatedCount) /
+                                         static_cast<double>(panicsResolved);
+    }
+};
+
+/// One phone as the dashboard and the alert engine see it.
+struct PhoneHealthView {
+    std::string name;
+    std::uint64_t freezes{0};
+    std::uint64_t selfShutdowns{0};
+    std::uint64_t panics{0};
+    std::uint64_t reboots{0};
+    std::uint64_t windowFreezes{0};
+    std::uint64_t windowSelfShutdowns{0};
+    std::uint64_t windowPanics{0};
+    double windowObservedHours{0.0};
+    /// Observed hours per windowed failure; 0 when the window is clean.
+    double windowMtbfAnyHours{0.0};
+    /// Length of the burst still open at the last fed panic.
+    std::size_t openBurstLen{0};
+    sim::TimePoint lastRecordAt;
+};
+
+/// Streaming analytics over per-phone record streams.
+class HealthEngine {
+public:
+    explicit HealthEngine(HealthConfig config = {});
+
+    /// Feeds one parsed record.  Records of one phone must arrive in log
+    /// order (nondecreasing time) — exactly what the ingest tap produces.
+    void onRecord(const std::string& phone, const logger::LogFileEntry& entry);
+    void addMalformed(std::uint64_t lines) { malformedLines_ += lines; }
+
+    /// Advances the window clock: events at or before `now - rateWindow`
+    /// leave the windowed counts.
+    void trimTo(sim::TimePoint now);
+
+    /// End of stream: resolves every pending panic and closes open bursts,
+    /// making the online counts equal to the batch pipeline's.
+    void finalize();
+
+    [[nodiscard]] WindowStats windowStats(sim::TimePoint now) const;
+    /// Finalized burst lengths (open bursts join at finalize()).
+    [[nodiscard]] const sim::FreqCounter& burstLengths() const { return bursts_; }
+    [[nodiscard]] std::uint64_t multiBursts() const { return multiBursts_; }
+    [[nodiscard]] CoalescenceCounts coalescence() const;
+    [[nodiscard]] const HealthTotals& totals() const { return totals_; }
+    [[nodiscard]] std::uint64_t malformedLines() const { return malformedLines_; }
+    [[nodiscard]] std::vector<PhoneHealthView> phones(sim::TimePoint now) const;
+    [[nodiscard]] std::optional<PhoneHealthView> phone(const std::string& name,
+                                                       sim::TimePoint now) const;
+    [[nodiscard]] const HealthConfig& config() const { return config_; }
+
+private:
+    struct HlEvent {
+        sim::TimePoint time;
+        analysis::PanicRelation kind;  ///< Freeze or SelfShutdown.
+        bool matched{false};
+    };
+    struct PendingPanic {
+        sim::TimePoint time;
+        symbos::PanicCategory category;
+    };
+    struct PhoneState {
+        // Stream position.
+        sim::TimePoint watermark;
+        sim::TimePoint firstRecordAt;
+        bool heard{false};
+        // Coalescence.
+        std::vector<HlEvent> hls;
+        std::deque<PendingPanic> pending;
+        // Bursts.
+        std::size_t burstLen{0};
+        sim::TimePoint prevPanicAt;
+        // Windowed events (revealed-event times, time-sorted).
+        std::deque<sim::TimePoint> windowFreezes;
+        std::deque<sim::TimePoint> windowSelf;
+        std::deque<sim::TimePoint> windowBoots;
+        std::deque<sim::TimePoint> windowPanics;
+        // Lifetime tallies.
+        std::uint64_t freezes{0};
+        std::uint64_t selfShutdowns{0};
+        std::uint64_t panics{0};
+        std::uint64_t reboots{0};
+    };
+
+    void addHl(PhoneState& state, sim::TimePoint time, analysis::PanicRelation kind);
+    void feedPanic(PhoneState& state, sim::TimePoint time);
+    /// Resolves pending panics whose relation can no longer change.
+    void resolveReady(const std::string& phone, PhoneState& state);
+    void resolvePanic(PhoneState& state, const PendingPanic& panic);
+    void closeBurst(PhoneState& state);
+    [[nodiscard]] sim::TimePoint windowCutoff(sim::TimePoint now) const;
+
+    HealthConfig config_;
+    std::map<std::string, PhoneState> phones_;
+    std::map<symbos::PanicCategory, analysis::CategoryRelationRow> byCategory_;
+    sim::FreqCounter bursts_;
+    std::uint64_t multiBursts_{0};
+    /// Close times of multi-panic bursts, for the windowed count.
+    std::deque<sim::TimePoint> windowMultiBursts_;
+    std::size_t relatedCount_{0};
+    std::size_t panicsResolved_{0};
+    std::size_t hlMatched_{0};
+    HealthTotals totals_;
+    std::uint64_t malformedLines_{0};
+    bool finalized_{false};
+};
+
+}  // namespace symfail::monitor

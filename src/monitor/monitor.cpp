@@ -1,0 +1,604 @@
+#include "monitor/monitor.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "obs/trace.hpp"  // appendJsonEscaped
+
+namespace symfail::monitor {
+namespace {
+
+void appendf(std::string& out, const char* format, auto... args) {
+    char buf[512];
+    std::snprintf(buf, sizeof buf, format, args...);
+    out += buf;
+}
+
+void appendNumber(std::string& out, double value) {
+    appendf(out, "%.10g", value);
+}
+
+void appendQuoted(std::string& out, std::string_view s) {
+    out += '"';
+    obs::appendJsonEscaped(out, s);
+    out += '"';
+}
+
+void appendStringArray(std::string& out, const std::vector<std::string>& items) {
+    out += '[';
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        if (i > 0) out += ',';
+        appendQuoted(out, items[i]);
+    }
+    out += ']';
+}
+
+sim::TimePoint entryTime(const logger::LogFileEntry& entry) {
+    switch (entry.type) {
+        case logger::LogFileEntry::Type::Panic: return entry.panic.time;
+        case logger::LogFileEntry::Type::Boot: return entry.boot.time;
+        case logger::LogFileEntry::Type::UserReport: return entry.userReport.time;
+        case logger::LogFileEntry::Type::Meta: return entry.meta.time;
+    }
+    return {};
+}
+
+/// Max-pooled ASCII sparkline over `values`, at most `width` columns.
+std::string sparkline(const std::vector<double>& values, std::size_t width) {
+    static constexpr std::string_view kLevels = " .:-=+*#%@";
+    if (values.empty()) return {};
+    width = std::min(width, values.size());
+    std::vector<double> pooled(width, 0.0);
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        const std::size_t bucket = i * width / values.size();
+        pooled[bucket] = std::max(pooled[bucket], values[i]);
+    }
+    const double peak = *std::max_element(pooled.begin(), pooled.end());
+    std::string out;
+    out.reserve(width);
+    for (const double v : pooled) {
+        std::size_t level = 0;
+        if (peak > 0.0) {
+            level = static_cast<std::size_t>(v / peak *
+                                             static_cast<double>(kLevels.size() - 1));
+        }
+        out += kLevels[std::min(level, kLevels.size() - 1)];
+    }
+    return out;
+}
+
+}  // namespace
+
+std::string_view toString(Liveness liveness) {
+    switch (liveness) {
+        case Liveness::NotEnrolled: return "not-enrolled";
+        case Liveness::Healthy: return "healthy";
+        case Liveness::SilentOutage: return "silent-outage";
+        case Liveness::SilentSuspect: return "silent-suspect";
+    }
+    return "?";
+}
+
+std::vector<AlertRule> defaultRules(const MonitorConfig& config) {
+    std::vector<AlertRule> rules;
+    // Fleet failure rate: the paper's steady state is ~7 failures per 1000
+    // observed hours (MTBFr 313 h + MTBS 250 h); twice that is a spike.
+    rules.push_back(AlertRule{"fleet-failure-rate-high",
+                              "window_failure_rate_per_khour",
+                              Comparison::GreaterThan, 15.0, Severity::Warning,
+                              false, 12.0});
+    // Windowed MTBF floor: combined paper MTBF is ~139 h; below 60 h the
+    // fleet is failing at better than twice the expected pace.
+    rules.push_back(AlertRule{"fleet-mtbf-low", "windowed_mtbf_any_hours",
+                              Comparison::LessThan, 60.0, Severity::Critical,
+                              false, 75.0});
+    // Upload silence, attributed: dead device vs transport outage.
+    rules.push_back(AlertRule{"phone-silent", "silence_hours",
+                              Comparison::GreaterThan, config.silenceHours,
+                              Severity::Critical, true, {}});
+    rules.push_back(AlertRule{"phone-outage", "outage_silence_hours",
+                              Comparison::GreaterThan, config.silenceHours,
+                              Severity::Warning, true, {}});
+    // Burst activity: multi-panic bursts are normal (~25% of bursts), so
+    // only an elevated windowed count is noteworthy.
+    rules.push_back(AlertRule{"panic-burst-activity", "window_multi_bursts",
+                              Comparison::GreaterOrEqual, 3.0, Severity::Info,
+                              false, 2.0});
+    return rules;
+}
+
+FleetMonitor::FleetMonitor(MonitorConfig config)
+    : config_{std::move(config)},
+      health_{config_.health},
+      alerts_{config_.rules.empty() ? defaultRules(config_) : config_.rules} {}
+
+void FleetMonitor::onCampaignBegin(sim::Simulator& simulator,
+                                   const fleet::FleetConfig& config) {
+    simulator_ = &simulator;
+    // Adopt the campaign's heartbeat period: it bounds how far an HL
+    // event's timestamp can trail the record stream (the finalization
+    // safety margin).
+    config_.health.heartbeatPeriod = config.loggerConfig.heartbeatPeriod;
+    health_ = HealthEngine{config_.health};
+    tickHandle_ = simulator.schedulePeriodic(
+        config_.tick, "monitor.tick",
+        [this](sim::Periodic&) { tick(simulator_->now()); });
+}
+
+FleetMonitor::Presence& FleetMonitor::registerPhone(const std::string& phoneName,
+                                                    sim::TimePoint at) {
+    const auto [it, inserted] = presence_.try_emplace(phoneName);
+    if (inserted) {
+        it->second.enrollAt = at;
+        it->second.lastIngestAt = at;
+    }
+    return it->second;
+}
+
+void FleetMonitor::onPhoneEnrolled(const std::string& phoneName,
+                                   sim::TimePoint enrollAt,
+                                   fleet::OutageProbe outageProbe) {
+    Presence& presence = registerPhone(phoneName, enrollAt);
+    presence.enrollAt = enrollAt;
+    presence.lastIngestAt = enrollAt;
+    presence.probe = std::move(outageProbe);
+}
+
+void FleetMonitor::consumeLines(const std::string& phoneName,
+                                std::string_view complete) {
+    if (complete.empty()) return;
+    std::size_t malformed = 0;
+    const auto entries = logger::parseLogFile(complete, &malformed);
+    health_.addMalformed(malformed);
+    for (const auto& entry : entries) {
+        health_.onRecord(phoneName, entry);
+        ++recordsConsumed_;
+    }
+}
+
+void FleetMonitor::feedStream(const std::string& phoneName, PhoneStream& stream,
+                              std::string_view released) {
+    if (released.empty()) return;
+    consumeLines(phoneName, stream.lines.feed(released));
+}
+
+void FleetMonitor::onFrameAccepted(const transport::IngestResult& frame) {
+    if (simulator_ == nullptr) return;  // live hook; replay feeds records directly
+    const auto now = simulator_->now();
+    Presence& presence = registerPhone(frame.phone, now);
+    presence.heard = true;
+    presence.lastIngestAt = now;
+    ++framesSeen_;
+    lastEventAt_ = std::max(lastEventAt_, now);
+
+    const auto [it, inserted] = streams_.try_emplace(frame.phone);
+    PhoneStream& stream = it->second;
+    if (inserted) stream.tap = SegmentTap{config_.settleTimeout};
+    if (stream.mode == PathMode::Whole) return;  // first ingest path wins
+    stream.mode = PathMode::Chunked;
+    const std::string released =
+        stream.tap.push(frame.seq, frame.segCount, frame.payload, now);
+    feedStream(frame.phone, stream, released);
+}
+
+void FleetMonitor::onWholeFile(const std::string& phoneName,
+                               std::string_view content, bool stored) {
+    if (!stored || simulator_ == nullptr) return;
+    const auto now = simulator_->now();
+    Presence& presence = registerPhone(phoneName, now);
+    presence.heard = true;
+    presence.lastIngestAt = now;
+    lastEventAt_ = std::max(lastEventAt_, now);
+
+    PhoneStream& stream = streams_[phoneName];
+    if (stream.mode == PathMode::Chunked) return;  // first ingest path wins
+    stream.mode = PathMode::Whole;
+    // Whole-file uploads are snapshots of an append-only file; only the
+    // growth past what we already consumed is new.
+    if (content.size() <= stream.wholeConsumed) return;
+    const std::string_view growth = content.substr(stream.wholeConsumed);
+    stream.wholeConsumed = content.size();
+    consumeLines(phoneName, stream.lines.feed(growth));
+}
+
+void FleetMonitor::onCampaignEnd(sim::TimePoint at) {
+    tickHandle_.stop();
+    // The stream is closed: every held segment copy is final, so drain the
+    // taps unconditionally (true gaps still hold their tails back).
+    for (auto& [name, stream] : streams_) {
+        if (stream.mode == PathMode::Chunked) {
+            feedStream(name, stream, stream.tap.flush());
+        }
+    }
+    health_.finalize();
+    finalized_ = true;
+    tick(at);
+}
+
+void FleetMonitor::replay(const std::vector<analysis::PhoneLog>& logs) {
+    struct Item {
+        sim::TimePoint time;
+        const std::string* phone;
+        const logger::LogFileEntry* entry;
+    };
+    std::vector<std::vector<logger::LogFileEntry>> parsed;
+    parsed.reserve(logs.size());
+    std::size_t total = 0;
+    for (const auto& log : logs) {
+        std::size_t malformed = 0;
+        parsed.push_back(logger::parseLogFile(log.logFileContent, &malformed));
+        health_.addMalformed(malformed);
+        total += parsed.back().size();
+    }
+    std::vector<Item> items;
+    items.reserve(total);
+    for (std::size_t i = 0; i < logs.size(); ++i) {
+        for (const auto& entry : parsed[i]) {
+            items.push_back(Item{entryTime(entry), &logs[i].phoneName, &entry});
+        }
+    }
+    // Global ingest order: by record time, per-phone log order preserved
+    // on ties (stable sort over the per-phone sequential layout).
+    std::stable_sort(items.begin(), items.end(),
+                     [](const Item& a, const Item& b) { return a.time < b.time; });
+
+    if (!items.empty()) {
+        sim::TimePoint nextTick = items.front().time + config_.tick;
+        for (const Item& item : items) {
+            while (item.time > nextTick) {
+                tick(nextTick);
+                nextTick += config_.tick;
+            }
+            Presence& presence = registerPhone(*item.phone, item.time);
+            presence.heard = true;
+            presence.lastIngestAt = std::max(presence.lastIngestAt, item.time);
+            health_.onRecord(*item.phone, *item.entry);
+            ++recordsConsumed_;
+            lastEventAt_ = std::max(lastEventAt_, item.time);
+        }
+    }
+    health_.finalize();
+    finalized_ = true;
+    tick(lastEventAt_);
+}
+
+std::optional<double> FleetMonitor::metricValue(
+    const std::string& metric, const std::string& phone, sim::TimePoint now,
+    const WindowStats& window,
+    const std::map<std::string, PhoneHealthView>& views) const {
+    if (phone.empty()) {
+        if (metric == "window_failure_rate_per_khour") {
+            if (window.observedHours <= 0.0) return std::nullopt;
+            return window.failureRatePerKiloHour;
+        }
+        if (metric == "windowed_mtbf_any_hours") {
+            if (window.freezes + window.selfShutdowns == 0) return std::nullopt;
+            return window.mtbfAnyHours;
+        }
+        if (metric == "window_freezes") return static_cast<double>(window.freezes);
+        if (metric == "window_self_shutdowns") {
+            return static_cast<double>(window.selfShutdowns);
+        }
+        if (metric == "window_reboots") return static_cast<double>(window.reboots);
+        if (metric == "window_panics") return static_cast<double>(window.panics);
+        if (metric == "window_multi_bursts") {
+            return static_cast<double>(window.multiBursts);
+        }
+        if (metric == "window_observed_hours") return window.observedHours;
+        if (metric == "phones_silent") {
+            std::size_t silent = 0;
+            for (const auto& [name, presence] : presence_) {
+                if (presence.liveness == Liveness::SilentOutage ||
+                    presence.liveness == Liveness::SilentSuspect) {
+                    ++silent;
+                }
+            }
+            return static_cast<double>(silent);
+        }
+        return std::nullopt;
+    }
+
+    if (metric == "silence_hours" || metric == "outage_silence_hours") {
+        const auto it = presence_.find(phone);
+        if (it == presence_.end() || now < it->second.enrollAt) return std::nullopt;
+        const Presence& presence = it->second;
+        const bool inOutage = presence.probe && presence.probe(now);
+        // Silence is attributed: while the upload path is in a known
+        // outage window the device cannot be blamed, and vice versa.
+        if ((metric == "outage_silence_hours") != inOutage) return std::nullopt;
+        const auto last = std::max(presence.lastIngestAt, presence.enrollAt);
+        return (now - last).asHoursF();
+    }
+
+    const auto it = views.find(phone);
+    if (it == views.end()) return std::nullopt;
+    const PhoneHealthView& view = it->second;
+    if (metric == "window_panics") return static_cast<double>(view.windowPanics);
+    if (metric == "window_freezes") return static_cast<double>(view.windowFreezes);
+    if (metric == "window_self_shutdowns") {
+        return static_cast<double>(view.windowSelfShutdowns);
+    }
+    if (metric == "window_mtbf_any_hours") {
+        if (view.windowFreezes + view.windowSelfShutdowns == 0) return std::nullopt;
+        return view.windowMtbfAnyHours;
+    }
+    if (metric == "open_burst_len") return static_cast<double>(view.openBurstLen);
+    return std::nullopt;
+}
+
+void FleetMonitor::tick(sim::TimePoint now) {
+    // Live mode: settle-timeout releases first, so this tick sees them.
+    if (!finalized_ && simulator_ != nullptr) {
+        for (auto& [name, stream] : streams_) {
+            if (stream.mode == PathMode::Chunked) {
+                feedStream(name, stream, stream.tap.poll(now));
+            }
+        }
+    }
+    health_.trimTo(now);
+    const WindowStats window = health_.windowStats(now);
+    std::map<std::string, PhoneHealthView> views;
+    for (auto& view : health_.phones(now)) {
+        views.emplace(view.name, std::move(view));
+    }
+
+    std::vector<std::string> phoneNames;
+    phoneNames.reserve(presence_.size());
+    std::vector<std::string> silentPhones;
+    std::size_t suspect = 0;
+    std::size_t outage = 0;
+    std::size_t heard = 0;
+    for (auto& [name, presence] : presence_) {
+        phoneNames.push_back(name);
+        if (presence.heard) ++heard;
+        if (now < presence.enrollAt) {
+            presence.liveness = Liveness::NotEnrolled;
+            continue;
+        }
+        const auto last = std::max(presence.lastIngestAt, presence.enrollAt);
+        const double silenceH = (now - last).asHoursF();
+        if (silenceH > config_.silenceHours) {
+            const bool inOutage = presence.probe && presence.probe(now);
+            presence.liveness =
+                inOutage ? Liveness::SilentOutage : Liveness::SilentSuspect;
+            if (inOutage) {
+                ++outage;
+            } else {
+                ++suspect;
+            }
+            silentPhones.push_back(name);
+        } else {
+            presence.liveness = Liveness::Healthy;
+        }
+    }
+
+    alerts_.evaluate(now, phoneNames,
+                     [&](const std::string& metric, const std::string& phone) {
+                         return metricValue(metric, phone, now, window, views);
+                     });
+
+    const auto coalescence = health_.coalescence();
+    Snapshot snapshot;
+    snapshot.at = now;
+    snapshot.records = recordsConsumed_;
+    snapshot.frames = framesSeen_;
+    snapshot.malformed = health_.malformedLines();
+    snapshot.phonesRegistered = presence_.size();
+    snapshot.phonesHeard = heard;
+    snapshot.silentSuspect = suspect;
+    snapshot.silentOutage = outage;
+    snapshot.window = window;
+    snapshot.totals = health_.totals();
+    snapshot.resolvedPanics = coalescence.panicsResolved;
+    snapshot.relatedPanics = coalescence.relatedCount;
+    snapshot.pendingPanics = coalescence.pendingPanics;
+    snapshot.multiBursts = health_.multiBursts();
+    snapshot.alertsFired = alerts_.fired();
+    snapshot.alertsCleared = alerts_.cleared();
+    snapshot.alertsActive = alerts_.activeCount();
+    snapshot.silentPhones = std::move(silentPhones);
+    snapshot.activeAlerts = alerts_.activeLabels();
+    snapshots_.push_back(std::move(snapshot));
+}
+
+std::string FleetMonitor::snapshotsJsonl() const {
+    std::string out;
+    for (const Snapshot& s : snapshots_) {
+        appendf(out, "{\"t_hours\":");
+        appendNumber(out, (s.at - sim::TimePoint::origin()).asHoursF());
+        appendf(out, ",\"records\":%llu,\"frames\":%llu,\"malformed\":%llu",
+                static_cast<unsigned long long>(s.records),
+                static_cast<unsigned long long>(s.frames),
+                static_cast<unsigned long long>(s.malformed));
+        appendf(out, ",\"phones\":%zu,\"heard\":%zu,\"silent_suspect\":%zu,"
+                     "\"silent_outage\":%zu",
+                s.phonesRegistered, s.phonesHeard, s.silentSuspect, s.silentOutage);
+        out += ",\"window\":{";
+        appendf(out, "\"freezes\":%llu,\"self_shutdowns\":%llu,\"reboots\":%llu,"
+                     "\"panics\":%llu,\"multi_bursts\":%llu,\"observed_hours\":",
+                static_cast<unsigned long long>(s.window.freezes),
+                static_cast<unsigned long long>(s.window.selfShutdowns),
+                static_cast<unsigned long long>(s.window.reboots),
+                static_cast<unsigned long long>(s.window.panics),
+                static_cast<unsigned long long>(s.window.multiBursts));
+        appendNumber(out, s.window.observedHours);
+        out += ",\"mtbf_any_hours\":";
+        appendNumber(out, s.window.mtbfAnyHours);
+        out += ",\"failure_rate_per_khour\":";
+        appendNumber(out, s.window.failureRatePerKiloHour);
+        out += "},\"totals\":{";
+        appendf(out, "\"boots\":%llu,\"panics\":%llu,\"freezes\":%llu,"
+                     "\"self_shutdowns\":%llu,\"user_shutdowns\":%llu,"
+                     "\"low_battery\":%llu,\"manual_off\":%llu,\"user_reports\":%llu}",
+                static_cast<unsigned long long>(s.totals.boots),
+                static_cast<unsigned long long>(s.totals.panics),
+                static_cast<unsigned long long>(s.totals.freezes),
+                static_cast<unsigned long long>(s.totals.selfShutdowns),
+                static_cast<unsigned long long>(s.totals.userShutdowns),
+                static_cast<unsigned long long>(s.totals.lowBatteryShutdowns),
+                static_cast<unsigned long long>(s.totals.manualOffBoots),
+                static_cast<unsigned long long>(s.totals.userReports));
+        appendf(out, ",\"coalescence\":{\"resolved\":%zu,\"related\":%zu,"
+                     "\"pending\":%zu},\"multi_bursts\":%llu",
+                s.resolvedPanics, s.relatedPanics, s.pendingPanics,
+                static_cast<unsigned long long>(s.multiBursts));
+        appendf(out, ",\"alerts\":{\"fired\":%llu,\"cleared\":%llu,\"active\":%zu,"
+                     "\"active_labels\":",
+                static_cast<unsigned long long>(s.alertsFired),
+                static_cast<unsigned long long>(s.alertsCleared), s.alertsActive);
+        appendStringArray(out, s.activeAlerts);
+        out += "},\"silent\":";
+        appendStringArray(out, s.silentPhones);
+        out += "}\n";
+    }
+    return out;
+}
+
+std::string FleetMonitor::renderAlertLog() const {
+    std::string out;
+    for (const AlertEvent& event : alerts_.log()) {
+        out += event.time.str();
+        out += ' ';
+        out += toString(event.severity);
+        out += ' ';
+        out += event.rule;
+        if (!event.phone.empty()) {
+            out += '/';
+            out += event.phone;
+        }
+        out += event.firing ? " FIRING value=" : " CLEARED value=";
+        appendNumber(out, event.value);
+        out += '\n';
+    }
+    return out;
+}
+
+std::string FleetMonitor::renderDashboard() const {
+    std::string out = "== Fleet health monitor ==\n";
+    if (snapshots_.empty()) {
+        out += "  no snapshots (nothing ingested)\n";
+        return out;
+    }
+    const Snapshot& last = snapshots_.back();
+    const auto coalescence = health_.coalescence();
+    const auto& totals = health_.totals();
+
+    appendf(out, "  simulated             %.1f d, %zu snapshots (tick %.1f h, window %.0f h)\n",
+            (last.at - sim::TimePoint::origin()).asHoursF() / 24.0,
+            snapshots_.size(), config_.tick.asHoursF(),
+            config_.health.rateWindow.asHoursF());
+    appendf(out, "  ingest                %llu frames -> %llu records (%llu malformed), %zu/%zu phones heard\n",
+            static_cast<unsigned long long>(framesSeen_),
+            static_cast<unsigned long long>(recordsConsumed_),
+            static_cast<unsigned long long>(health_.malformedLines()),
+            last.phonesHeard, last.phonesRegistered);
+    appendf(out, "  totals                freezes %llu, self-shutdowns %llu, user shutdowns %llu, reboots %llu, panics %llu\n",
+            static_cast<unsigned long long>(totals.freezes),
+            static_cast<unsigned long long>(totals.selfShutdowns),
+            static_cast<unsigned long long>(totals.userShutdowns),
+            static_cast<unsigned long long>(totals.boots),
+            static_cast<unsigned long long>(totals.panics));
+    appendf(out, "  online coalescence    %zu/%zu panics HL-related (%.1f%%), %zu pending; HL with panic %zu/%zu\n",
+            coalescence.relatedCount, coalescence.panicsResolved,
+            100.0 * coalescence.relatedFraction(), coalescence.pendingPanics,
+            coalescence.hlWithPanic, coalescence.hlTotal);
+    const auto& bursts = health_.burstLengths();
+    appendf(out, "  bursts                %llu bursts, %llu multi-panic (%.1f%%)\n",
+            static_cast<unsigned long long>(bursts.total()),
+            static_cast<unsigned long long>(health_.multiBursts()),
+            bursts.total() == 0
+                ? 0.0
+                : 100.0 * static_cast<double>(health_.multiBursts()) /
+                      static_cast<double>(bursts.total()));
+    appendf(out, "  window @ end          freezes %llu, self %llu, panics %llu, MTBF(any) %.1f h, rate %.2f/kh\n",
+            static_cast<unsigned long long>(last.window.freezes),
+            static_cast<unsigned long long>(last.window.selfShutdowns),
+            static_cast<unsigned long long>(last.window.panics),
+            last.window.mtbfAnyHours, last.window.failureRatePerKiloHour);
+    appendf(out, "  liveness              %zu silent suspect, %zu silent in outage\n",
+            last.silentSuspect, last.silentOutage);
+    for (const auto& phone : last.silentPhones) {
+        const auto it = presence_.find(phone);
+        if (it == presence_.end()) continue;
+        const auto lastHeard =
+            std::max(it->second.lastIngestAt, it->second.enrollAt);
+        appendf(out, "    %-14s %-14s last heard %.1f h before end\n", phone.c_str(),
+                std::string{toString(it->second.liveness)}.c_str(),
+                (last.at - lastHeard).asHoursF());
+    }
+    appendf(out, "  alerts                %llu fired, %llu cleared, %zu active\n",
+            static_cast<unsigned long long>(alerts_.fired()),
+            static_cast<unsigned long long>(alerts_.cleared()),
+            alerts_.activeCount());
+    // Tail of the alert log; the full log goes to --alerts.
+    const auto& log = alerts_.log();
+    const std::size_t first = log.size() > 8 ? log.size() - 8 : 0;
+    if (first > 0) appendf(out, "    ... %zu earlier events\n", first);
+    for (std::size_t i = first; i < log.size(); ++i) {
+        const AlertEvent& event = log[i];
+        std::string label = event.rule;
+        if (!event.phone.empty()) {
+            label += '/';
+            label += event.phone;
+        }
+        appendf(out, "    %s %-8s %-32s %s\n", event.time.str().c_str(),
+                std::string{toString(event.severity)}.c_str(), label.c_str(),
+                event.firing ? "FIRING" : "CLEARED");
+    }
+
+    // Windowed failure counts over the campaign, max-pooled per column.
+    std::vector<double> failures;
+    failures.reserve(snapshots_.size());
+    for (const Snapshot& s : snapshots_) {
+        failures.push_back(
+            static_cast<double>(s.window.freezes + s.window.selfShutdowns));
+    }
+    const double peak = failures.empty()
+                            ? 0.0
+                            : *std::max_element(failures.begin(), failures.end());
+    appendf(out, "  windowed failures     peak %.0f per %.0f h window\n", peak,
+            config_.health.rateWindow.asHoursF());
+    out += "    [";
+    out += sparkline(failures, 64);
+    out += "]\n";
+    return out;
+}
+
+void FleetMonitor::publishMetrics(obs::MetricsRegistry& registry) const {
+    registry.counter("monitor", "frames_consumed", "Frames seen by the ingest tap")
+        .inc(framesSeen_);
+    registry.counter("monitor", "records_consumed", "Records parsed from the stream")
+        .inc(recordsConsumed_);
+    registry.counter("monitor", "malformed_lines", "Malformed lines in the stream")
+        .inc(health_.malformedLines());
+    registry.counter("monitor", "alerts_fired", "Alert FIRING transitions")
+        .inc(alerts_.fired());
+    registry.counter("monitor", "alerts_cleared", "Alert CLEARED transitions")
+        .inc(alerts_.cleared());
+    registry.gauge("monitor", "alerts_active", "Alerts firing at campaign end")
+        .set(static_cast<double>(alerts_.activeCount()));
+    const auto coalescence = health_.coalescence();
+    registry.counter("monitor", "panics_resolved", "Panics with a final HL relation")
+        .inc(coalescence.panicsResolved);
+    registry
+        .counter("monitor", "related_panics",
+                 "Panics coalesced with a freeze or self-shutdown")
+        .inc(coalescence.relatedCount);
+    registry.gauge("monitor", "related_fraction", "Related / resolved panics")
+        .set(coalescence.relatedFraction());
+    registry.counter("monitor", "bursts", "Finalized panic bursts")
+        .inc(health_.burstLengths().total());
+    registry.counter("monitor", "multi_bursts", "Bursts of length >= 2")
+        .inc(health_.multiBursts());
+    registry.gauge("monitor", "snapshots", "Snapshots taken")
+        .set(static_cast<double>(snapshots_.size()));
+    registry
+        .gauge("monitor", "phones_heard",
+               "Phones the ingest stream delivered records for")
+        .set(snapshots_.empty()
+                 ? 0.0
+                 : static_cast<double>(snapshots_.back().phonesHeard));
+}
+
+}  // namespace symfail::monitor

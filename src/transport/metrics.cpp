@@ -59,6 +59,12 @@ std::string renderTransportReport(const TransportReport& report) {
     appendLine(out, "  bytes on wire            %llu (goodput %.1f%%)",
                static_cast<unsigned long long>(report.bytesOnWire),
                100.0 * report.goodput());
+    appendLine(out, "  wire delivered           %llu frames / %llu bytes",
+               static_cast<unsigned long long>(report.framesDelivered),
+               static_cast<unsigned long long>(report.bytesDelivered));
+    appendLine(out, "  backoff wait             %.1f h total (stale acks %llu)",
+               report.backoffWaitSeconds / 3'600.0,
+               static_cast<unsigned long long>(report.staleAcks));
     appendLine(out, "  server rejects / dups    %llu / %llu (%llu segments stored)",
                static_cast<unsigned long long>(report.framesRejected),
                static_cast<unsigned long long>(report.duplicateFrames),
@@ -113,6 +119,14 @@ void publishTransportMetrics(const TransportReport& report,
         .inc(report.retryBudgetExhausted);
     registry.counter("transport", "acks_received", "Acknowledgements accepted by agents")
         .inc(report.acksReceived);
+    registry.counter("transport", "stale_acks", "Acks dropped as malformed or misaddressed")
+        .inc(report.staleAcks);
+    registry.counter("transport", "bytes_sent", "Frame bytes offered by upload agents")
+        .inc(report.bytesSent);
+    registry
+        .gauge("transport", "backoff_wait_seconds",
+               "Simulated time agents spent in retry backoff")
+        .set(report.backoffWaitSeconds);
     registry.counter("transport", "frames_lost", "Frames dropped on the wire")
         .inc(report.framesLost);
     registry.counter("transport", "frames_duplicated", "Frames delivered twice")
@@ -123,6 +137,10 @@ void publishTransportMetrics(const TransportReport& report,
         .inc(report.outageDrops);
     registry.counter("transport", "bytes_on_wire", "Total wire bytes, framing included")
         .inc(report.bytesOnWire);
+    registry.counter("transport", "frames_delivered", "Frames the channels handed to receivers")
+        .inc(report.framesDelivered);
+    registry.counter("transport", "bytes_delivered", "Wire bytes handed to receivers")
+        .inc(report.bytesDelivered);
     registry.counter("transport", "frames_rejected", "Frames the server failed to decode")
         .inc(report.framesRejected);
     registry.counter("transport", "duplicate_frames", "Duplicates detected server-side")

@@ -27,6 +27,10 @@ struct TransportReport {
     std::uint64_t retransmits{0};
     std::uint64_t retryBudgetExhausted{0};
     std::uint64_t acksReceived{0};
+    std::uint64_t staleAcks{0};
+    std::uint64_t bytesSent{0};
+    /// Simulated time the fleet's agents spent in backoff waits.
+    double backoffWaitSeconds{0.0};
 
     // Wire side (data + ack channels combined).
     std::uint64_t framesLost{0};
@@ -34,6 +38,8 @@ struct TransportReport {
     std::uint64_t framesReordered{0};
     std::uint64_t outageDrops{0};
     std::uint64_t bytesOnWire{0};
+    std::uint64_t framesDelivered{0};
+    std::uint64_t bytesDelivered{0};
     sim::Histogram deliveryLatency{0.0, 120.0, 48};
 
     // Server side.

@@ -4,13 +4,17 @@
 
 namespace symfail::transport {
 
-std::optional<Ack> Reassembler::receiveFrame(std::string_view bytes) {
+IngestResult Reassembler::ingest(std::string_view bytes) {
     ++stats_.framesReceived;
+    IngestResult result;
     auto frame = decodeFrame(bytes);
     if (!frame) {
         ++stats_.framesRejected;
-        return std::nullopt;
+        return result;
     }
+    result.phone = frame->phone;
+    result.seq = frame->seq;
+    result.segCount = frame->segCount;
 
     Assembly& assembly = assemblies_[frame->phone];
     assembly.segCount = std::max(assembly.segCount, frame->segCount);
@@ -26,9 +30,16 @@ std::optional<Ack> Reassembler::receiveFrame(std::string_view bytes) {
         ++stats_.segmentsExtended;
     } else {
         ++stats_.duplicates;
+        result.duplicate = true;
     }
-    return Ack{frame->phone, frame->seq,
-               static_cast<std::uint32_t>(it->second.size())};
+    result.payload = it->second;
+    result.ack = Ack{std::move(frame->phone), frame->seq,
+                     static_cast<std::uint32_t>(it->second.size())};
+    return result;
+}
+
+std::optional<Ack> Reassembler::receiveFrame(std::string_view bytes) {
+    return ingest(bytes).ack;
 }
 
 std::vector<std::string> Reassembler::phones() const {

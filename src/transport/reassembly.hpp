@@ -29,13 +29,30 @@ struct ReassemblyStats {
     std::uint64_t segmentsExtended{0}; ///< Open tail segment grew in place.
 };
 
+/// Outcome of one frame ingestion, rich enough for a streaming consumer
+/// (the fleet-health monitor) to tap the ingest path without decoding the
+/// frame a second time.
+struct IngestResult {
+    /// Acknowledgement to ship back; nullopt when the frame was rejected.
+    std::optional<Ack> ack;
+    /// Decoded fine but carried no new bytes (pure retransmit).
+    bool duplicate{false};
+    std::string phone;
+    std::uint32_t seq{0};
+    std::uint32_t segCount{0};
+    /// Full stored content of the segment after this frame (a view into
+    /// the reassembler's chunk map — valid until the next ingest call).
+    std::string_view payload;
+};
+
 /// Per-phone reassembly state and completeness accounting.
 class Reassembler {
 public:
-    /// Feeds raw bytes from a channel.  Returns the acknowledgement to send
-    /// back to the phone when the frame decoded cleanly (duplicates are
-    /// re-acked: the retransmit usually means the original ack was lost);
-    /// nullopt when the frame was rejected.
+    /// Feeds raw bytes from a channel.  Duplicates are re-acked: the
+    /// retransmit usually means the original ack was lost.
+    [[nodiscard]] IngestResult ingest(std::string_view bytes);
+
+    /// Legacy wrapper around `ingest` returning only the ack.
     std::optional<Ack> receiveFrame(std::string_view bytes);
 
     [[nodiscard]] std::vector<std::string> phones() const;

@@ -98,7 +98,9 @@ sim::Duration UploadAgent::nextDelay(bool pendingRemain) {
     ++attempt_;
     const double jitter =
         rng_.uniform(1.0 - policy_.retryJitter, 1.0 + policy_.retryJitter);
-    return sim::Duration::fromSecondsF(delay.asSecondsF() * jitter);
+    const auto wait = sim::Duration::fromSecondsF(delay.asSecondsF() * jitter);
+    stats_.backoffWait += wait;
+    return wait;
 }
 
 void UploadAgent::runRound(const symbos::ExecContext& ctx) {

@@ -60,6 +60,9 @@ struct UploadAgentStats {
     std::uint64_t acksReceived{0};
     std::uint64_t staleAcks{0};
     std::uint64_t retryBudgetExhausted{0};
+    /// Simulated time spent sitting in exponential-backoff waits (jitter
+    /// included); regular upload-period waits are not counted.
+    sim::Duration backoffWait{};
 };
 
 /// One phone's uploader.

@@ -103,7 +103,7 @@ TEST(Cli, RejectsPartiallyNumericOptions) {
 // the same way, so a fifth subcommand can't quietly regress to partial
 // parses.
 TEST(Cli, FleetOptionParsingParityAcrossSubcommands) {
-    for (const char* command : {"campaign", "transport", "obs", "sweep"}) {
+    for (const char* command : {"campaign", "transport", "obs", "sweep", "monitor"}) {
         EXPECT_EQ(cli::runCli({command, "--phones", "25x"}), 1) << command;
         EXPECT_EQ(cli::runCli({command, "--phones", ""}), 1) << command;
         EXPECT_EQ(cli::runCli({command, "--days", "3d"}), 1) << command;
@@ -114,6 +114,68 @@ TEST(Cli, FleetOptionParsingParityAcrossSubcommands) {
         EXPECT_EQ(cli::runCli({command, "--days", "0"}), 1) << command;
         EXPECT_EQ(cli::runCli({command, "--days", "-7"}), 1) << command;
     }
+}
+
+// Output paths are validated before the campaign runs: a typo'd path must
+// exit non-zero up front instead of burning minutes and then failing.
+TEST(Cli, RejectsUnwritableOutputPathsUpFront) {
+    const char* bad = "/symfail-definitely-missing/out.file";
+    EXPECT_EQ(cli::runCli({"campaign", "--phones", "2", "--days", "2",
+                           "--json", bad}),
+              1);
+    EXPECT_EQ(cli::runCli({"campaign", "--phones", "2", "--days", "2",
+                           "--trace", bad}),
+              1);
+    EXPECT_EQ(cli::runCli({"obs", "--phones", "2", "--days", "2",
+                           "--metrics", bad}),
+              1);
+    EXPECT_EQ(cli::runCli({"sweep", "--trials", "1", "--phones", "1", "--days",
+                           "2", "--json", bad}),
+              1);
+    EXPECT_EQ(cli::runCli({"monitor", "--phones", "1", "--days", "2",
+                           "--snapshots", bad}),
+              1);
+    EXPECT_EQ(cli::runCli({"monitor", "--phones", "1", "--days", "2",
+                           "--alerts", bad}),
+              1);
+    // A directory where a file is expected is rejected too.
+    const auto dir = std::filesystem::temp_directory_path();
+    EXPECT_EQ(cli::runCli({"campaign", "--phones", "2", "--days", "2",
+                           "--json", dir.string()}),
+              1);
+}
+
+TEST(Cli, MonitorRunsLiveAndWritesOutputs) {
+    const auto dir = std::filesystem::temp_directory_path() / "symfail-cli-monitor";
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    const auto snapshots = (dir / "snapshots.jsonl").string();
+    const auto alerts = (dir / "alerts.log").string();
+    const auto metrics = (dir / "metrics.prom").string();
+    EXPECT_EQ(cli::runCli({"monitor", "--phones", "2", "--days", "15", "--seed",
+                           "5", "--snapshots", snapshots, "--alerts", alerts,
+                           "--metrics", metrics}),
+              0);
+    EXPECT_GT(std::filesystem::file_size(snapshots), 0u);
+    EXPECT_GT(std::filesystem::file_size(metrics), 0u);
+    std::filesystem::remove_all(dir);
+}
+
+// Replay mode re-checks the online-vs-batch exactness contract from the
+// CLI and exits non-zero on a mismatch; a passing run is the smoke test.
+TEST(Cli, MonitorReplayMatchesBatch) {
+    EXPECT_EQ(cli::runCli({"monitor", "--phones", "3", "--days", "30", "--seed",
+                           "9", "--replay"}),
+              0);
+}
+
+TEST(Cli, MonitorRejectsBadKnobs) {
+    EXPECT_EQ(cli::runCli({"monitor", "--phones", "2", "--days", "2",
+                           "--tick-hours", "0"}),
+              1);
+    EXPECT_EQ(cli::runCli({"monitor", "--phones", "2", "--days", "2",
+                           "--silence-hours", "-4"}),
+              1);
 }
 
 TEST(Cli, AnalyzeRequiresDirectory) {

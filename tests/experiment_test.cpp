@@ -308,6 +308,26 @@ TEST(ExperimentRunner, PublishesMetricsRollup) {
     EXPECT_NE(text.find("symfail_experiment_seed_lo_mean"), std::string::npos);
 }
 
+// Every sweep cell carries the online monitor's alert/burst metrics, so
+// sweeps can report fleet-health behaviour per cell.
+TEST(ExperimentRunner, FieldTrialsCarryMonitorMetrics) {
+    experiment::RunnerOptions options;
+    options.trials = 1;
+    options.masterSeed = 77;
+    options.bootstrapResamples = 0;
+    experiment::Cell cell;
+    cell.phones = 2;
+    cell.days = 10;
+    const experiment::Runner runner{options};
+    const auto summary = runner.run(experiment::Grid::single(cell));
+    ASSERT_EQ(summary.cells.size(), 1u);
+    for (const char* metric :
+         {"monitor_alerts_fired", "monitor_alerts_cleared",
+          "monitor_related_panics", "monitor_multi_bursts"}) {
+        EXPECT_NE(summary.cells[0].find(metric), nullptr) << metric;
+    }
+}
+
 // -- Scheduling determinism (the tentpole guarantee) ---------------------------
 
 /// Tiny-but-real grid: two cells of genuine field-study campaigns.

@@ -1,6 +1,7 @@
 #include "cli.hpp"
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <memory>
 #include <optional>
@@ -14,6 +15,7 @@
 #include "experiment/export.hpp"
 #include "experiment/grid.hpp"
 #include "experiment/runner.hpp"
+#include "monitor/monitor.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
 #include "obs/trace.hpp"
@@ -48,6 +50,16 @@ void printUsage() {
         "           [--metrics FILE]\n"
         "           run an instrumented campaign (default 60 days) and print\n"
         "           the host-time profile and the metric snapshot\n"
+        "  monitor  [--phones N] [--days D] [--seed S] [--no-transport] [--loss PCT]\n"
+        "           [--outage-day D --outage-days N] [--replay] [--tick-hours H]\n"
+        "           [--silence-hours H] [--snapshots FILE.jsonl] [--alerts FILE]\n"
+        "           [--metrics FILE]\n"
+        "           run a campaign (default 120 days) with the online\n"
+        "           fleet-health monitor attached to the ingest path and\n"
+        "           print the live dashboard; --replay streams the collected\n"
+        "           dataset through the monitor instead and checks the\n"
+        "           online burst/coalescence counts against the batch\n"
+        "           analysis (exit 1 on mismatch)\n"
         "  sweep    [--trials N] [--jobs J] [--grid FILE.json] [--seed S]\n"
         "           [--phones N] [--days D] [--bootstrap R] [--json FILE]\n"
         "           [--csv DIR] [--metrics FILE]\n"
@@ -143,6 +155,65 @@ long long parseFleetOptions(const std::vector<std::string>& args,
     return days;
 }
 
+/// Fails fast when an output *file* path cannot be created: rejects
+/// directories and missing parent directories, and probes writability by
+/// opening the file (removed again if the probe created it).  Called
+/// before a campaign runs, so a typo'd path costs seconds, not the run.
+void requireWritableFile(const std::string& path, const std::string& flag) {
+    namespace fs = std::filesystem;
+    if (path.empty()) {
+        throw std::runtime_error(flag + " requires a non-empty path");
+    }
+    const fs::path target{path};
+    std::error_code ec;
+    if (fs::is_directory(target, ec)) {
+        throw std::runtime_error(flag + " path is a directory: " + path);
+    }
+    const fs::path parent =
+        target.parent_path().empty() ? fs::path{"."} : target.parent_path();
+    if (!fs::is_directory(parent, ec)) {
+        throw std::runtime_error(flag + " parent directory does not exist: " +
+                                 parent.string());
+    }
+    const bool existed = fs::exists(target, ec);
+    const bool writable =
+        static_cast<bool>(std::ofstream{target, std::ios::binary | std::ios::app});
+    if (!existed) fs::remove(target, ec);
+    if (!writable) {
+        throw std::runtime_error("cannot write " + flag + " file: " + path);
+    }
+}
+
+/// Fails fast when an output *directory* cannot be used: creates it (as
+/// the exporters would) and rejects paths occupied by a non-directory.
+void requireWritableDir(const std::string& path, const std::string& flag) {
+    namespace fs = std::filesystem;
+    if (path.empty()) {
+        throw std::runtime_error(flag + " requires a non-empty path");
+    }
+    std::error_code ec;
+    const fs::path target{path};
+    if (fs::exists(target, ec) && !fs::is_directory(target, ec)) {
+        throw std::runtime_error(flag + " path exists and is not a directory: " +
+                                 path);
+    }
+    fs::create_directories(target, ec);
+    if (ec || !fs::is_directory(target)) {
+        throw std::runtime_error("cannot create " + flag + " directory: " + path);
+    }
+}
+
+/// Validates every output path a subcommand may write, before it runs.
+void validateOutputPaths(const std::vector<std::string>& args) {
+    for (const char* flag :
+         {"--trace", "--metrics", "--json", "--snapshots", "--alerts"}) {
+        if (const auto path = option(args, flag)) requireWritableFile(*path, flag);
+    }
+    for (const char* flag : {"--csv", "--logs"}) {
+        if (const auto path = option(args, flag)) requireWritableDir(*path, flag);
+    }
+}
+
 /// Writes a metrics snapshot to `path`.  Format follows the extension:
 /// .json and .csv as named, anything else Prometheus text exposition.
 void writeMetricsFile(const obs::MetricsRegistry& registry, const std::string& path) {
@@ -164,6 +235,16 @@ void writeMetricsFile(const obs::MetricsRegistry& registry, const std::string& p
         throw std::runtime_error("cannot write metrics file: " + path);
     }
     std::printf("wrote %zu metrics to %s\n", registry.size(), path.c_str());
+}
+
+void writeTextFile(const std::string& path, const std::string& body,
+                   const char* what) {
+    std::ofstream out{path, std::ios::binary};
+    out << body;
+    if (!out) {
+        throw std::runtime_error(std::string{"cannot write "} + what + ": " + path);
+    }
+    std::printf("wrote %s to %s\n", what, path.c_str());
 }
 
 /// Observability attachments requested via --trace/--metrics; owns the
@@ -243,6 +324,7 @@ void printFieldResults(const core::FieldStudyResults& results, bool withEvaluati
 }
 
 int runCampaign(const std::vector<std::string>& args) {
+    validateOutputPaths(args);
     core::StudyConfig config;
     const auto days = parseFleetOptions(args, config.fleetConfig, 425);
     if (hasFlag(args, "--no-transport")) config.fleetConfig.transport.enabled = false;
@@ -275,6 +357,7 @@ int runCampaign(const std::vector<std::string>& args) {
 }
 
 int runObs(const std::vector<std::string>& args) {
+    validateOutputPaths(args);
     core::StudyConfig config;
     const auto days = parseFleetOptions(args, config.fleetConfig, 60);
     applyTransportOptions(args, config.fleetConfig);
@@ -339,6 +422,7 @@ int runTransport(const std::vector<std::string>& args) {
 }
 
 int runSweep(const std::vector<std::string>& args) {
+    validateOutputPaths(args);
     // The --phones/--days/--seed flags set the *default cell*; a grid
     // file's axes override them per cell.  --seed is the sweep's master
     // seed — every trial seed derives from it.
@@ -390,11 +474,104 @@ int runSweep(const std::vector<std::string>& args) {
     return summary.failedTrials() == 0 ? 0 : 1;
 }
 
+std::uint64_t multiBurstCount(const sim::FreqCounter& bursts) {
+    std::uint64_t multi = 0;
+    for (const auto& [length, count] : bursts.entries()) {
+        if (length >= 2) multi += count;
+    }
+    return multi;
+}
+
+int runMonitor(const std::vector<std::string>& args) {
+    validateOutputPaths(args);
+    core::StudyConfig config;
+    const auto days = parseFleetOptions(args, config.fleetConfig, 120);
+    if (hasFlag(args, "--no-transport")) config.fleetConfig.transport.enabled = false;
+    applyTransportOptions(args, config.fleetConfig);
+
+    monitor::MonitorConfig monitorConfig;
+    const auto tickHours = numericOption(args, "--tick-hours", 6);
+    if (tickHours < 1 || tickHours > 10000) {
+        throw std::runtime_error("--tick-hours must be in [1, 10000]");
+    }
+    monitorConfig.tick = sim::Duration::hours(tickHours);
+    const auto silenceHours = numericOption(
+        args, "--silence-hours",
+        static_cast<long long>(monitorConfig.silenceHours));
+    if (silenceHours < 1 || silenceHours > 100000) {
+        throw std::runtime_error("--silence-hours must be in [1, 100000]");
+    }
+    monitorConfig.silenceHours = static_cast<double>(silenceHours);
+    monitor::FleetMonitor fleetMonitor{monitorConfig};
+
+    const bool replayMode = hasFlag(args, "--replay");
+    if (!replayMode) config.fleetConfig.obs.monitor = &fleetMonitor;
+
+    std::printf("monitor: %d phones, %lld days, seed %llu, tick %lld h, %s\n\n",
+                config.fleetConfig.phoneCount, static_cast<long long>(days),
+                static_cast<unsigned long long>(config.fleetConfig.seed),
+                static_cast<long long>(tickHours),
+                replayMode ? "replaying the collected dataset"
+                           : "live on the ingest path");
+    const auto campaign = fleet::runCampaign(config.fleetConfig);
+
+    int exitCode = 0;
+    if (replayMode) {
+        fleetMonitor.replay(campaign.collectedLogs);
+
+        // The online counts must equal the batch pipeline's on the same
+        // dataset — this is the monitor's exactness contract.
+        const core::FailureStudy study{config};
+        const auto results = study.analyzeLogs(campaign.collectedLogs);
+        const auto online = fleetMonitor.health().coalescence();
+        const auto& batch = results.fig5Coalescence;
+        const auto& onlineBursts = fleetMonitor.health().burstLengths();
+        const auto& batchBursts = results.fig3BurstLengths;
+        const bool coalescenceMatches =
+            online.panicsResolved == batch.panics.size() &&
+            online.relatedCount == batch.relatedCount &&
+            online.hlWithPanic == batch.hlWithPanic &&
+            online.hlTotal == batch.hlTotal;
+        const bool burstsMatch =
+            onlineBursts.entries() == batchBursts.entries() &&
+            fleetMonitor.health().multiBursts() == multiBurstCount(batchBursts);
+        std::printf("online vs batch on the collected dataset:\n");
+        std::printf("  coalescence   online %zu/%zu related (HL %zu/%zu)  batch %zu/%zu (HL %zu/%zu)  %s\n",
+                    online.relatedCount, online.panicsResolved, online.hlWithPanic,
+                    online.hlTotal, batch.relatedCount, batch.panics.size(),
+                    batch.hlWithPanic, batch.hlTotal,
+                    coalescenceMatches ? "MATCH" : "MISMATCH");
+        std::printf("  bursts        online %llu total / %llu multi  batch %llu total / %llu multi  %s\n\n",
+                    static_cast<unsigned long long>(onlineBursts.total()),
+                    static_cast<unsigned long long>(fleetMonitor.health().multiBursts()),
+                    static_cast<unsigned long long>(batchBursts.total()),
+                    static_cast<unsigned long long>(multiBurstCount(batchBursts)),
+                    burstsMatch ? "MATCH" : "MISMATCH");
+        if (!coalescenceMatches || !burstsMatch) exitCode = 1;
+    }
+
+    std::printf("%s\n", fleetMonitor.renderDashboard().c_str());
+
+    if (const auto path = option(args, "--snapshots")) {
+        writeTextFile(*path, fleetMonitor.snapshotsJsonl(), "monitor snapshots");
+    }
+    if (const auto path = option(args, "--alerts")) {
+        writeTextFile(*path, fleetMonitor.renderAlertLog(), "alert log");
+    }
+    if (const auto path = option(args, "--metrics")) {
+        obs::MetricsRegistry registry;
+        fleetMonitor.publishMetrics(registry);
+        writeMetricsFile(registry, *path);
+    }
+    return exitCode;
+}
+
 int runAnalyze(const std::vector<std::string>& args) {
     if (args.empty() || args[0].rfind("--", 0) == 0) {
         std::fprintf(stderr, "analyze: missing <logdir>\n");
         return 2;
     }
+    validateOutputPaths(args);
     const auto logs = core::loadLogs(args[0]);
     if (logs.empty()) {
         std::fprintf(stderr, "analyze: no *.log files in %s\n", args[0].c_str());
@@ -464,6 +641,7 @@ int runCli(const std::vector<std::string>& args) {
         if (command == "obs") return runObs(rest);
         if (command == "transport") return runTransport(rest);
         if (command == "sweep") return runSweep(rest);
+        if (command == "monitor") return runMonitor(rest);
         if (command == "analyze") return runAnalyze(rest);
         if (command == "forum") return runForum(rest);
         if (command == "tables") return runTables();
