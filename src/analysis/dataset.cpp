@@ -23,6 +23,7 @@ LogDataset LogDataset::build(const std::vector<PhoneLog>& logs) {
                     t = entry.userReport.time;
                     break;
                 case logger::LogFileEntry::Type::Meta: t = entry.meta.time; break;
+                case logger::LogFileEntry::Type::Dump: t = entry.dump.time; break;
             }
             if (!haveFirst || t < first) first = t;
             if (!haveFirst || t > last) last = t;
@@ -39,6 +40,10 @@ LogDataset LogDataset::build(const std::vector<PhoneLog>& logs) {
             if (entry.type == logger::LogFileEntry::Type::UserReport) {
                 ds.userReports_.push_back(
                     UserReportObservation{log.phoneName, entry.userReport});
+                continue;
+            }
+            if (entry.type == logger::LogFileEntry::Type::Dump) {
+                ds.dumps_.push_back(DumpObservation{log.phoneName, entry.dump});
                 continue;
             }
             ++ds.boots_;

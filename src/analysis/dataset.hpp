@@ -58,6 +58,12 @@ struct UserReportObservation {
     logger::UserReportRecord record;
 };
 
+/// A structured crash dump (written alongside each panic record).
+struct DumpObservation {
+    std::string phoneName;
+    crash::CrashDump dump;
+};
+
 /// Per-phone observation span (first to last record), for MTBF estimates.
 struct PhoneSpan {
     std::string phoneName;
@@ -84,6 +90,9 @@ public:
     }
     [[nodiscard]] const std::vector<UserReportObservation>& userReports() const {
         return userReports_;
+    }
+    [[nodiscard]] const std::vector<DumpObservation>& dumps() const {
+        return dumps_;
     }
     [[nodiscard]] const std::vector<PhoneSpan>& spans() const { return spans_; }
     /// Symbian version per phone (from META records); "unknown" if absent.
@@ -112,6 +121,7 @@ private:
     std::vector<FreezeObservation> freezes_;
     std::vector<PanicObservation> panics_;
     std::vector<UserReportObservation> userReports_;
+    std::vector<DumpObservation> dumps_;
     std::vector<PhoneSpan> spans_;
     std::map<std::string, std::string> versions_;
     std::map<std::string, double> coverageLoss_;

@@ -42,6 +42,26 @@ std::string counterCsv(const sim::FreqCounter& counter, const char* keyName) {
     return table.renderCsv();
 }
 
+TextTable crashFamilyTable(const FieldStudyResults& results) {
+    TextTable table{{"family", "category", "type", "dumps", "share_percent",
+                     "mtbf_hours", "phones", "distinct_signatures", "top_app",
+                     "frames"}};
+    for (const auto& row : results.crashFamilies.rows) {
+        std::string frames;
+        for (std::size_t i = 0; i < row.frames.size(); ++i) {
+            if (i != 0) frames += ';';
+            frames += row.frames[i];
+        }
+        table.addRow({row.familyId,
+                      std::string{symbos::toString(row.panic.category)},
+                      std::to_string(row.panic.type), std::to_string(row.dumps),
+                      TextTable::num(row.sharePct), TextTable::num(row.mtbfHours, 1),
+                      std::to_string(row.phones),
+                      std::to_string(row.distinctSignatures), row.topApp, frames});
+    }
+    return table;
+}
+
 }  // namespace
 
 std::vector<std::string> exportFieldCsv(const FieldStudyResults& results,
@@ -114,6 +134,9 @@ std::vector<std::string> exportFieldCsv(const FieldStudyResults& results,
         }
         writeFile(dir / "table4_apps.csv", table.renderCsv(), written);
     }
+    // Crash families.
+    writeFile(dir / "crash_families.csv", crashFamilyTable(results).renderCsv(),
+              written);
     // Headline + evaluation.
     {
         TextTable table{{"metric", "measured", "paper"}};
@@ -204,6 +227,31 @@ std::string jsonNum(double value) {
     return buf;
 }
 
+std::string crashFamiliesJsonObject(const FieldStudyResults& results) {
+    std::string json = "{\"total_dumps\": " +
+                       std::to_string(results.crashFamilies.totalDumps) +
+                       ", \"families\": [";
+    for (std::size_t i = 0; i < results.crashFamilies.rows.size(); ++i) {
+        const auto& row = results.crashFamilies.rows[i];
+        if (i != 0) json += ", ";
+        json += "{\"id\": " + jsonEscape(row.familyId) +
+                ", \"panic\": " + jsonEscape(symbos::toString(row.panic)) +
+                ", \"dumps\": " + std::to_string(row.dumps) +
+                ", \"share_percent\": " + jsonNum(row.sharePct) +
+                ", \"mtbf_hours\": " + jsonNum(row.mtbfHours) +
+                ", \"phones\": " + std::to_string(row.phones) +
+                ", \"distinct_signatures\": " + std::to_string(row.distinctSignatures) +
+                ", \"top_app\": " + jsonEscape(row.topApp) + ", \"frames\": [";
+        for (std::size_t f = 0; f < row.frames.size(); ++f) {
+            if (f != 0) json += ", ";
+            json += jsonEscape(row.frames[f]);
+        }
+        json += "]}";
+    }
+    json += "]}";
+    return json;
+}
+
 }  // namespace
 
 std::string fieldResultsToJson(const FieldStudyResults& results) {
@@ -288,6 +336,9 @@ std::string fieldResultsToJson(const FieldStudyResults& results) {
     }
     json += "],\n";
 
+    // Crash families.
+    json += "  \"crash_families\": " + crashFamiliesJsonObject(results) + ",\n";
+
     // Evaluation.
     const auto& eval = results.evaluation;
     json += "  \"evaluation\": {";
@@ -310,6 +361,28 @@ void exportFieldJson(const FieldStudyResults& results, const std::string& path) 
         throw std::runtime_error("cannot write " + path);
     }
     out << fieldResultsToJson(results);
+}
+
+std::string crashFamiliesToJson(const FieldStudyResults& results) {
+    return crashFamiliesJsonObject(results) + "\n";
+}
+
+void exportCrashJson(const FieldStudyResults& results, const std::string& path) {
+    std::ofstream out{path};
+    if (!out) {
+        throw std::runtime_error("cannot write " + path);
+    }
+    out << crashFamiliesToJson(results);
+}
+
+std::vector<std::string> exportCrashCsv(const FieldStudyResults& results,
+                                        const std::string& directory) {
+    const std::filesystem::path dir{directory};
+    std::filesystem::create_directories(dir);
+    std::vector<std::string> written;
+    writeFile(dir / "crash_families.csv", crashFamilyTable(results).renderCsv(),
+              written);
+    return written;
 }
 
 }  // namespace symfail::core

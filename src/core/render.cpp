@@ -197,6 +197,39 @@ std::string renderTable4(const FieldStudyResults& results) {
     return out;
 }
 
+std::string renderCrashFamilies(const FieldStudyResults& results) {
+    const auto& report = results.crashFamilies;
+    TextTable table{{"family", "panic", "dumps", "share %", "MTBF (h)", "phones",
+                     "sigs", "top app"}};
+    for (const auto& row : report.rows) {
+        table.addRow({row.familyId, symbos::toString(row.panic),
+                      std::to_string(row.dumps), TextTable::num(row.sharePct),
+                      TextTable::num(row.mtbfHours, 1), std::to_string(row.phones),
+                      std::to_string(row.distinctSignatures),
+                      row.topApp.empty() ? "-" : row.topApp});
+    }
+    std::string out = "Crash families - clustered structured dumps (" +
+                      std::to_string(report.totalDumps) + " dumps, " +
+                      std::to_string(report.familyCount()) + " families)\n" +
+                      table.render();
+    // Representative (normalized) backtraces of the largest families.
+    const std::size_t shown = std::min<std::size_t>(report.rows.size(), 8);
+    for (std::size_t i = 0; i < shown; ++i) {
+        const auto& row = report.rows[i];
+        out += "  " + row.familyId + ": ";
+        for (std::size_t f = 0; f < row.frames.size(); ++f) {
+            if (f > 0) out += " < ";
+            out += row.frames[f];
+        }
+        out += '\n';
+    }
+    if (report.rows.size() > shown) {
+        out += "  ... " + std::to_string(report.rows.size() - shown) +
+               " smaller families\n";
+    }
+    return out;
+}
+
 std::string renderHeadline(const FieldStudyResults& results) {
     const auto& mtbf = results.mtbf;
     std::string out = "Headline dependability figures\n";

@@ -36,6 +36,10 @@ namespace symfail::core {
 /// Table 4: panic-running applications relationship.
 [[nodiscard]] std::string renderTable4(const FieldStudyResults& results);
 
+/// Crash families: the clustered structured dumps (count, share, MTBF,
+/// per-phone spread, top running app, representative backtrace).
+[[nodiscard]] std::string renderCrashFamilies(const FieldStudyResults& results);
+
 /// Headline numbers: MTBFr/MTBS, failure every N days, event counts.
 [[nodiscard]] std::string renderHeadline(const FieldStudyResults& results);
 

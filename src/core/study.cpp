@@ -19,6 +19,7 @@ void FailureStudy::runPipeline(FieldStudyResults& results) const {
     results.table3 = analysis::activityCorrelation(results.fig5Coalescence);
     results.fig6AppCounts = analysis::runningAppCounts(results.dataset);
     results.table4 = analysis::appCorrelation(results.fig5Coalescence);
+    results.crashFamilies = analysis::buildCrashFamilyReport(results.dataset);
 }
 
 FieldStudyResults FailureStudy::runFieldStudy() const {

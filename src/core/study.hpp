@@ -16,6 +16,7 @@
 
 #include "analysis/apps_correlation.hpp"
 #include "analysis/coalescence.hpp"
+#include "analysis/crash_families.hpp"
 #include "analysis/dataset.hpp"
 #include "analysis/discriminator.hpp"
 #include "analysis/evaluator.hpp"
@@ -49,6 +50,7 @@ struct FieldStudyResults {
     analysis::ActivityCorrelation table3;
     sim::FreqCounter fig6AppCounts;
     std::vector<analysis::AppCorrelationRow> table4;
+    analysis::CrashFamilyReport crashFamilies;
     analysis::EvaluationReport evaluation;
 };
 

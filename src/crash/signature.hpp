@@ -1,0 +1,55 @@
+// Crash signatures: the normalized identity of a dump.
+//
+// Two dumps belong to the same crash family when they describe the same
+// failure mechanism, even though per-run details differ — pseudo-address,
+// handle numbers, durations embedded in diagnostics.  Normalization keeps
+// the *shape* of the backtrace and strips run-specific noise:
+//
+//   1. hex literals (`0x` followed by hex digits) become `0x#`
+//   2. remaining digit runs become `#`
+//
+// The signature is the panic id plus the normalized frame list; its key is
+// a canonical string, its hash an FNV-1a over the key, and the family id a
+// short stable hex form of the hash.  Everything is a pure function of the
+// dump, so family ids are pure functions of the campaign seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "crash/dump.hpp"
+#include "symbos/panic.hpp"
+
+namespace symfail::crash {
+
+/// A normalized dump identity.
+struct CrashSignature {
+    symbos::PanicId panic;
+    std::vector<std::string> frames;  ///< normalized, innermost first
+
+    /// Canonical string form (used as map key and hash input).
+    [[nodiscard]] std::string key() const;
+
+    friend bool operator==(const CrashSignature&, const CrashSignature&) = default;
+};
+
+/// Normalizes one backtrace frame (the rules documented above).
+[[nodiscard]] std::string normalizeFrame(std::string_view frame);
+
+/// Extracts the signature of a dump.
+[[nodiscard]] CrashSignature signatureOf(const CrashDump& dump);
+
+/// FNV-1a 64-bit hash (shared by the family id and the clusterer).
+[[nodiscard]] std::uint64_t signatureHash(const CrashSignature& sig);
+
+/// Stable family id: "F-" plus eight hex digits folded from the hash.
+[[nodiscard]] std::string familyIdFor(const CrashSignature& sig);
+
+/// Frame-set similarity in [0, 1]: 0 when the panic ids differ, otherwise
+/// |common frames| / max(|a|, |b|).  Used as the near-miss fallback when a
+/// new signature hashes differently but describes the same mechanism.
+[[nodiscard]] double similarity(const CrashSignature& a, const CrashSignature& b);
+
+}  // namespace symfail::crash

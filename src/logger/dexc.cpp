@@ -1,7 +1,6 @@
 #include "logger/dexc.hpp"
 
 #include <charconv>
-#include <stdexcept>
 
 #include "logger/records.hpp"
 
@@ -41,11 +40,9 @@ std::vector<DExcTool::Entry> DExcTool::parse(std::string_view content) {
         if (r1.ec != std::errc{} || r2.ec != std::errc{}) continue;
         Entry entry;
         entry.time = sim::TimePoint::fromMicros(us);
-        try {
-            entry.panic.category = symbos::panicCategoryFromString(fields[2]);
-        } catch (const std::invalid_argument&) {
-            continue;
-        }
+        const auto category = symbos::parsePanicCategory(fields[2]);
+        if (!category) continue;
+        entry.panic.category = *category;
         entry.panic.type = static_cast<int>(type);
         out.push_back(entry);
     }

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "crash/dump.hpp"
 #include "symbos/err.hpp"
 
 namespace symfail::logger {
@@ -92,6 +93,14 @@ void FailureLogger::onPanic(const symbos::PanicEvent& event) {
     }
     device_->flash().appendLine(kLogFile, serialize(record));
     ++panicsLogged_;
+    if (config_.captureDumps) {
+        // The dump rides the same Log File (and thus the same transport
+        // path); it shares the panic's timestamp so the analysis spans and
+        // tables are untouched by its presence.
+        device_->flash().appendLine(
+            kLogFile, crash::serialize(crash::makeDump(event, record.runningApps)));
+        ++dumpsCaptured_;
+    }
 }
 
 void FailureLogger::onBoot() {

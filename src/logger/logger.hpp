@@ -42,6 +42,10 @@ struct LoggerConfig {
     sim::Duration activityPeriod = sim::Duration::seconds(300);
     sim::Duration powerPeriod = sim::Duration::seconds(600);
     bool startEnabled = true;
+    /// Writes a structured DUMP record right after every PANIC record.
+    /// Dumps share the panic's timestamp, so enabling them never changes
+    /// the failure analysis — only adds the clustering material.
+    bool captureDumps = true;
 };
 
 /// The logger daemon.  One instance per phone; re-creates its active
@@ -73,6 +77,7 @@ public:
     // Statistics (used by tests and the overhead ablation).
     [[nodiscard]] std::uint64_t heartbeatsWritten() const { return heartbeats_; }
     [[nodiscard]] std::uint64_t panicsLogged() const { return panicsLogged_; }
+    [[nodiscard]] std::uint64_t dumpsCaptured() const { return dumpsCaptured_; }
     [[nodiscard]] std::uint64_t bootsLogged() const { return bootsLogged_; }
     [[nodiscard]] std::uint64_t snapshotsWritten() const { return snapshots_; }
 
@@ -105,6 +110,7 @@ private:
 
     std::uint64_t heartbeats_{0};
     std::uint64_t panicsLogged_{0};
+    std::uint64_t dumpsCaptured_{0};
     std::uint64_t bootsLogged_{0};
     std::uint64_t snapshots_{0};
 };

@@ -1,7 +1,8 @@
 #include "logger/records.hpp"
 
 #include <charconv>
-#include <stdexcept>
+
+#include "crash/dump.hpp"
 
 namespace symfail::logger {
 namespace {
@@ -149,11 +150,11 @@ std::optional<LogFileEntry> parsePanicLine(const std::vector<std::string_view>& 
     LogFileEntry entry;
     entry.type = LogFileEntry::Type::Panic;
     entry.panic.time = sim::TimePoint::fromMicros(*us);
-    try {
-        entry.panic.panic.category = symbos::panicCategoryFromString(f[2]);
-    } catch (const std::invalid_argument&) {
-        return std::nullopt;
-    }
+    // An unrecognized category string (corrupted line) is a parse anomaly,
+    // counted by the caller — never an exception.
+    const auto category = symbos::parsePanicCategory(f[2]);
+    if (!category) return std::nullopt;
+    entry.panic.panic.category = *category;
     entry.panic.panic.type = static_cast<int>(*type);
     if (!f[4].empty()) {
         for (const auto app : splitFields(f[4], ',')) {
@@ -214,6 +215,13 @@ std::vector<LogFileEntry> parseLogFile(std::string_view content, std::size_t* ma
         std::optional<LogFileEntry> entry;
         if (fields[0] == "PANIC") {
             entry = parsePanicLine(fields);
+        } else if (fields[0] == "DUMP") {
+            if (auto dump = crash::parseDumpFields(fields)) {
+                LogFileEntry e;
+                e.type = LogFileEntry::Type::Dump;
+                e.dump = std::move(*dump);
+                entry = std::move(e);
+            }
         } else if (fields[0] == "BOOT") {
             entry = parseBootLine(fields);
         } else if (fields[0] == "UREP") {

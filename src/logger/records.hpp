@@ -13,8 +13,10 @@
 //   power     — periodic battery status
 //   logfile   — the consolidated Log File written by the Panic Detector:
 //               PANIC records (with running apps, activity context and
-//               battery) and BOOT records (with the prior-shutdown
-//               classification and the last heartbeat timestamp)
+//               battery), DUMP records (the structured crash dump captured
+//               alongside each panic; crash/dump.hpp) and BOOT records
+//               (with the prior-shutdown classification and the last
+//               heartbeat timestamp)
 #pragma once
 
 #include <cstdint>
@@ -23,6 +25,7 @@
 #include <string_view>
 #include <vector>
 
+#include "crash/dump.hpp"
 #include "simkernel/time.hpp"
 #include "symbos/panic.hpp"
 
@@ -104,12 +107,13 @@ struct MetaRecord {
 
 /// One parsed Log File line.
 struct LogFileEntry {
-    enum class Type : std::uint8_t { Panic, Boot, UserReport, Meta };
+    enum class Type : std::uint8_t { Panic, Boot, UserReport, Meta, Dump };
     Type type{Type::Boot};
     PanicRecord panic;            ///< valid when type == Panic
     BootRecord boot;              ///< valid when type == Boot
     UserReportRecord userReport;  ///< valid when type == UserReport
     MetaRecord meta;              ///< valid when type == Meta
+    crash::CrashDump dump;        ///< valid when type == Dump
 };
 
 // -- Serialization ------------------------------------------------------------

@@ -118,6 +118,7 @@ void HealthEngine::onRecord(const std::string& phone,
         case logger::LogFileEntry::Type::Boot: t = entry.boot.time; break;
         case logger::LogFileEntry::Type::UserReport: t = entry.userReport.time; break;
         case logger::LogFileEntry::Type::Meta: t = entry.meta.time; break;
+        case logger::LogFileEntry::Type::Dump: t = entry.dump.time; break;
     }
     if (!state.heard) {
         state.heard = true;
@@ -132,6 +133,15 @@ void HealthEngine::onRecord(const std::string& phone,
             break;
         case logger::LogFileEntry::Type::UserReport:
             ++totals_.userReports;
+            break;
+        case logger::LogFileEntry::Type::Dump:
+            // Dumps feed the family-scoped windowed counts only; the
+            // paired PANIC record carries the failure semantics, so the
+            // exactness contract with the batch pipeline is untouched.
+            ++totals_.dumps;
+            insertSorted(
+                windowFamilies_[crash::familyIdFor(crash::signatureOf(entry.dump))],
+                t);
             break;
         case logger::LogFileEntry::Type::Panic: {
             ++totals_.panics;
@@ -192,6 +202,10 @@ void HealthEngine::trimTo(sim::TimePoint now) {
         trimBefore(state.windowPanics, cutoff);
     }
     trimBefore(windowMultiBursts_, cutoff);
+    for (auto it = windowFamilies_.begin(); it != windowFamilies_.end();) {
+        trimBefore(it->second, cutoff);
+        it = it->second.empty() ? windowFamilies_.erase(it) : std::next(it);
+    }
 }
 
 void HealthEngine::finalize() {
@@ -221,6 +235,17 @@ WindowStats HealthEngine::windowStats(sim::TimePoint now) const {
         }
     }
     stats.multiBursts = windowMultiBursts_.size();
+    for (const auto& [familyId, times] : windowFamilies_) {
+        if (times.empty()) continue;
+        ++stats.crashFamilies;
+        stats.dumps += times.size();
+        // The map iterates in id order, so ties keep the smaller id —
+        // deterministic.
+        if (times.size() > stats.topFamilyDumps) {
+            stats.topFamilyDumps = times.size();
+            stats.topFamilyId = familyId;
+        }
+    }
     stats.mtbfFreezeHours = safeRatio(stats.observedHours, stats.freezes);
     stats.mtbfSelfShutdownHours = safeRatio(stats.observedHours, stats.selfShutdowns);
     const std::uint64_t failures = stats.freezes + stats.selfShutdowns;

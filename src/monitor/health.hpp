@@ -33,6 +33,7 @@
 
 #include "analysis/coalescence.hpp"
 #include "analysis/discriminator.hpp"
+#include "crash/signature.hpp"
 #include "logger/records.hpp"
 #include "simkernel/histogram.hpp"
 #include "simkernel/time.hpp"
@@ -57,6 +58,10 @@ struct WindowStats {
     std::uint64_t reboots{0};  ///< All boot records in the window.
     std::uint64_t panics{0};
     std::uint64_t multiBursts{0};  ///< Bursts of length >= 2 closed in the window.
+    std::uint64_t dumps{0};        ///< Crash dumps in the window.
+    std::uint64_t crashFamilies{0};  ///< Families with >= 1 windowed dump.
+    std::uint64_t topFamilyDumps{0};  ///< Largest per-family windowed count.
+    std::string topFamilyId;          ///< "" when the window holds no dump.
     double observedHours{0.0};     ///< Phone-time overlapping the window.
     /// Observed hours per failure; 0 when the window holds no failure.
     double mtbfFreezeHours{0.0};
@@ -77,6 +82,7 @@ struct HealthTotals {
     std::uint64_t lowBatteryShutdowns{0};
     std::uint64_t manualOffBoots{0};
     std::uint64_t userReports{0};
+    std::uint64_t dumps{0};
 };
 
 /// Online coalescence summary; field names follow analysis::CoalescenceResult.
@@ -190,6 +196,9 @@ private:
     std::uint64_t multiBursts_{0};
     /// Close times of multi-panic bursts, for the windowed count.
     std::deque<sim::TimePoint> windowMultiBursts_;
+    /// Fleet-wide windowed dump times per crash family (family-scoped
+    /// burst detection); keyed by the stable family id.
+    std::map<std::string, std::deque<sim::TimePoint>> windowFamilies_;
     std::size_t relatedCount_{0};
     std::size_t panicsResolved_{0};
     std::size_t hlMatched_{0};

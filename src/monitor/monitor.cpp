@@ -40,6 +40,7 @@ sim::TimePoint entryTime(const logger::LogFileEntry& entry) {
         case logger::LogFileEntry::Type::Boot: return entry.boot.time;
         case logger::LogFileEntry::Type::UserReport: return entry.userReport.time;
         case logger::LogFileEntry::Type::Meta: return entry.meta.time;
+        case logger::LogFileEntry::Type::Dump: return entry.dump.time;
     }
     return {};
 }
@@ -105,6 +106,12 @@ std::vector<AlertRule> defaultRules(const MonitorConfig& config) {
     rules.push_back(AlertRule{"panic-burst-activity", "window_multi_bursts",
                               Comparison::GreaterOrEqual, 3.0, Severity::Info,
                               false, 2.0});
+    // Family-scoped burst: at the paper's rates the busiest crash family
+    // collects ~4 dumps per weekly window; ten means one failure mechanism
+    // is running hot across the fleet.
+    rules.push_back(AlertRule{"crash-family-burst", "window_top_family_dumps",
+                              Comparison::GreaterOrEqual, 10.0, Severity::Info,
+                              false, 8.0});
     return rules;
 }
 
@@ -285,6 +292,13 @@ std::optional<double> FleetMonitor::metricValue(
         if (metric == "window_multi_bursts") {
             return static_cast<double>(window.multiBursts);
         }
+        if (metric == "window_dumps") return static_cast<double>(window.dumps);
+        if (metric == "window_crash_families") {
+            return static_cast<double>(window.crashFamilies);
+        }
+        if (metric == "window_top_family_dumps") {
+            return static_cast<double>(window.topFamilyDumps);
+        }
         if (metric == "window_observed_hours") return window.observedHours;
         if (metric == "phones_silent") {
             std::size_t silent = 0;
@@ -423,6 +437,12 @@ std::string FleetMonitor::snapshotsJsonl() const {
                 static_cast<unsigned long long>(s.window.panics),
                 static_cast<unsigned long long>(s.window.multiBursts));
         appendNumber(out, s.window.observedHours);
+        appendf(out, ",\"dumps\":%llu,\"crash_families\":%llu,"
+                     "\"top_family_dumps\":%llu,\"top_family\":",
+                static_cast<unsigned long long>(s.window.dumps),
+                static_cast<unsigned long long>(s.window.crashFamilies),
+                static_cast<unsigned long long>(s.window.topFamilyDumps));
+        appendQuoted(out, s.window.topFamilyId);
         out += ",\"mtbf_any_hours\":";
         appendNumber(out, s.window.mtbfAnyHours);
         out += ",\"failure_rate_per_khour\":";
@@ -516,6 +536,12 @@ std::string FleetMonitor::renderDashboard() const {
             static_cast<unsigned long long>(last.window.selfShutdowns),
             static_cast<unsigned long long>(last.window.panics),
             last.window.mtbfAnyHours, last.window.failureRatePerKiloHour);
+    appendf(out, "  crash families        %llu dumps total; window: %llu dumps in %llu families, top %s (%llu)\n",
+            static_cast<unsigned long long>(totals.dumps),
+            static_cast<unsigned long long>(last.window.dumps),
+            static_cast<unsigned long long>(last.window.crashFamilies),
+            last.window.topFamilyId.empty() ? "-" : last.window.topFamilyId.c_str(),
+            static_cast<unsigned long long>(last.window.topFamilyDumps));
     appendf(out, "  liveness              %zu silent suspect, %zu silent in outage\n",
             last.silentSuspect, last.silentOutage);
     for (const auto& phone : last.silentPhones) {
@@ -591,6 +617,20 @@ void FleetMonitor::publishMetrics(obs::MetricsRegistry& registry) const {
         .inc(health_.burstLengths().total());
     registry.counter("monitor", "multi_bursts", "Bursts of length >= 2")
         .inc(health_.multiBursts());
+    registry.counter("monitor", "crash_dumps", "Structured crash dumps ingested")
+        .inc(health_.totals().dumps);
+    registry
+        .gauge("monitor", "crash_families_window",
+               "Crash families active in the final window")
+        .set(snapshots_.empty()
+                 ? 0.0
+                 : static_cast<double>(snapshots_.back().window.crashFamilies));
+    registry
+        .gauge("monitor", "top_family_dumps_window",
+               "Windowed dump count of the busiest crash family")
+        .set(snapshots_.empty()
+                 ? 0.0
+                 : static_cast<double>(snapshots_.back().window.topFamilyDumps));
     registry.gauge("monitor", "snapshots", "Snapshots taken")
         .set(static_cast<double>(snapshots_.size()));
     registry

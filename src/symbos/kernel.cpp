@@ -206,6 +206,15 @@ void Kernel::raisePanic(ProcessId pid, PanicId id, std::string diagnostic) {
 void Kernel::deliverPanic(ProcessId pid, const PanicId& id, std::string diagnostic) {
     Process& p = processRef(pid);
     PanicEvent event{simulator_->now(), id, pid, p.name, std::move(diagnostic)};
+    // Snapshot the execution context while the process is still intact —
+    // the raw material for the logger's structured crash dumps.
+    event.kind = p.kind;
+    event.cleanupDepth = p.cleanup.depth();
+    event.trapActive = p.cleanup.trapActive();
+    event.schedulerAoCount = p.scheduler->registeredCount();
+    event.heapLiveCells = p.heap.liveCount();
+    event.heapBytesInUse = p.heap.bytesInUse();
+    event.heapTotalAllocs = p.heap.totalAllocs();
     if (auto* trace = simulator_->traceSink()) {
         const std::string panicName = toString(id);
         const obs::TraceArg args[] = {

@@ -63,13 +63,23 @@ enum class KernelAction : std::uint8_t {
 };
 
 /// A recorded panic occurrence (kernel-side ground truth; also what panic
-/// hooks receive).
+/// hooks receive).  Beyond the identity fields, the kernel snapshots the
+/// panicking process's execution context at delivery time — the raw
+/// material for structured crash dumps (crash/dump.hpp).
 struct PanicEvent {
     sim::TimePoint time;
     PanicId id;
     ProcessId pid{0};
     std::string processName;
     std::string diagnostic;
+    // Capture context (filled by deliverPanic before hooks run).
+    ProcessKind kind{ProcessKind::UserApp};
+    std::size_t cleanupDepth{0};
+    bool trapActive{false};
+    std::size_t schedulerAoCount{0};
+    std::uint64_t heapLiveCells{0};
+    std::uint64_t heapBytesInUse{0};
+    std::uint64_t heapTotalAllocs{0};
 };
 
 /// Thrown by model code to signal a panic; caught at the kernel boundary.

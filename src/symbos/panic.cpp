@@ -21,11 +21,16 @@ std::string_view toString(PanicCategory c) {
     return "?";
 }
 
-PanicCategory panicCategoryFromString(std::string_view s) {
+std::optional<PanicCategory> parsePanicCategory(std::string_view s) {
     for (std::size_t i = 0; i < kPanicCategoryCount; ++i) {
         const auto c = static_cast<PanicCategory>(i);
         if (toString(c) == s) return c;
     }
+    return std::nullopt;
+}
+
+PanicCategory panicCategoryFromString(std::string_view s) {
+    if (const auto c = parsePanicCategory(s)) return *c;
     throw std::invalid_argument("unknown panic category: " + std::string{s});
 }
 

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <span>
 #include <string>
 #include <string_view>
@@ -38,8 +39,13 @@ enum class PanicCategory : std::uint8_t {
 inline constexpr std::size_t kPanicCategoryCount = 10;
 
 [[nodiscard]] std::string_view toString(PanicCategory c);
-/// Parses a category string as written in log files; throws
-/// std::invalid_argument on unknown input.
+/// Parses a category string as written in log files; nullopt on unknown
+/// input.  Log parsers use this form: a corrupted category string is a
+/// parse anomaly to count, never an exception to propagate.
+[[nodiscard]] std::optional<PanicCategory> parsePanicCategory(std::string_view s);
+/// Parses a category string; throws std::invalid_argument on unknown
+/// input.  For call sites where an unknown category is a programming
+/// error, not data damage.
 [[nodiscard]] PanicCategory panicCategoryFromString(std::string_view s);
 
 /// A (category, type) pair fully identifying a panic.

@@ -41,8 +41,8 @@ TEST_F(ExportFixture, FieldCsvFilesWritten) {
 
     const auto files = exportFieldCsv(results, dir_.string());
     // table2, fig2 (full + zoom), fig3, fig5, table3, fig6, table4,
-    // headline.
-    EXPECT_EQ(files.size(), 9u);
+    // crash_families, headline.
+    EXPECT_EQ(files.size(), 10u);
     for (const auto& file : files) {
         SCOPED_TRACE(file);
         ASSERT_TRUE(std::filesystem::exists(file));
@@ -97,7 +97,8 @@ TEST_F(ExportFixture, JsonExportIsWellFormedEnough) {
               std::count(json.begin(), json.end(), ']'));
     for (const char* key :
          {"\"headline\"", "\"table2\"", "\"fig3_burst_lengths\"", "\"fig5\"",
-          "\"table3\"", "\"fig6_running_apps\"", "\"table4\"", "\"evaluation\""}) {
+          "\"table3\"", "\"fig6_running_apps\"", "\"table4\"", "\"crash_families\"",
+          "\"evaluation\""}) {
         EXPECT_NE(json.find(key), std::string::npos) << key;
     }
 

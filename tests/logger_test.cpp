@@ -257,8 +257,10 @@ TEST_F(LoggerFixture, PanicRecordCapturesContext) {
     });
 
     const auto entries = parseLogFile(logger_->logFileContent());
-    ASSERT_FALSE(entries.empty());
-    const auto& last = entries.back();
+    // The panic record is chased by its structured dump.
+    ASSERT_GE(entries.size(), 2u);
+    ASSERT_EQ(entries.back().type, LogFileEntry::Type::Dump);
+    const auto& last = entries[entries.size() - 2];
     ASSERT_EQ(last.type, LogFileEntry::Type::Panic);
     EXPECT_EQ(last.panic.panic, symbos::kKernExecAccessViolation);
     EXPECT_EQ(last.panic.activity, ActivityContext::VoiceCall);
@@ -281,8 +283,11 @@ TEST_F(LoggerFixture, MessageContextWinsWhenNoCall) {
         ctx.panic(symbos::kMsgsClientWriteFailed, "msg bug");
     });
     const auto entries = parseLogFile(logger_->logFileContent());
-    ASSERT_EQ(entries.back().type, LogFileEntry::Type::Panic);
-    EXPECT_EQ(entries.back().panic.activity, ActivityContext::Message);
+    ASSERT_GE(entries.size(), 2u);
+    ASSERT_EQ(entries.back().type, LogFileEntry::Type::Dump);
+    const auto& panicEntry = entries[entries.size() - 2];
+    ASSERT_EQ(panicEntry.type, LogFileEntry::Type::Panic);
+    EXPECT_EQ(panicEntry.panic.activity, ActivityContext::Message);
 }
 
 TEST_F(LoggerFixture, TornBeatLineClassifiedAsFreeze) {

@@ -11,6 +11,7 @@
 #include <utility>
 
 #include "analysis/dataset.hpp"
+#include "crash/dump.hpp"
 #include "logger/dexc.hpp"
 #include "logger/records.hpp"
 #include "simkernel/rng.hpp"
@@ -217,6 +218,148 @@ TEST_P(ChunkFramingFuzz, DamagedFramesNeverCrashOrCorrupt) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ChunkFramingFuzz,
+                         ::testing::Range<std::uint64_t>(1, 7));
+
+// -- DUMP-framing fuzz (the structured crash-dump records) --------------------
+//
+// Dump lines carry more structure than any other record — hex fields,
+// bounded counts, two nested list encodings — so they get their own
+// torn-write/corruption suites.  Damage must be counted, never fatal, and
+// a corrupted count must never make the parser allocate unboundedly.
+
+std::string validDumpLine() {
+    crash::CrashDump dump;
+    dump.time = sim::TimePoint::fromMicros(2'000'000);
+    dump.panic = symbos::kKernExecAccessViolation;
+    dump.faultAddress = 0x8001abcdu;
+    dump.processName = "Messages";
+    dump.cleanupDepth = 1;
+    dump.trapActive = false;
+    dump.schedulerAoCount = 4;
+    dump.heapLiveCells = 200;
+    dump.heapBytesInUse = 40'960;
+    dump.heapTotalAllocs = 5'000;
+    dump.runningApps = {"Messages", "Camera"};
+    dump.frames = crash::backtraceFor(
+        symbos::kKernExecAccessViolation,
+        "unhandled exception: access violation dereferencing NULL");
+    return crash::serialize(dump);
+}
+
+/// A consolidated log whose panic carries its dump, as the logger writes it.
+std::string validLogWithDump() {
+    std::string content = validLog();
+    content += validDumpLine() + "\n";
+    return content;
+}
+
+class DumpFramingFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DumpFramingFuzz, TruncatedDumpsNeverCrashAndNeverHalfParse) {
+    const std::string line = validDumpLine();
+    // A torn write inside the fixed 13-field structural region is rejected
+    // whole — no dump with fields swapped or missing.  The trailing frame
+    // list is the wire format's only open-ended field (last by design): a
+    // cut there may still parse, but every scalar field must be intact.
+    const auto parsedFull = crash::parseDumpLine(line);
+    ASSERT_TRUE(parsedFull.has_value());
+    const std::size_t lastBar = line.rfind('|');
+    for (std::size_t cut = 0; cut < line.size(); ++cut) {
+        const auto parsed = crash::parseDumpLine(line.substr(0, cut));
+        if (cut <= lastBar) {
+            EXPECT_FALSE(parsed.has_value()) << "prefix of length " << cut;
+        } else if (parsed) {
+            EXPECT_EQ(parsed->panic, parsedFull->panic);
+            EXPECT_EQ(parsed->faultAddress, parsedFull->faultAddress);
+            EXPECT_EQ(parsed->processName, parsedFull->processName);
+            EXPECT_EQ(parsed->cleanupDepth, parsedFull->cleanupDepth);
+            EXPECT_EQ(parsed->runningApps, parsedFull->runningApps);
+        }
+    }
+
+    // The same holds through parseLogFile: a truncated trailing dump is
+    // one malformed line, the intact records before it all survive.
+    sim::Rng rng{GetParam()};
+    const std::string original = validLogWithDump();
+    for (int round = 0; round < 100; ++round) {
+        const auto cut = static_cast<std::size_t>(
+            rng.uniformInt(0, static_cast<std::int64_t>(original.size())));
+        std::size_t malformed = 0;
+        const auto entries = parseLogFile(original.substr(0, cut), &malformed);
+        EXPECT_LE(entries.size(), 5u);
+    }
+    std::size_t malformed = 0;
+    EXPECT_EQ(parseLogFile(original, &malformed).size(), 5u);
+    EXPECT_EQ(malformed, 0u);
+}
+
+TEST_P(DumpFramingFuzz, OversizedCountsAndMutationsDegradeGracefully) {
+    sim::Rng rng{GetParam()};
+    const std::string original = validLogWithDump();
+    for (int round = 0; round < 200; ++round) {
+        std::string mutated = original;
+        const int flips = static_cast<int>(rng.uniformInt(1, 10));
+        for (int f = 0; f < flips; ++f) {
+            const auto pos = static_cast<std::size_t>(
+                rng.uniformInt(0, static_cast<std::int64_t>(mutated.size()) - 1));
+            mutated[pos] = static_cast<char>(mutated[pos] ^
+                                             (1 << rng.uniformInt(0, 7)));
+        }
+        std::size_t malformed = 0;
+        const auto entries = parseLogFile(mutated, &malformed);
+        EXPECT_LE(entries.size(), 5u);
+        const auto ds = analysis::LogDataset::build(
+            {analysis::PhoneLog{"fuzz", mutated}});
+        EXPECT_LE(ds.dumps().size(), 1u);
+    }
+
+    // Hostile counts and frame lists are rejected outright, bounding what
+    // a parser may allocate on behalf of one line.
+    EXPECT_FALSE(crash::parseDumpLine(
+                     "DUMP|1|KERN-EXEC|3|8001abcd|p|18446744073709551615|0|"
+                     "0|0|0|0||f")
+                     .has_value());
+    std::string frames;
+    for (int i = 0; i < 200; ++i) frames += "frame;";
+    frames += "last";
+    EXPECT_FALSE(crash::parseDumpLine("DUMP|1|KERN-EXEC|3|8001abcd|p|0|0|0|0|0|0||" +
+                                      frames)
+                     .has_value());
+}
+
+TEST_P(DumpFramingFuzz, DumpsInterleavedWithBeatsParseDeterministically) {
+    // Beats live in their own flash file; when damage splices them into
+    // the consolidated log between dump lines, each is one counted anomaly
+    // and every intact DUMP still parses.
+    sim::Rng rng{GetParam()};
+    for (int round = 0; round < 50; ++round) {
+        std::string content;
+        std::size_t dumps = 0;
+        std::size_t beats = 0;
+        const int lines = static_cast<int>(rng.uniformInt(4, 24));
+        for (int i = 0; i < lines; ++i) {
+            if (rng.bernoulli(0.5)) {
+                content += validDumpLine() + "\n";
+                ++dumps;
+            } else {
+                BeatRecord beat;
+                beat.time = sim::TimePoint::fromMicros(1'000 * i);
+                beat.kind = BeatKind::Alive;
+                content += serialize(beat) + "\n";
+                ++beats;
+            }
+        }
+        std::size_t malformed = 0;
+        const auto entries = parseLogFile(content, &malformed);
+        EXPECT_EQ(entries.size(), dumps);
+        EXPECT_EQ(malformed, beats);
+        for (const auto& entry : entries) {
+            EXPECT_EQ(entry.type, LogFileEntry::Type::Dump);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DumpFramingFuzz,
                          ::testing::Range<std::uint64_t>(1, 7));
 
 }  // namespace

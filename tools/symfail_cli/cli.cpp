@@ -44,6 +44,11 @@ void printUsage() {
         "           logs, partial if segments were permanently lost)\n"
         "  analyze <logdir> [--csv DIR]\n"
         "           run the analysis pipeline over *.log files on disk\n"
+        "  crash   <logdir> [--json FILE] [--csv DIR] [--metrics FILE]\n"
+        "           cluster the structured crash dumps found in *.log files\n"
+        "           into crash families (signature hash with similarity\n"
+        "           fallback) and print the family table; the output is a\n"
+        "           pure function of the logs, byte-identical across runs\n"
         "  forum    [--reports N] [--seed S]\n"
         "           run the web-forum study (Table 1)\n"
         "  obs      [--phones N] [--days D] [--seed S] [--trace FILE]\n"
@@ -317,6 +322,7 @@ void printFieldResults(const core::FieldStudyResults& results, bool withEvaluati
     std::printf("%s\n", core::renderTable3(results).c_str());
     std::printf("%s\n", core::renderFig6(results).c_str());
     std::printf("%s\n", core::renderTable4(results).c_str());
+    std::printf("%s\n", core::renderCrashFamilies(results).c_str());
     std::printf("%s\n", core::renderPerPhone(results).c_str());
     if (withEvaluation) {
         std::printf("%s\n", core::renderEvaluation(results).c_str());
@@ -597,6 +603,69 @@ int runAnalyze(const std::vector<std::string>& args) {
     return 0;
 }
 
+int runCrash(const std::vector<std::string>& args) {
+    if (args.empty() || args[0].rfind("--", 0) == 0) {
+        std::fprintf(stderr, "crash: missing <logdir>\n");
+        return 2;
+    }
+    validateOutputPaths(args);
+    const auto logs = core::loadLogs(args[0]);
+    if (logs.empty()) {
+        std::fprintf(stderr, "crash: no *.log files in %s\n", args[0].c_str());
+        return 1;
+    }
+    std::printf("loaded %zu phone logs from %s\n\n", logs.size(), args[0].c_str());
+    const core::FailureStudy study{core::StudyConfig{}};
+    const auto results = study.analyzeLogs(logs);
+    const auto& report = results.crashFamilies;
+
+    std::printf("%s\n", core::renderCrashFamilies(results).c_str());
+    // One greppable line per family plus a summary, for scripted checks
+    // (the CI smoke job asserts the family count and the panic mapping).
+    for (const auto& row : report.rows) {
+        std::printf("crash family: %s panic=%s dumps=%llu share=%.1f%% phones=%zu sigs=%zu top_app=%s\n",
+                    row.familyId.c_str(), symbos::toString(row.panic).c_str(),
+                    static_cast<unsigned long long>(row.dumps), row.sharePct,
+                    row.phones, row.distinctSignatures, row.topApp.c_str());
+    }
+    std::printf("crash summary: dumps=%llu families=%zu",
+                static_cast<unsigned long long>(report.totalDumps),
+                report.rows.size());
+    if (!report.rows.empty()) {
+        std::printf(" top=%s top_panic=%s", report.rows.front().familyId.c_str(),
+                    symbos::toString(report.rows.front().panic).c_str());
+    }
+    std::printf("\n");
+
+    if (const auto path = option(args, "--json")) {
+        core::exportCrashJson(results, *path);
+        std::printf("wrote crash-family JSON to %s\n", path->c_str());
+    }
+    if (const auto dir = option(args, "--csv")) {
+        const auto files = core::exportCrashCsv(results, *dir);
+        std::printf("wrote %zu CSV files to %s\n", files.size(), dir->c_str());
+    }
+    if (const auto path = option(args, "--metrics")) {
+        obs::MetricsRegistry registry;
+        registry.counter("crash", "dumps_total", "structured crash dumps clustered")
+            .inc(report.totalDumps);
+        registry.counter("crash", "families_total", "crash families discovered")
+            .inc(report.rows.size());
+        if (!report.rows.empty()) {
+            registry
+                .gauge("crash", "top_family_dumps",
+                       "dumps in the largest crash family")
+                .set(static_cast<double>(report.rows.front().dumps));
+            registry
+                .gauge("crash", "top_family_share_percent",
+                       "share of all dumps held by the largest family")
+                .set(report.rows.front().sharePct);
+        }
+        writeMetricsFile(registry, *path);
+    }
+    return 0;
+}
+
 int runForum(const std::vector<std::string>& args) {
     core::StudyConfig config;
     config.forumConfig.failureReports = static_cast<int>(
@@ -643,6 +712,7 @@ int runCli(const std::vector<std::string>& args) {
         if (command == "sweep") return runSweep(rest);
         if (command == "monitor") return runMonitor(rest);
         if (command == "analyze") return runAnalyze(rest);
+        if (command == "crash") return runCrash(rest);
         if (command == "forum") return runForum(rest);
         if (command == "tables") return runTables();
     } catch (const std::exception& error) {
