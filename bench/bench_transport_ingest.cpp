@@ -129,6 +129,42 @@ void campaignOverhead(bench::JsonReporter& json) {
     }
 }
 
+// Provenance instrumentation cost: the same campaign with and without
+// the lineage tracker attached.  The acceptance bar is < 5% wall-clock
+// overhead; the best-of-N comparison keeps scheduler noise out of it.
+void provenanceOverhead(bench::JsonReporter& json) {
+    using clock = std::chrono::steady_clock;
+    constexpr int kRepeats = 3;
+    const auto runOnce = [](bool withTracker) {
+        auto config = bench::sweepFleetConfig(2024);
+        config.transport.dataChannel.lossProb = 0.05;
+        config.transport.ackChannel.lossProb = 0.05;
+        obs::ProvenanceTracker tracker;
+        if (withTracker) config.obs.provenance = &tracker;
+        const auto start = clock::now();
+        const auto result = fleet::runCampaign(config);
+        const double elapsed =
+            std::chrono::duration<double>(clock::now() - start).count();
+        (void)result;
+        return elapsed;
+    };
+
+    double plain = 1e300;
+    double traced = 1e300;
+    for (int i = 0; i < kRepeats; ++i) {
+        plain = std::min(plain, runOnce(false));
+        traced = std::min(traced, runOnce(true));
+    }
+    const double overheadPct =
+        plain > 0.0 ? 100.0 * (traced - plain) / plain : 0.0;
+    std::printf("\n-- Provenance tracker overhead (best of %d)\n", kRepeats);
+    std::printf("    plain  %8.3f s\n    traced %8.3f s\n    overhead %+.2f%%\n",
+                plain, traced, overheadPct);
+    json.add("provenance_campaign_plain_s", plain);
+    json.add("provenance_campaign_traced_s", traced);
+    json.add("provenance_overhead_pct", overheadPct);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -136,6 +172,7 @@ int main(int argc, char** argv) {
     std::printf("=== T1: log-transport ingest and overhead ===\n\n");
     ingestThroughput(json);
     campaignOverhead(json);
+    provenanceOverhead(json);
     json.write();
     return 0;
 }

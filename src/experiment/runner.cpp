@@ -36,6 +36,10 @@ TrialMetrics fieldTrialMetrics(const Cell& cell, std::uint64_t seed) {
     // alert counts are a pure function of the trial seed.
     monitor::FleetMonitor fleetMonitor;
     config.fleetConfig.obs.monitor = &fleetMonitor;
+    // Per-trial provenance: like the monitor it is read-only, so the sweep
+    // rollups gain pipeline loss accounting at zero cost to determinism.
+    obs::ProvenanceTracker provenance;
+    config.fleetConfig.obs.provenance = &provenance;
     const core::FailureStudy study{std::move(config)};
     const auto results = study.runFieldStudy();
     const auto& mtbf = results.mtbf;
@@ -51,6 +55,11 @@ TrialMetrics fieldTrialMetrics(const Cell& cell, std::uint64_t seed) {
     }
     const double cbaseSharePct = analysis::categoryShare(
         results.dataset, symbos::PanicCategory::E32UserCBase);
+    const auto prov = provenance.summary();
+    double provE2eP95 = 0.0;
+    for (const auto& stage : prov.stages) {
+        if (stage.stage == "end-to-end") provE2eP95 = stage.p95;
+    }
     return {
         {"mtbf_freeze_hours", mtbf.mtbfFreezeHours},
         {"mtbf_self_shutdown_hours", mtbf.mtbfSelfShutdownHours},
@@ -73,6 +82,15 @@ TrialMetrics fieldTrialMetrics(const Cell& cell, std::uint64_t seed) {
          static_cast<double>(fleetMonitor.health().coalescence().relatedCount)},
         {"monitor_multi_bursts",
          static_cast<double>(fleetMonitor.health().multiBursts())},
+        {"provenance_delivery_ratio",
+         prov.created == 0 ? 1.0
+                           : static_cast<double>(prov.delivered) /
+                                 static_cast<double>(prov.created)},
+        {"provenance_lost_records",
+         static_cast<double>(prov.lostWire + prov.lostOutage)},
+        {"provenance_pending_records", static_cast<double>(prov.pending)},
+        {"provenance_e2e_p95_s", provE2eP95},
+        {"provenance_conserved", prov.conserved() ? 1.0 : 0.0},
     };
 }
 

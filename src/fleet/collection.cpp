@@ -34,11 +34,15 @@ void CollectionServer::receive(const std::string& phoneName,
 }
 
 std::optional<transport::Ack> CollectionServer::receiveFrame(std::string_view bytes) {
-    const auto result = reassembler_.ingest(bytes);
+    return ingestFrame(bytes).ack;
+}
+
+transport::IngestResult CollectionServer::ingestFrame(std::string_view bytes) {
+    auto result = reassembler_.ingest(bytes);
     if (result.ack && observer_ != nullptr) {
         observer_->onFrameAccepted(result);
     }
-    return result.ack;
+    return result;
 }
 
 std::size_t CollectionServer::phoneCount() const {

@@ -60,6 +60,11 @@ public:
     /// to the phone (nullopt when the frame was rejected as damaged).
     std::optional<transport::Ack> receiveFrame(std::string_view bytes);
 
+    /// Like `receiveFrame` but returns the full reassembly outcome (the
+    /// provenance wiring needs the stored extent and the duplicate flag;
+    /// the ack to ship back is `result.ack`).
+    transport::IngestResult ingestFrame(std::string_view bytes);
+
     /// Phones known through either ingestion path.
     [[nodiscard]] std::size_t phoneCount() const;
     [[nodiscard]] std::uint64_t uploadsReceived() const { return uploads_; }

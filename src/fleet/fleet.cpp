@@ -12,6 +12,39 @@
 #include "transport/frame.hpp"
 
 namespace symfail::fleet {
+namespace {
+
+/// Adapts one phone's flash mutations onto the provenance tracker: only
+/// the consolidated Log File feeds lineage, and every event is stamped
+/// with the simulated clock the flash write happened under.
+class ProvenanceFlashAdapter final : public phone::FlashWriteObserver {
+public:
+    ProvenanceFlashAdapter(obs::ProvenanceTracker& tracker,
+                           sim::Simulator& simulator, std::string phone)
+        : tracker_{&tracker}, simulator_{&simulator}, phone_{std::move(phone)} {}
+
+    void onAppend(std::string_view file, std::uint64_t offset,
+                  std::uint32_t length, std::string_view line) override {
+        if (file != logger::kLogFile) return;
+        tracker_->recordCreated(phone_, offset, length, logger::recordTag(line),
+                                simulator_->now());
+    }
+    void onTear(std::string_view file, std::uint64_t newSize) override {
+        if (file != logger::kLogFile) return;
+        tracker_->tailTorn(phone_, newSize, simulator_->now());
+    }
+    void onRotate(std::string_view file, std::uint64_t cutBytes) override {
+        if (file != logger::kLogFile) return;
+        tracker_->prefixRotated(phone_, cutBytes, simulator_->now());
+    }
+
+private:
+    obs::ProvenanceTracker* tracker_;
+    sim::Simulator* simulator_;
+    std::string phone_;
+};
+
+}  // namespace
 
 analysis::TruthMap FleetResult::truthMap() const {
     analysis::TruthMap map;
@@ -74,6 +107,7 @@ FleetResult runCampaign(const FleetConfig& config) {
         std::unique_ptr<transport::Channel> dataChannel;
         std::unique_ptr<transport::Channel> ackChannel;
         std::unique_ptr<transport::UploadAgent> uploadAgent;
+        std::unique_ptr<ProvenanceFlashAdapter> flashAdapter;
         std::unique_ptr<phone::PhoneDevice> device;
     };
     std::vector<PhoneUnit> units;
@@ -85,8 +119,11 @@ FleetResult runCampaign(const FleetConfig& config) {
     // before any event fires, so its own periodic work rides the same
     // simulated clock as everything else.
     CampaignObserver* monitor = config.obs.monitor;
+    obs::ProvenanceTracker* provenance = config.obs.provenance;
+    if (provenance != nullptr) provenance->attachTrace(config.obs.trace);
     if (monitor != nullptr) {
         server.setIngestObserver(monitor);
+        if (provenance != nullptr) monitor->onProvenanceAttached(provenance);
         monitor->onCampaignBegin(simulator, config);
     }
 
@@ -136,12 +173,42 @@ FleetResult runCampaign(const FleetConfig& config) {
             dataChannel->setTraceTrack(device->traceTrack());
             ackChannel->setTraceTrack(device->traceTrack());
             transport::Channel* ackPtr = ackChannel.get();
-            dataChannel->setReceiver(
-                [&server, ackPtr](const std::string& bytes) {
-                    if (const auto ack = server.receiveFrame(bytes)) {
-                        ackPtr->send(transport::encodeAck(*ack));
+            if (provenance != nullptr) {
+                // Server-edge reconciliation: stamp what the reassembler
+                // stored (or count the rejected/duplicate copy) before the
+                // ack ships back.
+                uploadAgent->setProvenance(provenance);
+                dataChannel->setProvenance(provenance);
+                sim::Simulator* simPtr = &simulator;
+                dataChannel->setReceiver([&server, ackPtr, provenance,
+                                          simPtr](const std::string& bytes) {
+                    const auto ingest = server.ingestFrame(bytes);
+                    if (ingest.ack) {
+                        provenance->segmentReconciled(
+                            ingest.phone, ingest.seq, ingest.payload.size(),
+                            ingest.duplicate, simPtr->now());
+                        ackPtr->send(transport::encodeAck(*ingest.ack));
+                    } else {
+                        provenance->frameRejected(simPtr->now());
                     }
                 });
+            } else {
+                dataChannel->setReceiver(
+                    [&server, ackPtr](const std::string& bytes) {
+                        if (const auto ack = server.receiveFrame(bytes)) {
+                            ackPtr->send(transport::encodeAck(*ack));
+                        }
+                    });
+            }
+        }
+
+        // Lineage starts at the flash write: the adapter stamps every Log
+        // File append (and tear/rotation) the instant it happens.
+        std::unique_ptr<ProvenanceFlashAdapter> flashAdapter;
+        if (provenance != nullptr) {
+            flashAdapter = std::make_unique<ProvenanceFlashAdapter>(
+                *provenance, simulator, deviceConfig.name);
+            device->flash().setWriteObserver(flashAdapter.get());
         }
 
         // Staggered enrollment: the phone powers on when its user joins
@@ -173,13 +240,18 @@ FleetResult runCampaign(const FleetConfig& config) {
         units.push_back(PhoneUnit{std::move(loggerApp), std::move(userReports),
                                   std::move(injector), std::move(dataChannel),
                                   std::move(ackChannel), std::move(uploadAgent),
-                                  std::move(device)});
+                                  std::move(flashAdapter), std::move(device)});
     }
 
     simulator.runUntil(sim::TimePoint::origin() + config.campaign);
     if (monitor != nullptr) {
         monitor->onCampaignEnd(sim::TimePoint::origin() + config.campaign);
         server.setIngestObserver(nullptr);
+    }
+    if (provenance != nullptr) {
+        // Resolve outcomes at the campaign boundary, before teardown-order
+        // stragglers (destructor-time flash writes) could muddy the books.
+        provenance->finalize(sim::TimePoint::origin() + config.campaign);
     }
 
     std::uint64_t heartbeatsWritten = 0;
@@ -314,6 +386,7 @@ FleetResult runCampaign(const FleetConfig& config) {
                       "Running-applications snapshots written")
             .inc(snapshotsWritten);
         transport::publishTransportMetrics(report, *registry);
+        if (provenance != nullptr) provenance->publishMetrics(*registry);
     }
     return result;
 }

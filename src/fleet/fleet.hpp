@@ -21,6 +21,7 @@
 #include "faults/rates.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
+#include "obs/provenance.hpp"
 #include "obs/trace.hpp"
 #include "logger/logger.hpp"
 #include "logger/user_reports.hpp"
@@ -60,6 +61,13 @@ struct ObsOptions {
     /// the server's ingest stream plus lifecycle callbacks; read-only with
     /// respect to the campaign (see fleet/observer.hpp for the contract).
     CampaignObserver* monitor{nullptr};
+    /// End-to-end failure provenance: assigns every logger record a
+    /// lineage, stamps it through log -> chunking -> wire -> server ->
+    /// monitor, and resolves a terminal outcome at campaign end (the
+    /// tracker is finalized inside runCampaign).  Like the other
+    /// attachments it never perturbs the campaign.  When `trace` is also
+    /// set, failure records additionally render as Perfetto flow chains.
+    obs::ProvenanceTracker* provenance{nullptr};
 };
 
 /// Campaign configuration.

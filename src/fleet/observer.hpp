@@ -22,6 +22,10 @@
 #include "simkernel/simulator.hpp"
 #include "simkernel/time.hpp"
 
+namespace symfail::obs {
+class ProvenanceTracker;
+}  // namespace symfail::obs
+
 namespace symfail::fleet {
 
 struct FleetConfig;
@@ -48,6 +52,12 @@ public:
     /// The simulation clock reached campaign end; simulation objects are
     /// still alive.
     virtual void onCampaignEnd(sim::TimePoint /*at*/) {}
+    /// A provenance tracker rides this campaign.  Observers that consume
+    /// the ingest stream should report their consumption watermark to it
+    /// (ProvenanceTracker::monitorConsumed) so records earn their
+    /// "alerted" stamp.  Called before onCampaignBegin; the tracker
+    /// outlives the campaign run.
+    virtual void onProvenanceAttached(obs::ProvenanceTracker* /*tracker*/) {}
 
     void onWholeFile(const std::string& /*phoneName*/, std::string_view /*content*/,
                      bool /*stored*/) override {}

@@ -255,4 +255,9 @@ std::vector<LogFileEntry> parseLogFile(std::string_view content, std::size_t* ma
     return out;
 }
 
+std::string_view recordTag(std::string_view line) {
+    const auto bar = line.find('|');
+    return bar == std::string_view::npos ? line : line.substr(0, bar);
+}
+
 }  // namespace symfail::logger

@@ -146,4 +146,9 @@ struct LogFileEntry {
 [[nodiscard]] std::vector<std::string_view> splitFields(std::string_view line,
                                                         char delim);
 
+/// Leading record tag of a serialized line ("PANIC", "BOOT", "DUMP", …):
+/// everything before the first '|'.  Used by provenance tracking to label
+/// lineages without parsing the full record.
+[[nodiscard]] std::string_view recordTag(std::string_view line);
+
 }  // namespace symfail::logger

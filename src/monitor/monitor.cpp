@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <utility>
 
+#include "obs/provenance.hpp"
 #include "obs/trace.hpp"  // appendJsonEscaped
 
 namespace symfail::monitor {
@@ -168,6 +169,25 @@ void FleetMonitor::feedStream(const std::string& phoneName, PhoneStream& stream,
                               std::string_view released) {
     if (released.empty()) return;
     consumeLines(phoneName, stream.lines.feed(released));
+    stampProvenance(phoneName, stream);
+}
+
+void FleetMonitor::stampProvenance(const std::string& phoneName,
+                                   const PhoneStream& stream) {
+    if (provenance_ == nullptr || simulator_ == nullptr) return;
+    // Watermark: bytes released into the line buffer minus the partial
+    // line it still holds — everything below it was consumed as complete
+    // records.
+    const std::uint64_t released = stream.mode == PathMode::Chunked
+                                       ? stream.tap.bytesReleased()
+                                       : stream.wholeConsumed;
+    const std::uint64_t pending = stream.lines.pendingBytes();
+    provenance_->monitorConsumed(phoneName, released - pending,
+                                 simulator_->now());
+}
+
+void FleetMonitor::onProvenanceAttached(obs::ProvenanceTracker* tracker) {
+    provenance_ = tracker;
 }
 
 void FleetMonitor::onFrameAccepted(const transport::IngestResult& frame) {
@@ -207,6 +227,7 @@ void FleetMonitor::onWholeFile(const std::string& phoneName,
     const std::string_view growth = content.substr(stream.wholeConsumed);
     stream.wholeConsumed = content.size();
     consumeLines(phoneName, stream.lines.feed(growth));
+    stampProvenance(phoneName, stream);
 }
 
 void FleetMonitor::onCampaignEnd(sim::TimePoint at) {

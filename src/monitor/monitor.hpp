@@ -104,6 +104,7 @@ public:
     void onWholeFile(const std::string& phoneName, std::string_view content,
                      bool stored) override;
     void onFrameAccepted(const transport::IngestResult& frame) override;
+    void onProvenanceAttached(obs::ProvenanceTracker* tracker) override;
 
     /// Replay mode: streams an already-collected dataset through the
     /// engine in global time order with virtual ticks, then finalizes.
@@ -146,6 +147,9 @@ private:
     void consumeLines(const std::string& phoneName, std::string_view complete);
     void feedStream(const std::string& phoneName, PhoneStream& stream,
                     std::string_view released);
+    /// Reports this stream's consumption watermark (bytes of the phone's
+    /// log fully consumed as complete records) to the provenance tracker.
+    void stampProvenance(const std::string& phoneName, const PhoneStream& stream);
     void tick(sim::TimePoint now);
     [[nodiscard]] std::optional<double> metricValue(
         const std::string& metric, const std::string& phone, sim::TimePoint now,
@@ -164,6 +168,7 @@ private:
     std::uint64_t recordsConsumed_{0};
     sim::TimePoint lastEventAt_;
     bool finalized_{false};
+    obs::ProvenanceTracker* provenance_{nullptr};
 };
 
 }  // namespace symfail::monitor

@@ -63,6 +63,33 @@ void HistogramMetric::observe(double value, std::uint64_t count) {
     sum_ += value * static_cast<double>(count);
 }
 
+double HistogramMetric::quantile(double q) const {
+    q = std::clamp(q, 0.0, 1.0);
+    if (count_ == 0) return 0.0;
+    if (bounds_.empty()) {
+        // Only the +Inf bucket exists; the mean is the best point estimate.
+        return sum_ / static_cast<double>(count_);
+    }
+    const double target = q * static_cast<double>(count_);
+    double cumulative = 0.0;
+    for (std::size_t i = 0; i < bounds_.size(); ++i) {
+        const double next = cumulative + static_cast<double>(counts_[i]);
+        if (next >= target) {
+            const double hi = bounds_[i];
+            double lo = i == 0 ? 0.0 : bounds_[i - 1];
+            if (lo > hi) lo = hi;  // first bound below zero
+            if (counts_[i] == 0) return lo;
+            const double within =
+                (target - cumulative) / static_cast<double>(counts_[i]);
+            return lo + within * (hi - lo);
+        }
+        cumulative = next;
+    }
+    // Landed in +Inf: clamp to the largest finite bound (Prometheus
+    // convention — the histogram cannot resolve beyond it).
+    return bounds_.back();
+}
+
 MetricsRegistry::Metric& MetricsRegistry::upsert(std::string_view subsystem,
                                                  std::string_view name,
                                                  std::string_view labels,
@@ -170,6 +197,9 @@ std::vector<MetricSample> MetricsRegistry::snapshot() const {
                     std::numeric_limits<double>::infinity(), cumulative);
                 sample.sum = h.sum();
                 sample.count = h.count();
+                sample.p50 = h.quantile(0.50);
+                sample.p95 = h.quantile(0.95);
+                sample.p99 = h.quantile(0.99);
                 break;
             }
         }
@@ -212,6 +242,18 @@ std::string MetricsRegistry::renderPrometheus() const {
             out += family + "_count ";
             appendU64(out, sample.count);
             out += '\n';
+            // Interpolated quantiles as an auxiliary gauge family (the
+            // histogram type itself admits only _bucket/_sum/_count).
+            const std::pair<const char*, double> quantiles[] = {
+                {"0.5", sample.p50}, {"0.95", sample.p95}, {"0.99", sample.p99}};
+            out += "# TYPE " + family + "_quantile gauge\n";
+            for (const auto& [q, value] : quantiles) {
+                out += family + "_quantile{quantile=\"";
+                out += q;
+                out += "\"} ";
+                appendDouble(out, value);
+                out += '\n';
+            }
         } else {
             out += family + labelBody + " ";
             appendDouble(out, sample.value);
@@ -242,7 +284,13 @@ std::string MetricsRegistry::renderJson() const {
             appendDouble(out, sample.sum);
             out += ",\"count\":";
             appendU64(out, sample.count);
-            out += ",\"buckets\":[";
+            out += ",\"quantiles\":{\"p50\":";
+            appendDouble(out, sample.p50);
+            out += ",\"p95\":";
+            appendDouble(out, sample.p95);
+            out += ",\"p99\":";
+            appendDouble(out, sample.p99);
+            out += "},\"buckets\":[";
             bool firstBucket = true;
             for (const auto& [bound, cumulative] : sample.buckets) {
                 if (!firstBucket) out += ',';
@@ -304,11 +352,14 @@ std::string MetricsRegistry::renderText() const {
     for (const MetricSample& sample : snapshot()) {
         std::string label = sample.name;
         if (!sample.labels.empty()) label += "{" + sample.labels + "}";
-        char buf[160];
+        char buf[200];
         if (sample.kind == MetricSample::Kind::Histogram) {
-            std::snprintf(buf, sizeof buf, "  %-44s count %llu, sum %.6g\n",
+            std::snprintf(buf, sizeof buf,
+                          "  %-44s count %llu, sum %.6g, p50 %.4g, p95 %.4g, "
+                          "p99 %.4g\n",
                           label.c_str(),
-                          static_cast<unsigned long long>(sample.count), sample.sum);
+                          static_cast<unsigned long long>(sample.count), sample.sum,
+                          sample.p50, sample.p95, sample.p99);
         } else {
             std::snprintf(buf, sizeof buf, "  %-44s %.6g\n", label.c_str(),
                           sample.value);

@@ -54,6 +54,14 @@ public:
     [[nodiscard]] std::uint64_t count() const { return count_; }
     [[nodiscard]] double sum() const { return sum_; }
 
+    /// Approximate quantile (q in [0,1]) by linear interpolation within the
+    /// containing bucket, Prometheus `histogram_quantile` style: the first
+    /// bucket interpolates from 0 (or from its upper bound when that bound
+    /// is <= 0), and a quantile landing in the +Inf bucket clamps to the
+    /// last finite bound.  Returns 0 for an empty histogram, and the
+    /// midpoint estimate `sum/count` when there are no finite buckets.
+    [[nodiscard]] double quantile(double q) const;
+
 private:
     std::vector<double> bounds_;
     std::vector<std::uint64_t> counts_;  ///< bounds_.size() + 1 entries.
@@ -75,6 +83,11 @@ struct MetricSample {
     std::vector<std::pair<double, std::uint64_t>> buckets;
     double sum{0.0};
     std::uint64_t count{0};
+    /// Interpolated p50/p95/p99 (histograms only; see
+    /// HistogramMetric::quantile for the estimator).
+    double p50{0.0};
+    double p95{0.0};
+    double p99{0.0};
 };
 
 /// The registry.  Not thread-safe (the simulator is single-threaded).

@@ -139,6 +139,58 @@ void ChromeTraceWriter::counter(std::uint32_t track, std::string_view name,
     events_.push_back(std::move(event));
 }
 
+namespace {
+
+/// Chrome flow-event phases: 's' starts a flow, 't' continues it, 'f'
+/// (with "bp":"e" so the arrow binds to the enclosing point) ends it.
+constexpr char kFlowStart = 's';
+constexpr char kFlowStep = 't';
+constexpr char kFlowEnd = 'f';
+
+}  // namespace
+
+void ChromeTraceWriter::appendFlow(char phase, std::uint32_t track,
+                                   std::string_view category,
+                                   std::string_view name, sim::TimePoint at,
+                                   std::uint64_t flowId, TraceArgs args) {
+    if (!admit()) return;
+    std::string event = "{\"ph\":\"";
+    event += phase;
+    event += '"';
+    if (phase == kFlowEnd) event += ",\"bp\":\"e\"";
+    event += ",\"id\":";
+    appendInt(event, static_cast<std::int64_t>(flowId));
+    event += ",\"pid\":1,\"tid\":";
+    appendInt(event, track);
+    event += ",\"ts\":";
+    appendInt(event, at.micros());
+    event += ",\"cat\":";
+    appendQuoted(event, category);
+    event += ",\"name\":";
+    appendQuoted(event, name);
+    if (!args.empty()) appendArgs(event, args);
+    event += '}';
+    events_.push_back(std::move(event));
+}
+
+void ChromeTraceWriter::flowBegin(std::uint32_t track, std::string_view category,
+                                  std::string_view name, sim::TimePoint at,
+                                  std::uint64_t flowId, TraceArgs args) {
+    appendFlow(kFlowStart, track, category, name, at, flowId, args);
+}
+
+void ChromeTraceWriter::flowStep(std::uint32_t track, std::string_view category,
+                                 std::string_view name, sim::TimePoint at,
+                                 std::uint64_t flowId) {
+    appendFlow(kFlowStep, track, category, name, at, flowId, TraceArgs{});
+}
+
+void ChromeTraceWriter::flowEnd(std::uint32_t track, std::string_view category,
+                                std::string_view name, sim::TimePoint at,
+                                std::uint64_t flowId) {
+    appendFlow(kFlowEnd, track, category, name, at, flowId, TraceArgs{});
+}
+
 std::string ChromeTraceWriter::json() const {
     std::string out = "{\"traceEvents\":[\n";
     // Metadata first: process name, one thread_name record per track.

@@ -90,6 +90,20 @@ public:
     virtual void counter(std::uint32_t track, std::string_view name,
                          sim::TimePoint at, double value) = 0;
 
+    // Flow events: causal arrows stitching one logical item (a provenance
+    // flow) across tracks — Perfetto renders begin/step/end points sharing
+    // `flowId` as a connected chain.  Default no-ops so existing sinks
+    // keep compiling; ChromeTraceWriter emits Chrome's 's'/'t'/'f' phases.
+    virtual void flowBegin(std::uint32_t /*track*/, std::string_view /*category*/,
+                           std::string_view /*name*/, sim::TimePoint /*at*/,
+                           std::uint64_t /*flowId*/, TraceArgs /*args*/) {}
+    virtual void flowStep(std::uint32_t /*track*/, std::string_view /*category*/,
+                          std::string_view /*name*/, sim::TimePoint /*at*/,
+                          std::uint64_t /*flowId*/) {}
+    virtual void flowEnd(std::uint32_t /*track*/, std::string_view /*category*/,
+                         std::string_view /*name*/, sim::TimePoint /*at*/,
+                         std::uint64_t /*flowId*/) {}
+
     // Argument-free conveniences.
     void instant(std::uint32_t track, std::string_view category,
                  std::string_view name, sim::TimePoint at) {
@@ -144,6 +158,15 @@ public:
               sim::TimePoint start, sim::Duration duration, TraceArgs args) override;
     void counter(std::uint32_t track, std::string_view name, sim::TimePoint at,
                  double value) override;
+    void flowBegin(std::uint32_t track, std::string_view category,
+                   std::string_view name, sim::TimePoint at, std::uint64_t flowId,
+                   TraceArgs args) override;
+    void flowStep(std::uint32_t track, std::string_view category,
+                  std::string_view name, sim::TimePoint at,
+                  std::uint64_t flowId) override;
+    void flowEnd(std::uint32_t track, std::string_view category,
+                 std::string_view name, sim::TimePoint at,
+                 std::uint64_t flowId) override;
 
     /// The complete trace document.
     [[nodiscard]] std::string json() const;
@@ -157,6 +180,9 @@ public:
 private:
     [[nodiscard]] bool admit();
     void appendArgs(std::string& out, TraceArgs args);
+    void appendFlow(char phase, std::uint32_t track, std::string_view category,
+                    std::string_view name, sim::TimePoint at, std::uint64_t flowId,
+                    TraceArgs args);
 
     Options options_;
     std::vector<std::string> trackNames_;

@@ -9,14 +9,20 @@ void FlashStore::appendLine(std::string_view file, std::string_view line) {
     if (it == files_.end()) {
         it = files_.emplace(std::string{file}, std::string{}).first;
     }
+    const std::uint64_t offset = it->second.size();
     it->second.append(line);
     it->second.push_back('\n');
     ++writes_;
+    if (observer_ != nullptr) {
+        observer_->onAppend(file, offset, static_cast<std::uint32_t>(line.size() + 1),
+                            line);
+    }
     if (rotateLimit_ != 0 && it->second.size() > rotateLimit_) {
         std::string& text = it->second;
         std::size_t cut = text.find('\n', text.size() / 2);
         cut = cut == std::string::npos ? text.size() : cut + 1;
         text.erase(0, cut);
+        if (observer_ != nullptr) observer_->onRotate(file, cut);
     }
 }
 
@@ -25,9 +31,15 @@ void FlashStore::replaceWithLine(std::string_view file, std::string_view line) {
     if (it == files_.end()) {
         it = files_.emplace(std::string{file}, std::string{}).first;
     }
+    const std::uint64_t oldSize = it->second.size();
     it->second.assign(line);
     it->second.push_back('\n');
     ++writes_;
+    if (observer_ != nullptr) {
+        if (oldSize != 0) observer_->onRotate(file, oldSize);
+        observer_->onAppend(file, 0, static_cast<std::uint32_t>(line.size() + 1),
+                            line);
+    }
 }
 
 bool FlashStore::exists(std::string_view file) const {
@@ -81,6 +93,7 @@ void FlashStore::tearTail(std::string_view file, std::size_t bytes) {
     if (it == files_.end()) return;
     std::string& text = it->second;
     text.resize(text.size() >= bytes ? text.size() - bytes : 0);
+    if (observer_ != nullptr) observer_->onTear(file, text.size());
 }
 
 std::size_t FlashStore::totalBytes() const {

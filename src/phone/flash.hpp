@@ -15,6 +15,24 @@
 
 namespace symfail::phone {
 
+/// Watches a FlashStore's mutations.  Provenance tracking hangs off this:
+/// the byte offset at which each line lands is the record's identity for
+/// the rest of the collection pipeline.  All callbacks default to no-ops;
+/// `line` views are only valid during the call.
+class FlashWriteObserver {
+public:
+    virtual ~FlashWriteObserver() = default;
+    /// `line` was appended to `file` at byte `offset`; `length` includes
+    /// the trailing '\n'.  Fires before any rotation triggered by the
+    /// append.
+    virtual void onAppend(std::string_view /*file*/, std::uint64_t /*offset*/,
+                          std::uint32_t /*length*/, std::string_view /*line*/) {}
+    /// `file` was truncated to `newSize` bytes by a torn write.
+    virtual void onTear(std::string_view /*file*/, std::uint64_t /*newSize*/) {}
+    /// Rotation (or replaceWithLine) dropped the first `cutBytes` of `file`.
+    virtual void onRotate(std::string_view /*file*/, std::uint64_t /*cutBytes*/) {}
+};
+
 /// Simple name -> append-only text file store.
 class FlashStore {
 public:
@@ -49,10 +67,14 @@ public:
     [[nodiscard]] std::size_t totalBytes() const;
     [[nodiscard]] std::uint64_t writeCount() const { return writes_; }
 
+    /// Attaches a mutation observer (nullptr detaches).  Not owned.
+    void setWriteObserver(FlashWriteObserver* observer) { observer_ = observer; }
+
 private:
     std::map<std::string, std::string, std::less<>> files_;
     std::uint64_t writes_{0};
     std::size_t rotateLimit_{8 * 1024 * 1024};
+    FlashWriteObserver* observer_{nullptr};
 };
 
 }  // namespace symfail::phone

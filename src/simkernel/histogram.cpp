@@ -13,6 +13,27 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
     assert(hi > lo);
 }
 
+Histogram::Histogram(std::vector<double> edges)
+    : lo_{edges.front()},
+      hi_{edges.back()},
+      binWidth_{0.0},
+      edges_{std::move(edges)},
+      counts_(edges_.size() - 1, 0) {
+    assert(edges_.size() >= 2);
+    assert(std::is_sorted(edges_.begin(), edges_.end()));
+    assert(hi_ > lo_);
+}
+
+Histogram Histogram::logScale(double lo, double hi, std::size_t binsPerDecade) {
+    assert(lo > 0.0);
+    assert(hi > lo);
+    assert(binsPerDecade >= 1);
+    const double step = std::pow(10.0, 1.0 / static_cast<double>(binsPerDecade));
+    std::vector<double> edges{lo};
+    while (edges.back() < hi) edges.push_back(edges.back() * step);
+    return Histogram{std::move(edges)};
+}
+
 void Histogram::add(double x, std::uint64_t count) {
     total_ += count;
     if (x < lo_) {
@@ -23,7 +44,14 @@ void Histogram::add(double x, std::uint64_t count) {
         overflow_ += count;
         return;
     }
-    auto i = static_cast<std::size_t>((x - lo_) / binWidth_);
+    std::size_t i;
+    if (edges_.empty()) {
+        i = static_cast<std::size_t>((x - lo_) / binWidth_);
+    } else {
+        // First edge strictly above x; its predecessor opens x's bin.
+        const auto it = std::upper_bound(edges_.begin(), edges_.end(), x);
+        i = static_cast<std::size_t>(it - edges_.begin()) - 1;
+    }
     if (i >= counts_.size()) i = counts_.size() - 1;  // FP edge at hi_
     counts_[i] += count;
 }
@@ -31,6 +59,7 @@ void Histogram::add(double x, std::uint64_t count) {
 void Histogram::merge(const Histogram& other) {
     assert(lo_ == other.lo_ && hi_ == other.hi_ &&
            counts_.size() == other.counts_.size());
+    assert(edges_ == other.edges_);
     for (std::size_t i = 0; i < counts_.size(); ++i) {
         counts_[i] += other.counts_[i];
     }
@@ -40,10 +69,12 @@ void Histogram::merge(const Histogram& other) {
 }
 
 double Histogram::binLo(std::size_t i) const {
+    if (!edges_.empty()) return edges_[i];
     return lo_ + static_cast<double>(i) * binWidth_;
 }
 
 double Histogram::binHi(std::size_t i) const {
+    if (!edges_.empty()) return edges_[i + 1];
     return lo_ + static_cast<double>(i + 1) * binWidth_;
 }
 
@@ -70,7 +101,7 @@ double Histogram::quantile(double q) const {
         if (next >= target) {
             if (counts_[i] == 0) return binLo(i);
             const double within = (target - cum) / static_cast<double>(counts_[i]);
-            return binLo(i) + within * binWidth_;
+            return binLo(i) + within * (binHi(i) - binLo(i));
         }
         cum = next;
     }

@@ -10,11 +10,24 @@
 
 namespace symfail::sim {
 
-/// Fixed-width histogram over [lo, hi) with underflow/overflow buckets.
+/// Binned histogram over [lo, hi) with underflow/overflow buckets.
+/// Bins are fixed-width by default; an explicit edge vector (or the
+/// `logScale` factory) gives variable-width bins for heavy-tailed
+/// quantities such as delivery latencies that span milliseconds to days.
 class Histogram {
 public:
     /// `bins` must be >= 1 and `hi` > `lo`.
     Histogram(double lo, double hi, std::size_t bins);
+
+    /// Explicit ascending bin edges; `edges.size() - 1` bins over
+    /// [edges.front(), edges.back()).  Requires >= 2 strictly ascending
+    /// edges.
+    explicit Histogram(std::vector<double> edges);
+
+    /// Logarithmically spaced bins from `lo` to at least `hi` with
+    /// `binsPerDecade` bins per factor of ten (`lo` > 0, `hi` > `lo`).
+    [[nodiscard]] static Histogram logScale(double lo, double hi,
+                                            std::size_t binsPerDecade);
 
     void add(double x, std::uint64_t count = 1);
 
@@ -40,7 +53,8 @@ public:
     [[nodiscard]] double quantile(double q) const;
 
     /// Adds another histogram's counts into this one.  Both histograms
-    /// must have identical geometry (same lo, hi and bin count).
+    /// must have identical geometry (same lo, hi and bin count, and the
+    /// same edges when either uses explicit edges).
     void merge(const Histogram& other);
 
     /// Renders an ASCII bar chart, one row per non-empty bin.
@@ -49,7 +63,8 @@ public:
 private:
     double lo_;
     double hi_;
-    double binWidth_;
+    double binWidth_;             ///< 0 when `edges_` is in use.
+    std::vector<double> edges_;   ///< Empty for fixed-width histograms.
     std::vector<std::uint64_t> counts_;
     std::uint64_t underflow_{0};
     std::uint64_t overflow_{0};

@@ -2,7 +2,14 @@
 
 #include <utility>
 
+#include "obs/provenance.hpp"
+#include "transport/frame.hpp"
+
 namespace symfail::transport {
+
+sim::Histogram makeDeliveryLatencyHistogram() {
+    return sim::Histogram::logScale(0.05, 1'000'000.0, 6);
+}
 
 ChannelConfig ChannelConfig::gprs() {
     ChannelConfig config;
@@ -57,6 +64,12 @@ void Channel::send(std::string bytes) {
     if (inOutage(simulator_->now()) && rng_.bernoulli(config_.outageLossProb)) {
         ++stats_.framesLost;
         ++stats_.outageDrops;
+        if (provenance_ != nullptr) {
+            if (const auto header = parseFrameHeader(bytes)) {
+                provenance_->frameLost(std::string{header->phone}, header->seq,
+                                       /*outage=*/true, simulator_->now());
+            }
+        }
         if (auto* trace = simulator_->traceSink()) {
             const obs::TraceArg args[] = {{"channel", config_.name},
                                           {"bytes", bytes.size()}};
@@ -67,6 +80,12 @@ void Channel::send(std::string bytes) {
     }
     if (rng_.bernoulli(config_.lossProb)) {
         ++stats_.framesLost;
+        if (provenance_ != nullptr) {
+            if (const auto header = parseFrameHeader(bytes)) {
+                provenance_->frameLost(std::string{header->phone}, header->seq,
+                                       /*outage=*/false, simulator_->now());
+            }
+        }
         if (auto* trace = simulator_->traceSink()) {
             const obs::TraceArg args[] = {{"channel", config_.name},
                                           {"bytes", bytes.size()}};
@@ -88,6 +107,11 @@ void Channel::send(std::string bytes) {
     };
 
     const bool duplicated = rng_.bernoulli(config_.dupProb);
+    if (duplicated && provenance_ != nullptr) {
+        if (const auto header = parseFrameHeader(bytes)) {
+            provenance_->frameDuplicated(std::string{header->phone}, header->seq);
+        }
+    }
     deliverAfter(bytes, drawLatency());
     if (duplicated) {
         ++stats_.framesDuplicated;
@@ -100,6 +124,13 @@ void Channel::deliverAfter(const std::string& bytes, sim::Duration delay) {
         ++stats_.framesDelivered;
         stats_.bytesDelivered += bytes.size();
         stats_.latency.add(delay.asSecondsF());
+        if (provenance_ != nullptr) {
+            if (const auto header = parseFrameHeader(bytes)) {
+                provenance_->frameDelivered(std::string{header->phone},
+                                            header->seq, header->payloadBytes,
+                                            simulator_->now());
+            }
+        }
         if (receiver_) receiver_(bytes);
     });
 }

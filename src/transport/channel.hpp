@@ -19,7 +19,18 @@
 #include "simkernel/rng.hpp"
 #include "simkernel/simulator.hpp"
 
+namespace symfail::obs {
+class ProvenanceTracker;
+}  // namespace symfail::obs
+
 namespace symfail::transport {
+
+/// Shared geometry for delivery-latency histograms: log-scale bins from
+/// 50 ms to ~11.6 days, 6 bins per decade.  Log spacing resolves the
+/// sub-second Bluetooth/GPRS mass and the multi-hour memory-card and
+/// outage-retry tails in one histogram (the old linear 0–120 s bins sent
+/// every memory-card delivery to the overflow bucket).
+[[nodiscard]] sim::Histogram makeDeliveryLatencyHistogram();
 
 /// A scheduled window during which the channel is down (mid-campaign GPRS
 /// blackout, collection PC switched off).
@@ -61,8 +72,8 @@ struct ChannelStats {
     std::uint64_t outageDrops{0};
     std::uint64_t bytesOffered{0};
     std::uint64_t bytesDelivered{0};
-    /// One-way delivery latency in seconds.
-    sim::Histogram latency{0.0, 120.0, 48};
+    /// One-way delivery latency in seconds (see makeDeliveryLatencyHistogram).
+    sim::Histogram latency{makeDeliveryLatencyHistogram()};
 };
 
 /// One simulated unidirectional channel.
@@ -80,6 +91,11 @@ public:
     /// Trace track this channel's wire events land on (the owning phone's
     /// track; 0 — the "sim" track — when never set).
     void setTraceTrack(std::uint32_t track) { traceTrack_ = track; }
+
+    /// Attaches provenance tracking: SEGv1 frames report loss, duplication
+    /// and delivery per segment (acks and malformed bytes are ignored).
+    /// nullptr detaches; the tracker is not owned.
+    void setProvenance(obs::ProvenanceTracker* tracker) { provenance_ = tracker; }
 
     /// Offers bytes to the channel: they are lost, duplicated, delayed or
     /// delivered per the model.  Safe without a receiver (bytes vanish as
@@ -99,6 +115,7 @@ private:
     Receiver receiver_;
     ChannelStats stats_;
     std::uint32_t traceTrack_{0};
+    obs::ProvenanceTracker* provenance_{nullptr};
 };
 
 }  // namespace symfail::transport

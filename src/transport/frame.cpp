@@ -136,6 +136,21 @@ std::optional<Frame> decodeFrame(std::string_view bytes) {
     return frame;
 }
 
+std::optional<FrameHeader> parseFrameHeader(std::string_view bytes) {
+    const auto headerEnd = bytes.find('\n');
+    if (headerEnd == std::string_view::npos) return std::nullopt;
+    const auto fields = splitExact(bytes.substr(0, headerEnd), 6);
+    if (!fields || (*fields)[0] != kFrameMagic) return std::nullopt;
+    const auto seq = parseU64((*fields)[2]);
+    const auto payloadBytes = parseU64((*fields)[4]);
+    if (!seq || !payloadBytes || *seq > 0xFFFFFFFFull) return std::nullopt;
+    FrameHeader header;
+    header.phone = (*fields)[1];
+    header.seq = static_cast<std::uint32_t>(*seq);
+    header.payloadBytes = *payloadBytes;
+    return header;
+}
+
 std::string encodeAck(const Ack& ack) {
     std::string out{kAckMagic};
     out += '|';

@@ -50,6 +50,18 @@ struct Ack {
 [[nodiscard]] std::string encodeAck(const Ack& ack);
 [[nodiscard]] std::optional<Ack> decodeAck(std::string_view bytes);
 
+/// Identity fields of a data frame, readable without a CRC pass.
+struct FrameHeader {
+    std::string_view phone;  ///< Views into the frame bytes.
+    std::uint32_t seq{0};
+    std::uint64_t payloadBytes{0};
+};
+
+/// Cheap header peek for provenance tracking on the wire: no CRC check, no
+/// payload copy.  nullopt for anything that is not a well-formed SEGv1
+/// header (acks included).
+[[nodiscard]] std::optional<FrameHeader> parseFrameHeader(std::string_view bytes);
+
 /// Splits Log File content into line-aligned segments of at most
 /// `payloadBytes` each (a single oversized line gets its own segment).
 /// Greedy from the start: for append-only content, every segment except

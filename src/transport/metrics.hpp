@@ -13,6 +13,7 @@
 
 #include "obs/metrics.hpp"
 #include "simkernel/histogram.hpp"
+#include "transport/channel.hpp"  // makeDeliveryLatencyHistogram
 
 namespace symfail::transport {
 
@@ -40,7 +41,7 @@ struct TransportReport {
     std::uint64_t bytesOnWire{0};
     std::uint64_t framesDelivered{0};
     std::uint64_t bytesDelivered{0};
-    sim::Histogram deliveryLatency{0.0, 120.0, 48};
+    sim::Histogram deliveryLatency{makeDeliveryLatencyHistogram()};
 
     // Server side.
     std::uint64_t framesRejected{0};

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/provenance.hpp"
 #include "symbos/err.hpp"
 #include "symbos/kernel.hpp"
 
@@ -105,12 +106,20 @@ sim::Duration UploadAgent::nextDelay(bool pendingRemain) {
 
 void UploadAgent::runRound(const symbos::ExecContext& ctx) {
     ++stats_.rounds;
-    const auto frames = chunkLogContent(device_->name(), logger_->logFileContent(),
-                                        policy_.chunkPayloadBytes);
+    const std::string& content = logger_->logFileContent();
+    const auto frames =
+        chunkLogContent(device_->name(), content, policy_.chunkPayloadBytes);
+    if (provenance_ != nullptr) {
+        provenance_->snapshotEnqueued(device_->name(), content.size(),
+                                      device_->simulator().now());
+    }
 
     std::size_t sentThisRound = 0;
     std::size_t pending = 0;
+    std::uint64_t frameOffset = 0;  ///< Log offset of the current frame.
     for (const auto& frame : frames) {
+        const std::uint64_t offset = frameOffset;
+        frameOffset += frame.payload.size();
         const auto ackedIt = ackedBytes_.find(frame.seq);
         const bool satisfied =
             ackedIt != ackedBytes_.end() && ackedIt->second >= frame.payload.size();
@@ -123,6 +132,11 @@ void UploadAgent::runRound(const symbos::ExecContext& ctx) {
         const bool retransmit = sent >= frame.payload.size();
         if (retransmit) ++stats_.retransmits;
         sent = std::max(sent, static_cast<std::uint32_t>(frame.payload.size()));
+        if (provenance_ != nullptr) {
+            provenance_->segmentSent(device_->name(), frame.seq, offset,
+                                     frame.payload.size(), retransmit,
+                                     device_->simulator().now());
+        }
 
         const std::string bytes = encodeFrame(frame);
         ++stats_.framesSent;

@@ -82,6 +82,11 @@ public:
     /// Segments fully acknowledged at their current length.
     [[nodiscard]] std::size_t ackedSegments() const;
 
+    /// Attaches provenance tracking: each round stamps its chunking
+    /// snapshot (enqueued) and every transmitted segment (uploaded).
+    /// nullptr detaches; the tracker is not owned.
+    void setProvenance(obs::ProvenanceTracker* tracker) { provenance_ = tracker; }
+
 private:
     void onBoot();
     void teardown();
@@ -111,6 +116,7 @@ private:
     int attempt_{0};  ///< Retry attempt within the current round; 0 = fresh round.
 
     UploadAgentStats stats_;
+    obs::ProvenanceTracker* provenance_{nullptr};
 };
 
 }  // namespace symfail::transport

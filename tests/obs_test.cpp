@@ -116,6 +116,72 @@ TEST(Metrics, JsonAndCsvRender) {
     EXPECT_NE(csv.find("a.events"), std::string::npos);
 }
 
+// --------------------------------------------------------------- quantiles
+
+TEST(Metrics, QuantileOfEmptyHistogramIsZero) {
+    MetricsRegistry registry;
+    auto& h = registry.histogram("t", "empty", {1.0, 2.0});
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.99), 0.0);
+}
+
+TEST(Metrics, QuantileInterpolatesWithinBucket) {
+    MetricsRegistry registry;
+    auto& h = registry.histogram("t", "lat", {10.0, 20.0, 30.0});
+    // 10 samples in (10, 20]: p50 lands mid-bucket, Prometheus style.
+    h.observe(15.0, 10);
+    EXPECT_NEAR(h.quantile(0.5), 15.0, 1e-9);
+    EXPECT_NEAR(h.quantile(1.0), 20.0, 1e-9);
+    // q=0 lands in the empty first bucket, whose lower edge is 0.
+    EXPECT_NEAR(h.quantile(0.0), 0.0, 1e-9);
+}
+
+TEST(Metrics, QuantileWithSingleBucketUsesMean) {
+    MetricsRegistry registry;
+    auto& h = registry.histogram("t", "one", std::vector<double>{});
+    h.observe(4.0);
+    h.observe(8.0);
+    // Only the +Inf bucket exists; the mean is the best point estimate.
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 6.0);
+}
+
+TEST(Metrics, QuantileInOverflowClampsToLargestBound) {
+    MetricsRegistry registry;
+    auto& h = registry.histogram("t", "inf", {1.0, 2.0});
+    h.observe(100.0, 9);  // all mass in +Inf
+    h.observe(0.5);
+    EXPECT_DOUBLE_EQ(h.quantile(0.99), 2.0);
+}
+
+TEST(Metrics, QuantileClampsOutOfRangeQ) {
+    MetricsRegistry registry;
+    auto& h = registry.histogram("t", "clamp", {10.0});
+    h.observe(5.0, 4);
+    EXPECT_DOUBLE_EQ(h.quantile(-1.0), h.quantile(0.0));
+    EXPECT_DOUBLE_EQ(h.quantile(2.0), h.quantile(1.0));
+}
+
+TEST(Metrics, SnapshotAndRendersCarryQuantiles) {
+    MetricsRegistry registry;
+    auto& h = registry.histogram("t", "lat", {10.0, 20.0}, "Latency");
+    h.observe(15.0, 10);
+    const auto samples = registry.snapshot();
+    ASSERT_EQ(samples.size(), 1u);
+    EXPECT_NEAR(samples[0].p50, 15.0, 1e-9);
+    EXPECT_GT(samples[0].p99, samples[0].p50);
+
+    const auto prom = registry.renderPrometheus();
+    EXPECT_NE(prom.find("symfail_t_lat_quantile{quantile=\"0.5\"}"),
+              std::string::npos);
+    EXPECT_NE(prom.find("symfail_t_lat_quantile{quantile=\"0.95\"}"),
+              std::string::npos);
+    EXPECT_NE(prom.find("symfail_t_lat_quantile{quantile=\"0.99\"}"),
+              std::string::npos);
+    const auto json = registry.renderJson();
+    EXPECT_NE(json.find("\"quantiles\""), std::string::npos);
+    EXPECT_NE(json.find("\"p95\""), std::string::npos);
+}
+
 // ------------------------------------------------------------------ trace
 
 TEST(Trace, JsonEscaping) {
@@ -148,6 +214,56 @@ TEST(Trace, ChromeWriterProducesTraceEventsDocument) {
     EXPECT_NE(json.find("\"dur\":1000000"), std::string::npos);
     EXPECT_EQ(writer.eventCount(), 3u);
     EXPECT_EQ(writer.droppedEvents(), 0u);
+}
+
+TEST(Trace, HostileArgPayloadsAreEscaped) {
+    ChromeTraceWriter writer;
+    const auto track = writer.registerTrack("pho\"ne\\0");
+    // Record payloads can carry quotes, backslashes and control bytes
+    // (e.g. a crash-dump frame name); the exporter must keep the
+    // document valid whatever arrives.
+    const std::string hostile = "a\"b\\c\x01\x1f\n\r\t";
+    const TraceArg args[] = {{"payload", hostile}, {"panic\"key", 1}};
+    writer.instant(track, "cat\\egory", hostile, sim::TimePoint::fromMicros(1),
+                   args);
+    writer.flowBegin(track, "provenance", hostile,
+                     sim::TimePoint::fromMicros(2), 9, args);
+
+    const std::string json = writer.json();
+    // No raw control bytes survive inside strings (the document's own
+    // inter-event newlines are the only ones allowed).
+    for (const char c : json) {
+        if (c == '\n') continue;
+        EXPECT_GE(static_cast<unsigned char>(c), 0x20u);
+    }
+    EXPECT_NE(json.find("a\\\"b\\\\c\\u0001\\u001f\\n\\r\\t"),
+              std::string::npos);
+    EXPECT_NE(json.find("panic\\\"key"), std::string::npos);
+    EXPECT_NE(json.find("pho\\\"ne\\\\0"), std::string::npos);
+}
+
+TEST(Trace, FlowEventsRenderChromePhases) {
+    ChromeTraceWriter writer;
+    const auto phone = writer.registerTrack("phone-0");
+    const auto server = writer.registerTrack("server");
+    const TraceArg args[] = {{"record", "phone-0#3"}};
+    writer.flowBegin(phone, "provenance", "record-flow",
+                     sim::TimePoint::fromMicros(100), 42, args);
+    writer.flowStep(phone, "provenance", "record-flow",
+                    sim::TimePoint::fromMicros(200), 42);
+    writer.flowEnd(server, "provenance", "record-flow",
+                   sim::TimePoint::fromMicros(300), 42);
+
+    const std::string json = writer.json();
+    EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"t\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
+    // Chrome requires binding-point "enclosing slice" on the flow end.
+    EXPECT_NE(json.find("\"bp\":\"e\""), std::string::npos);
+    // All three points bind through the same (cat, name, id) triple.
+    EXPECT_NE(json.find("\"id\":42"), std::string::npos);
+    EXPECT_NE(json.find("\"record\":\"phone-0#3\""), std::string::npos);
+    EXPECT_EQ(writer.eventCount(), 3u);
 }
 
 TEST(Trace, EventCapCountsDrops) {

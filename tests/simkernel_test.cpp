@@ -247,6 +247,41 @@ TEST(Histogram, Quantile) {
     EXPECT_NEAR(hist.quantile(0.9), 90.0, 1.5);
 }
 
+TEST(Histogram, LogScaleGeometry) {
+    const auto hist = Histogram::logScale(0.1, 100.0, 1);
+    // One bin per decade: [0.1, 1), [1, 10), [10, 100).
+    ASSERT_EQ(hist.binCount(), 3u);
+    EXPECT_NEAR(hist.binLo(0), 0.1, 1e-12);
+    EXPECT_NEAR(hist.binHi(0), 1.0, 1e-12);
+    EXPECT_NEAR(hist.binLo(2), 10.0, 1e-9);
+    EXPECT_NEAR(hist.binHi(2), 100.0, 1e-9);
+}
+
+TEST(Histogram, LogScaleAddAndQuantile) {
+    auto hist = Histogram::logScale(0.01, 1000.0, 3);
+    hist.add(0.005);  // underflow
+    hist.add(0.5);
+    hist.add(50.0);
+    hist.add(5000.0);  // overflow
+    EXPECT_EQ(hist.underflow(), 1u);
+    EXPECT_EQ(hist.overflow(), 1u);
+    EXPECT_EQ(hist.total(), 4u);
+    // The in-range samples must land in bins whose edges bracket them.
+    for (std::size_t i = 0; i < hist.binCount(); ++i) {
+        if (hist.binValue(i) == 0) continue;
+        EXPECT_LT(hist.binLo(i), hist.binHi(i));
+    }
+}
+
+TEST(Histogram, LogScaleMergeRequiresIdenticalEdges) {
+    auto a = Histogram::logScale(0.1, 100.0, 2);
+    auto b = Histogram::logScale(0.1, 100.0, 2);
+    a.add(1.0);
+    b.add(10.0);
+    a.merge(b);
+    EXPECT_EQ(a.total(), 2u);
+}
+
 TEST(FreqCounter, CountsAndMean) {
     FreqCounter counter;
     counter.add(1, 3);

@@ -65,6 +65,17 @@ void printUsage() {
         "           dataset through the monitor instead and checks the\n"
         "           online burst/coalescence counts against the batch\n"
         "           analysis (exit 1 on mismatch)\n"
+        "  trace    [--phones N] [--days D] [--seed S] [--no-transport] [--loss PCT]\n"
+        "           [--dup PCT] [--reorder PCT] [--no-retries]\n"
+        "           [--outage-day D --outage-days N] [--record PHONE#ID] [--lost]\n"
+        "           [--flow-all] [--trace FILE] [--json FILE] [--metrics FILE]\n"
+        "           run a campaign (default 120 days) with end-to-end failure\n"
+        "           provenance and print the pipeline accounting table\n"
+        "           (created = delivered + torn + lost-wire + lost-outage +\n"
+        "           pending); --record explains why one record did or did\n"
+        "           not arrive, --lost lists every undelivered record,\n"
+        "           --trace adds Perfetto flow chains; exit 1 if the\n"
+        "           conservation invariant fails\n"
         "  sweep    [--trials N] [--jobs J] [--grid FILE.json] [--seed S]\n"
         "           [--phones N] [--days D] [--bootstrap R] [--json FILE]\n"
         "           [--csv DIR] [--metrics FILE]\n"
@@ -371,11 +382,17 @@ int runObs(const std::vector<std::string>& args) {
     // Always profile and collect metrics; trace only when asked (traces of
     // long campaigns are large).
     obs::CampaignProfiler profiler;
-    obs::MetricsRegistry registry;
+    obs::ProvenanceTracker provenance;
     ObsAttachment obsFiles;
     obsFiles.attach(args, config.fleetConfig);
+    // Collect into the attachment's registry whether or not --metrics was
+    // given, so the printed snapshot and the written file are the same
+    // document (a separate local registry here used to leave the
+    // --metrics file empty).
+    obs::MetricsRegistry& registry = obsFiles.registry;
     config.fleetConfig.obs.profiler = &profiler;
     config.fleetConfig.obs.metrics = &registry;
+    config.fleetConfig.obs.provenance = &provenance;
 
     std::printf("instrumented campaign: %d phones, %lld days, seed %llu\n\n",
                 config.fleetConfig.phoneCount, static_cast<long long>(days),
@@ -384,9 +401,86 @@ int runObs(const std::vector<std::string>& args) {
     (void)campaign;
 
     std::printf("%s\n", profiler.renderReport().c_str());
+    std::printf("%s\n", provenance.renderReport().c_str());
     std::printf("== Metrics ==\n%s\n", registry.renderText().c_str());
     obsFiles.finish();
     return 0;
+}
+
+int runTrace(const std::vector<std::string>& args) {
+    validateOutputPaths(args);
+    core::StudyConfig config;
+    const auto days = parseFleetOptions(args, config.fleetConfig, 120);
+    if (hasFlag(args, "--no-transport")) config.fleetConfig.transport.enabled = false;
+    applyTransportOptions(args, config.fleetConfig);
+
+    obs::ProvenanceTracker provenance;
+    if (hasFlag(args, "--flow-all")) provenance.setFlowAllRecords(true);
+    config.fleetConfig.obs.provenance = &provenance;
+    ObsAttachment obsFiles;
+    obsFiles.attach(args, config.fleetConfig);
+    // The monitor supplies the lineage's final stage: a record counts as
+    // "alerted" once the streaming monitor has consumed its bytes.
+    monitor::FleetMonitor fleetMonitor;
+    config.fleetConfig.obs.monitor = &fleetMonitor;
+
+    std::printf("provenance trace: %d phones, %lld days, seed %llu\n\n",
+                config.fleetConfig.phoneCount, static_cast<long long>(days),
+                static_cast<unsigned long long>(config.fleetConfig.seed));
+    const auto campaign = fleet::runCampaign(config.fleetConfig);
+    (void)campaign;
+
+    std::printf("%s\n", provenance.renderReport().c_str());
+
+    if (const auto record = option(args, "--record")) {
+        const auto hash = record->find('#');
+        if (hash == std::string::npos || hash == 0 || hash + 1 == record->size()) {
+            throw std::runtime_error("--record expects PHONE#ID, got " + *record);
+        }
+        const std::string phone = record->substr(0, hash);
+        std::uint64_t id = 0;
+        try {
+            std::size_t consumed = 0;
+            id = std::stoull(record->substr(hash + 1), &consumed);
+            if (consumed != record->size() - hash - 1) {
+                throw std::invalid_argument{"trailing characters"};
+            }
+        } catch (const std::exception&) {
+            throw std::runtime_error("--record expects PHONE#ID, got " + *record);
+        }
+        if (provenance.find(phone, id) == nullptr) {
+            throw std::runtime_error("unknown record: " + *record);
+        }
+        std::printf("%s\n", provenance.explain(phone, id).c_str());
+    }
+
+    if (hasFlag(args, "--lost")) {
+        std::size_t listed = 0;
+        std::printf("undelivered records:\n");
+        for (const auto& phone : provenance.phoneNames()) {
+            for (const auto& rec : *provenance.records(phone)) {
+                if (rec.outcome == obs::RecordOutcome::Delivered) continue;
+                std::printf("  %-18s %-10s %-11s sent x%u\n",
+                            obs::provenanceId(phone, rec.id).c_str(),
+                            rec.tag.c_str(),
+                            std::string{obs::toString(rec.outcome)}.c_str(),
+                            rec.sendCount);
+                ++listed;
+            }
+        }
+        if (listed == 0) std::printf("  (none — every record was delivered)\n");
+        std::printf("\n");
+    }
+
+    if (const auto path = option(args, "--json")) {
+        writeTextFile(*path, provenance.renderJson(), "provenance JSON");
+    }
+    // --metrics is handled by the attachment: the campaign publishes the
+    // provenance histograms into its registry alongside everything else.
+    obsFiles.finish();
+    // The whole point: records are conserved across the pipeline or the
+    // run fails loudly.
+    return provenance.summary().conserved() ? 0 : 1;
 }
 
 int runTransport(const std::vector<std::string>& args) {
@@ -709,6 +803,7 @@ int runCli(const std::vector<std::string>& args) {
         if (command == "campaign") return runCampaign(rest);
         if (command == "obs") return runObs(rest);
         if (command == "transport") return runTransport(rest);
+        if (command == "trace") return runTrace(rest);
         if (command == "sweep") return runSweep(rest);
         if (command == "monitor") return runMonitor(rest);
         if (command == "analyze") return runAnalyze(rest);
