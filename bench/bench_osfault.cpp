@@ -1,0 +1,80 @@
+// F1: OS-interface fault-plane cost.
+//
+// Two questions about the fault planes (ISSUE acceptance: attaching every
+// plane idle — hooks installed, zero rates — must cost the campaign less
+// than 5% wall time, since an instrument that slows the campaign down
+// would itself perturb the measurement it validates):
+//   1. What do the idle hooks cost a campaign end to end?
+//      (planes-absent vs. attachIdle wall time over repeated runs)
+//   2. What does a realistically faulted campaign cost, for context?
+//      (all four planes at calibrated rates)
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "fleet/fleet.hpp"
+
+namespace {
+
+using namespace symfail;
+using clock_type = std::chrono::steady_clock;
+
+double seconds(clock_type::time_point start) {
+    return std::chrono::duration<double>(clock_type::now() - start).count();
+}
+
+enum class Planes { Absent, Idle, Active };
+
+double timeOnce(Planes planes) {
+    auto config = bench::sweepFleetConfig(2026);
+    switch (planes) {
+        case Planes::Absent: break;
+        case Planes::Idle: config.osfault.attachIdle = true; break;
+        case Planes::Active:
+            config.osfault.flash.faultsPerKHour = 20.0;
+            config.osfault.memory.episodesPerKHour = 4.0;
+            config.osfault.clock.skewPpm = 100.0;
+            config.osfault.clock.jumpsPerKHour = 2.0;
+            config.osfault.radio.faultsPerKHour = 10.0;
+            break;
+    }
+    const auto start = clock_type::now();
+    (void)fleet::runCampaign(config);
+    return seconds(start);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    bench::JsonReporter json{argc, argv, "osfault"};
+    std::printf("=== F1: fault-plane attach cost ===\n\n");
+
+    constexpr int kRuns = 3;
+    (void)timeOnce(Planes::Absent);  // warm-up: touch code and allocator once
+    double absent = 1e9;
+    double idle = 1e9;
+    double active = 1e9;
+    for (int run = 0; run < kRuns; ++run) {
+        absent = std::min(absent, timeOnce(Planes::Absent));
+        idle = std::min(idle, timeOnce(Planes::Idle));
+        active = std::min(active, timeOnce(Planes::Active));
+    }
+    const double idlePct = absent > 0.0 ? (idle - absent) / absent * 100.0 : 0.0;
+    const double activePct =
+        absent > 0.0 ? (active - absent) / absent * 100.0 : 0.0;
+
+    std::printf("-- Campaign wall time (8 phones, 60 days, best of %d)\n", kRuns);
+    std::printf("%12s  %10s\n", "planes", "seconds");
+    std::printf("%12s  %10.3f\n", "absent", absent);
+    std::printf("%12s  %10.3f\n", "idle", idle);
+    std::printf("%12s  %10.3f\n", "active", active);
+    std::printf("idle overhead: %.2f%% (acceptance: < 5%%)\n", idlePct);
+    std::printf("active overhead: %.2f%% (context only)\n", activePct);
+    json.add("campaign_seconds_absent", absent);
+    json.add("campaign_seconds_idle", idle);
+    json.add("campaign_seconds_active", active);
+    json.add("idle_overhead_pct", idlePct);
+    json.write();
+    return 0;
+}

@@ -195,6 +195,10 @@ std::string Cell::label() const {
     }
     out += " hb=" + compactNum(heartbeatSeconds) +
            " thresh=" + compactNum(selfShutdownThresholdSeconds);
+    if (flashFaultPerKHour > 0.0) out += " flash=" + compactNum(flashFaultPerKHour);
+    if (memPressurePerKHour > 0.0) out += " mem=" + compactNum(memPressurePerKHour);
+    if (clockSkewPpm != 0.0) out += " skew=" + compactNum(clockSkewPpm);
+    if (radioFaultPerKHour > 0.0) out += " radio=" + compactNum(radioFaultPerKHour);
     return out;
 }
 
@@ -222,6 +226,11 @@ core::StudyConfig Cell::toStudyConfig(std::uint64_t seed) const {
         transport.ackChannel.outages.push_back(window);
     }
     config.selfShutdownThresholdSeconds = selfShutdownThresholdSeconds;
+    auto& osfault = fleet.osfault;
+    osfault.flash.faultsPerKHour = flashFaultPerKHour;
+    osfault.memory.episodesPerKHour = memPressurePerKHour;
+    osfault.clock.skewPpm = clockSkewPpm;
+    osfault.radio.faultsPerKHour = radioFaultPerKHour;
     return config;
 }
 
@@ -248,6 +257,10 @@ Grid Grid::fromAxes(const GridAxes& axes, const Cell& defaults) {
     const auto heartbeat = orDefault(axes.heartbeatSeconds, defaults.heartbeatSeconds);
     const auto threshold = orDefault(axes.selfShutdownThresholdSeconds,
                                      defaults.selfShutdownThresholdSeconds);
+    const auto flash = orDefault(axes.flashFaultPerKHour, defaults.flashFaultPerKHour);
+    const auto mem = orDefault(axes.memPressurePerKHour, defaults.memPressurePerKHour);
+    const auto skew = orDefault(axes.clockSkewPpm, defaults.clockSkewPpm);
+    const auto radio = orDefault(axes.radioFaultPerKHour, defaults.radioFaultPerKHour);
 
     Grid grid;
     for (const int p : phones)
@@ -258,19 +271,27 @@ Grid Grid::fromAxes(const GridAxes& axes, const Cell& defaults) {
                         for (const long long od : outageDay)
                             for (const long long ods : outageDays)
                                 for (const double hb : heartbeat)
-                                    for (const double th : threshold) {
-                                        Cell cell;
-                                        cell.phones = p;
-                                        cell.days = d;
-                                        cell.lossPct = l;
-                                        cell.dupPct = du;
-                                        cell.reorderPct = r;
-                                        cell.outageDay = od;
-                                        cell.outageDays = ods;
-                                        cell.heartbeatSeconds = hb;
-                                        cell.selfShutdownThresholdSeconds = th;
-                                        grid.cells_.push_back(cell);
-                                    }
+                                    for (const double th : threshold)
+                                        for (const double ff : flash)
+                                            for (const double mp : mem)
+                                                for (const double cs : skew)
+                                                    for (const double rf : radio) {
+                                                        Cell cell;
+                                                        cell.phones = p;
+                                                        cell.days = d;
+                                                        cell.lossPct = l;
+                                                        cell.dupPct = du;
+                                                        cell.reorderPct = r;
+                                                        cell.outageDay = od;
+                                                        cell.outageDays = ods;
+                                                        cell.heartbeatSeconds = hb;
+                                                        cell.selfShutdownThresholdSeconds = th;
+                                                        cell.flashFaultPerKHour = ff;
+                                                        cell.memPressurePerKHour = mp;
+                                                        cell.clockSkewPpm = cs;
+                                                        cell.radioFaultPerKHour = rf;
+                                                        grid.cells_.push_back(cell);
+                                                    }
     return grid;
 }
 
@@ -298,6 +319,17 @@ Grid Grid::parse(const std::string& json, const Cell& defaults) {
         } else if (key == "self_shutdown_threshold_seconds") {
             axes.selfShutdownThresholdSeconds =
                 realAxis("self_shutdown_threshold_seconds", values, 1.0, 86'400.0);
+        } else if (key == "flash_fault_per_khour") {
+            axes.flashFaultPerKHour =
+                realAxis("flash_fault_per_khour", values, 0.0, 100'000.0);
+        } else if (key == "mem_pressure_per_khour") {
+            axes.memPressurePerKHour =
+                realAxis("mem_pressure_per_khour", values, 0.0, 100'000.0);
+        } else if (key == "clock_skew_ppm") {
+            axes.clockSkewPpm = realAxis("clock_skew_ppm", values, -10'000.0, 10'000.0);
+        } else if (key == "radio_fault_per_khour") {
+            axes.radioFaultPerKHour =
+                realAxis("radio_fault_per_khour", values, 0.0, 100'000.0);
         } else {
             throw std::runtime_error("grid JSON: unknown axis '" + key + "'");
         }

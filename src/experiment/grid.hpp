@@ -36,9 +36,17 @@ struct Cell {
     long long outageDays{3}; ///< Outage length, days.
     double heartbeatSeconds{60.0};
     double selfShutdownThresholdSeconds{360.0};
+    // OS-interface fault-plane axes.  All default to zero (no plane
+    // attached), which keeps labels and campaign output identical to
+    // pre-osfault grids.
+    double flashFaultPerKHour{0.0};   ///< Flash-plane faults per 1000 h.
+    double memPressurePerKHour{0.0};  ///< Memory-pressure episodes per 1000 h.
+    double clockSkewPpm{0.0};         ///< Device-clock skew, parts per million.
+    double radioFaultPerKHour{0.0};   ///< Radio-plane faults per 1000 h.
 
     /// Stable human-readable identity, e.g.
     /// "phones=5 days=60 loss=5 dup=2 reorder=10 hb=60 thresh=360".
+    /// Osfault axes append only when nonzero, so old labels are stable.
     [[nodiscard]] std::string label() const;
 
     /// Materializes the study configuration for one trial of this cell.
@@ -56,6 +64,10 @@ struct GridAxes {
     std::vector<long long> outageDays;
     std::vector<double> heartbeatSeconds;
     std::vector<double> selfShutdownThresholdSeconds;
+    std::vector<double> flashFaultPerKHour;
+    std::vector<double> memPressurePerKHour;
+    std::vector<double> clockSkewPpm;
+    std::vector<double> radioFaultPerKHour;
 };
 
 /// The sweep grid: an ordered list of cells.

@@ -91,6 +91,27 @@ TrialMetrics fieldTrialMetrics(const Cell& cell, std::uint64_t seed) {
         {"provenance_pending_records", static_cast<double>(prov.pending)},
         {"provenance_e2e_p95_s", provE2eP95},
         {"provenance_conserved", prov.conserved() ? 1.0 : 0.0},
+        // Measurement validity: how well the pipeline recovers ground
+        // truth (degrades as osfault planes bite; 1.0 with them off).
+        {"recovery_freeze_precision", results.evaluation.freezeDetection.precision()},
+        {"recovery_freeze_recall", results.evaluation.freezeDetection.recall()},
+        {"recovery_self_shutdown_precision",
+         results.evaluation.selfShutdownDetection.precision()},
+        {"recovery_self_shutdown_recall",
+         results.evaluation.selfShutdownDetection.recall()},
+        {"panic_capture_rate", results.evaluation.panicCaptureRate()},
+        {"osfault_flash_activations",
+         static_cast<double>(results.fleet.osfault.flash.activations)},
+        {"osfault_mem_oom_kills",
+         static_cast<double>(results.fleet.osfault.memory.oomKills)},
+        {"osfault_clock_jumps",
+         static_cast<double>(results.fleet.osfault.clock.jumps)},
+        {"osfault_radio_activations",
+         static_cast<double>(results.fleet.osfault.radio.activations)},
+        {"logger_record_anomalies",
+         static_cast<double>(results.fleet.loggerRecordAnomalies)},
+        {"logger_daemon_deaths",
+         static_cast<double>(results.fleet.loggerDaemonDeaths)},
     };
 }
 

@@ -93,8 +93,18 @@ FleetResult runCampaign(const FleetConfig& config) {
     // collection path never shifts the per-phone seeds — the simulated
     // campaign (and every regenerated table) stays bit-identical.
     sim::Rng transportRng{config.seed ^ 0x7452414E53504F52ULL};
+    // Fault planes likewise: their own substream, consumed only when
+    // planes attach, so disabled planes leave every other draw untouched.
+    sim::Rng osfaultRng{config.seed ^ 0x4F534641554C5421ULL};
 
     const auto rates = faults::deriveRates(derivePlan(config));
+
+    // Declared before the phones: planes keep raw pointers into devices,
+    // loggers and channels and must outlive them (see registry.hpp).
+    std::unique_ptr<osfault::PlaneRegistry> planeRegistry;
+    if (config.osfault.shouldAttach()) {
+        planeRegistry = std::make_unique<osfault::PlaneRegistry>(config.osfault);
+    }
 
     struct PhoneUnit {
         // Destruction order matters: the device's destructor may run
@@ -211,6 +221,15 @@ FleetResult runCampaign(const FleetConfig& config) {
             device->flash().setWriteObserver(flashAdapter.get());
         }
 
+        // OS-interface fault planes: wired after the transport path so the
+        // radio plane can feed the channels' outage model, before
+        // enrollment so every plane sees the full campaign window.
+        if (planeRegistry != nullptr) {
+            planeRegistry->attach(simulator, *device, *loggerApp,
+                                  dataChannel.get(), ackChannel.get(),
+                                  osfaultRng.nextU64());
+        }
+
         // Staggered enrollment: the phone powers on when its user joins
         // the study.
         const double joinHours = (static_cast<double>(i) + 0.5) /
@@ -276,8 +295,11 @@ FleetResult runCampaign(const FleetConfig& config) {
         panicsLogged += unit.logger->panicsLogged();
         bootsLogged += unit.logger->bootsLogged();
         snapshotsWritten += unit.logger->snapshotsWritten();
+        result.loggerRecordAnomalies += unit.logger->recordAnomalies();
+        result.loggerDaemonDeaths += unit.logger->daemonDeaths();
     }
     result.simulatorEvents = simulator.eventsFired();
+    if (planeRegistry != nullptr) result.osfault = planeRegistry->stats();
 
     // Transport accounting: what made it to the collection server, and
     // what the wire cost to get it there.
@@ -385,6 +407,58 @@ FleetResult runCampaign(const FleetConfig& config) {
             ->counter("logger", "runapp_snapshots",
                       "Running-applications snapshots written")
             .inc(snapshotsWritten);
+        registry
+            ->counter("logger", "record_anomalies",
+                      "Torn or malformed beats-file tails seen at boot")
+            .inc(result.loggerRecordAnomalies);
+        registry
+            ->counter("logger", "daemon_deaths",
+                      "Logger daemons killed while the device stayed up")
+            .inc(result.loggerDaemonDeaths);
+        if (planeRegistry != nullptr) {
+            const osfault::CampaignPlaneStats& planes = result.osfault;
+            registry
+                ->counter("osfault", "flash_activations",
+                          "Flash-plane fault activations")
+                .inc(planes.flash.activations);
+            registry->counter("osfault", "flash_bit_flips", "Flash bits flipped")
+                .inc(planes.flash.bitFlips);
+            registry
+                ->counter("osfault", "flash_torn_writes", "Flash writes torn")
+                .inc(planes.flash.tornWrites);
+            registry
+                ->counter("osfault", "flash_dropped_writes",
+                          "Flash writes silently dropped")
+                .inc(planes.flash.droppedWrites);
+            registry
+                ->counter("osfault", "memory_episodes",
+                          "Memory-pressure episodes applied")
+                .inc(planes.memory.episodes);
+            registry
+                ->counter("osfault", "memory_oom_kills",
+                          "Logger daemons OOM-killed by memory pressure")
+                .inc(planes.memory.oomKills);
+            registry
+                ->counter("osfault", "memory_restarts",
+                          "Watchdog restarts of the logger daemon")
+                .inc(planes.memory.restarts);
+            registry->counter("osfault", "clock_jumps", "Clock jumps applied")
+                .inc(planes.clock.jumps);
+            registry
+                ->counter("osfault", "clock_monotonicity_violations",
+                          "Backward steps observed by clock readers")
+                .inc(planes.clock.monotonicityViolations);
+            registry
+                ->counter("osfault", "radio_activations",
+                          "Radio-plane fault activations")
+                .inc(planes.radio.activations);
+            registry
+                ->counter("osfault", "radio_link_drops", "Radio link drops")
+                .inc(planes.radio.linkDrops);
+            registry
+                ->counter("osfault", "radio_modem_resets", "Modem resets")
+                .inc(planes.radio.modemResets);
+        }
         transport::publishTransportMetrics(report, *registry);
         if (provenance != nullptr) provenance->publishMetrics(*registry);
     }

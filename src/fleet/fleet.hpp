@@ -25,6 +25,7 @@
 #include "obs/trace.hpp"
 #include "logger/logger.hpp"
 #include "logger/user_reports.hpp"
+#include "osfault/registry.hpp"
 #include "phone/device.hpp"
 #include "phone/ground_truth.hpp"
 #include "transport/channel.hpp"
@@ -100,6 +101,13 @@ struct FleetConfig {
     /// Tracing, metrics and profiling attachments.
     ObsOptions obs{};
 
+    /// OS-interface fault planes (osfault subsystem).  All rates default
+    /// to zero: no planes are constructed and the campaign is bit-identical
+    /// to a build without the subsystem.  Plane draws come from a dedicated
+    /// seed substream, so enabling a plane never shifts the workload or
+    /// fault-injector streams.
+    osfault::PlaneConfig osfault{};
+
     /// Assumed powered-on fraction of observed wall-clock time, used only
     /// to convert targets into background rates (measured behaviour feeds
     /// back through the logs, not through this estimate).
@@ -131,6 +139,14 @@ struct FleetResult {
     std::uint64_t userReportsFiled{0};
     std::uint64_t totalBoots{0};
     std::uint64_t simulatorEvents{0};
+
+    /// Fault-plane activity (all zeros when no planes were enabled).
+    osfault::CampaignPlaneStats osfault;
+    /// Logger-side beats-file anomalies observed at boot classification
+    /// (torn tails + malformed lines), summed over phones.
+    std::uint64_t loggerRecordAnomalies{0};
+    /// Logger daemons that died under the logger (OOM-kill), summed.
+    std::uint64_t loggerDaemonDeaths{0};
 
     /// Truth map view for the evaluator (pointers into `truths`).
     [[nodiscard]] analysis::TruthMap truthMap() const;

@@ -1,9 +1,11 @@
 #include "logger/logger.hpp"
 
+#include <optional>
 #include <utility>
 
 #include "crash/dump.hpp"
 #include "symbos/err.hpp"
+#include "symbos/heap.hpp"
 
 namespace symfail::logger {
 
@@ -18,6 +20,19 @@ FailureLogger::FailureLogger(PhoneDevice& device, LoggerConfig config)
     device_->setLoggerToggleHook([this](bool on) { setEnabled(on); });
     device_->kernel().addPanicHook(
         [this](const symbos::PanicEvent& event) { onPanic(event); });
+    // The daemon can die under the logger — OOM-killed by the kernel after
+    // a heap-pressure leave, or stray-killed — without any device power
+    // event.  Tear down its AOs so the dead process's timers stop firing;
+    // the stale ALIVE beat stays in flash, to be (mis)read at the next
+    // boot classification.
+    device_->kernel().addTerminationHook(
+        [this](symbos::ProcessId pid, const std::string& /*name*/,
+               symbos::TerminationReason reason) {
+            if (pid != daemonPid_ || daemonPid_ == 0) return;
+            if (reason == symbos::TerminationReason::DeviceShutdown) return;
+            ++daemonDeaths_;
+            teardownDaemon();
+        });
 }
 
 FailureLogger::FailureLogger(PhoneDevice& device)
@@ -57,8 +72,11 @@ void FailureLogger::writeBeat(BeatKind kind) {
         trace->instant(device_->traceTrack(), "logger", "heartbeat",
                        device_->simulator().now(), args);
     }
+    // Records are stamped with the *device clock* (clockNow), not the
+    // simulation clock: an osfault clock plane distorts only what lands
+    // in flash, never when the write happens.
     device_->flash().replaceWithLine(
-        kBeatsFile, serialize(BeatRecord{device_->simulator().now(), kind}));
+        kBeatsFile, serialize(BeatRecord{device_->clockNow(), kind}));
     if (kind == BeatKind::Alive) ++heartbeats_;
 }
 
@@ -79,7 +97,7 @@ void FailureLogger::onPanic(const symbos::PanicEvent& event) {
     if (!enabled_ || daemonPid_ == 0) return;
     if (device_->state() != PhoneDevice::PowerState::On) return;
     PanicRecord record;
-    record.time = event.time;
+    record.time = device_->clockNow();
     record.panic = event.id;
     record.runningApps = device_->runningUserApps();
     record.activity = currentActivityContext();
@@ -95,10 +113,12 @@ void FailureLogger::onPanic(const symbos::PanicEvent& event) {
     ++panicsLogged_;
     if (config_.captureDumps) {
         // The dump rides the same Log File (and thus the same transport
-        // path); it shares the panic's timestamp so the analysis spans and
-        // tables are untouched by its presence.
-        device_->flash().appendLine(
-            kLogFile, crash::serialize(crash::makeDump(event, record.runningApps)));
+        // path); it shares the panic record's timestamp so the analysis
+        // spans and tables are untouched by its presence (and so both
+        // records drift together under a skewed device clock).
+        crash::CrashDump dump = crash::makeDump(event, record.runningApps);
+        dump.time = record.time;
+        device_->flash().appendLine(kLogFile, crash::serialize(dump));
         ++dumpsCaptured_;
     }
 }
@@ -110,18 +130,34 @@ void FailureLogger::onBoot() {
     // First start on this phone: record device metadata.
     if (bootsLogged_ == 0 && !flash.exists(kLogFile)) {
         flash.appendLine(kLogFile,
-                         serialize(MetaRecord{device_->simulator().now(),
+                         serialize(MetaRecord{device_->clockNow(),
                                               device_->symbianVersion()}));
     }
 
-    // Classify the previous shutdown from the last heartbeat event.
+    // Classify the previous shutdown from the last heartbeat event.  A
+    // short read is *not* simply end-of-log: the file can end in a torn
+    // tail (a write interrupted by power loss or a flash fault), which is
+    // a distinct anomaly — counted, then recovered from by falling back to
+    // the last complete line when the tail itself will not parse.
     BootRecord boot;
-    boot.time = device_->simulator().now();
-    const std::string lastBeatLine = flash.lastLine(kBeatsFile);
-    if (lastBeatLine.empty()) {
-        boot.prior = PriorShutdown::None;
-        boot.lastBeatAt = sim::TimePoint::origin();
-    } else if (const auto beat = parseBeat(lastBeatLine)) {
+    boot.time = device_->clockNow();
+    const phone::FlashTail tail = flash.readTail(kBeatsFile);
+    if (tail.torn) ++tornBeatTails_;
+    std::optional<BeatRecord> beat;
+    if (!tail.line.empty()) {
+        beat = parseBeat(tail.line);
+        if (!beat) {
+            ++malformedBeatLines_;
+            // The tail is damaged goods; the previous complete line (if
+            // any survived, e.g. after bit rot in a multi-line file) is
+            // the best remaining evidence.
+            const std::string recovered = flash.lastCompleteLine(kBeatsFile);
+            if (!recovered.empty() && recovered != tail.line) {
+                beat = parseBeat(recovered);
+            }
+        }
+    }
+    if (beat) {
         boot.lastBeatAt = beat->time;
         switch (beat->kind) {
             case BeatKind::Alive: boot.prior = PriorShutdown::Freeze; break;
@@ -129,9 +165,12 @@ void FailureLogger::onBoot() {
             case BeatKind::Lowbt: boot.prior = PriorShutdown::LowBattery; break;
             case BeatKind::Maoff: boot.prior = PriorShutdown::ManualOff; break;
         }
+    } else if (tail.line.empty() && !tail.torn) {
+        boot.prior = PriorShutdown::None;
+        boot.lastBeatAt = sim::TimePoint::origin();
     } else {
-        // Torn write: treat as a freeze (the write was interrupted by a
-        // power loss with no graceful marker).
+        // Torn or unrecoverable write: treat as a freeze (the write was
+        // interrupted with no graceful marker).
         boot.prior = PriorShutdown::Freeze;
         boot.lastBeatAt = sim::TimePoint::origin();
     }
@@ -148,15 +187,25 @@ void FailureLogger::onBoot() {
                                                  symbos::ProcessKind::SystemServer);
     writeBeat(BeatKind::Alive);
 
-    startPeriodicAo("heartbeat", config_.heartbeatPeriod,
-                    [this]() { writeBeat(BeatKind::Alive); });
-    startPeriodicAo("runapp-detector", config_.runappPeriod, [this]() {
+    startPeriodicAo("heartbeat", config_.heartbeatPeriod, [this](ExecContext& ctx) {
+        // The record is formatted in a heap scratch buffer.  Under an
+        // osfault memory-pressure episode this allocation leaves with
+        // KErrNoMemory, the RunL leave escalates to E32USER-CBase 47, and
+        // the daemon is OOM-killed — the logger measured by its own
+        // instrument.  With the default unbounded heap it never fails and
+        // draws no randomness, so fault-free campaigns are unchanged.
+        const symbos::HeapCell scratch =
+            ctx.heap().allocL(ctx, config_.heartbeatScratchBytes);
+        writeBeat(BeatKind::Alive);
+        ctx.heap().free(scratch);
+    });
+    startPeriodicAo("runapp-detector", config_.runappPeriod, [this](ExecContext&) {
         device_->flash().appendLine(
-            kRunappFile, serializeRunapp(device_->simulator().now(),
+            kRunappFile, serializeRunapp(device_->clockNow(),
                                          device_->runningUserApps()));
         ++snapshots_;
     });
-    startPeriodicAo("log-engine", config_.activityPeriod, [this]() {
+    startPeriodicAo("log-engine", config_.activityPeriod, [this](ExecContext&) {
         const auto rows = device_->dbLog().eventsSince(lastActivityCopied_);
         for (const auto& row : rows) {
             device_->flash().appendLine(
@@ -168,22 +217,27 @@ void FailureLogger::onBoot() {
             }
         }
     });
-    startPeriodicAo("power-manager", config_.powerPeriod, [this]() {
+    startPeriodicAo("power-manager", config_.powerPeriod, [this](ExecContext&) {
         device_->flash().appendLine(
             kPowerFile,
-            serializePower(device_->simulator().now(),
+            serializePower(device_->clockNow(),
                            device_->systemAgent().batteryPercent(),
                            device_->systemAgent().charging()));
     });
     if (uploadSink_ && !uploadPeriod_.isZero()) {
-        startPeriodicAo("upload-agent", uploadPeriod_, [this]() {
+        startPeriodicAo("upload-agent", uploadPeriod_, [this](ExecContext&) {
             uploadSink_(device_->name(), logFileContent());
         });
     }
 }
 
+void FailureLogger::restartDaemon() {
+    if (!enabled_ || !device_->isOn() || daemonPid_ != 0) return;
+    onBoot();
+}
+
 void FailureLogger::startPeriodicAo(std::string name, sim::Duration period,
-                                    std::function<void()> body) {
+                                    std::function<void(ExecContext&)> body) {
     auto& scheduler = device_->kernel().schedulerOf(daemonPid_);
     // RunL runs the body and re-arms the timer — the standard Symbian
     // periodic-service idiom.  The timer pointer is filled in just after
@@ -193,7 +247,9 @@ void FailureLogger::startPeriodicAo(std::string name, sim::Duration period,
         scheduler, std::move(name),
         [body = std::move(body), timerSlot, period](ExecContext& ctx, int status) {
             if (status != symbos::KErrNone) return;
-            body();
+            // A body that leaves (heap pressure) skips the re-arm — moot,
+            // since the leave escalates to a panic that kills the daemon.
+            body(ctx);
             if (*timerSlot != nullptr) (*timerSlot)->after(ctx, period);
         });
     auto timer = std::make_unique<symbos::RTimer>(*ao);

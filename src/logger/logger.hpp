@@ -46,6 +46,11 @@ struct LoggerConfig {
     /// Dumps share the panic's timestamp, so enabling them never changes
     /// the failure analysis — only adds the clustering material.
     bool captureDumps = true;
+    /// Scratch buffer the heartbeat formats its record in.  The daemon's
+    /// one per-tick heap allocation — which is what makes it killable by
+    /// memory pressure: when the heap can no longer cover this, the
+    /// heartbeat's RunL leaves and the daemon dies with E32USER-CBase 47.
+    std::size_t heartbeatScratchBytes = 512;
 };
 
 /// The logger daemon.  One instance per phone; re-creates its active
@@ -74,12 +79,37 @@ public:
                                           const std::string& logFileContent)>;
     void setUploadSink(UploadSink sink, sim::Duration uploadPeriod);
 
+    /// Pid of the running daemon process (0 when not running).
+    [[nodiscard]] symbos::ProcessId daemonPid() const { return daemonPid_; }
+
+    /// Restarts a dead daemon on a running phone without a device boot —
+    /// the watchdog path after the daemon was OOM-killed.  The restart
+    /// re-runs boot classification, so a stale ALIVE beat left by the dead
+    /// daemon is (mis)read as a freeze: precisely the measurement artifact
+    /// the validity analysis quantifies.  No-op unless the logger is
+    /// enabled, the phone is on, and the daemon is down.
+    void restartDaemon();
+
     // Statistics (used by tests and the overhead ablation).
     [[nodiscard]] std::uint64_t heartbeatsWritten() const { return heartbeats_; }
     [[nodiscard]] std::uint64_t panicsLogged() const { return panicsLogged_; }
     [[nodiscard]] std::uint64_t dumpsCaptured() const { return dumpsCaptured_; }
     [[nodiscard]] std::uint64_t bootsLogged() const { return bootsLogged_; }
     [[nodiscard]] std::uint64_t snapshotsWritten() const { return snapshots_; }
+    /// Beats files found ending in a torn (newline-less) tail at boot.
+    [[nodiscard]] std::uint64_t tornBeatTails() const { return tornBeatTails_; }
+    /// Beat lines that would not parse at boot classification.
+    [[nodiscard]] std::uint64_t malformedBeatLines() const {
+        return malformedBeatLines_;
+    }
+    /// Records-anomaly counter: every beats-file irregularity the boot
+    /// classifier observed (torn tails + unparseable lines).
+    [[nodiscard]] std::uint64_t recordAnomalies() const {
+        return tornBeatTails_ + malformedBeatLines_;
+    }
+    /// Times the daemon process died under it (OOM-kill, stray kill)
+    /// rather than by device power-down.
+    [[nodiscard]] std::uint64_t daemonDeaths() const { return daemonDeaths_; }
 
     [[nodiscard]] const LoggerConfig& config() const { return config_; }
 
@@ -91,9 +121,11 @@ private:
     void writeBeat(BeatKind kind);
     [[nodiscard]] ActivityContext currentActivityContext() const;
 
-    /// Creates a self-re-arming periodic AO driven by an RTimer.
+    /// Creates a self-re-arming periodic AO driven by an RTimer.  The body
+    /// receives the daemon's ExecContext so it can use kernel services
+    /// (the heartbeat allocates its scratch buffer from the daemon heap).
     void startPeriodicAo(std::string name, sim::Duration period,
-                         std::function<void()> body);
+                         std::function<void(symbos::ExecContext&)> body);
 
     phone::PhoneDevice* device_;
     LoggerConfig config_;
@@ -113,6 +145,9 @@ private:
     std::uint64_t dumpsCaptured_{0};
     std::uint64_t bootsLogged_{0};
     std::uint64_t snapshots_{0};
+    std::uint64_t tornBeatTails_{0};
+    std::uint64_t malformedBeatLines_{0};
+    std::uint64_t daemonDeaths_{0};
 };
 
 }  // namespace symfail::logger

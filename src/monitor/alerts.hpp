@@ -48,6 +48,17 @@ struct AlertRule {
     std::optional<double> clearThreshold;
 };
 
+/// Attribution of FIRING alert edges to labelled cause activations (e.g.
+/// the osfault planes' activation timestamps): an alert is attributed to
+/// a label when some activation with that label precedes it within
+/// `window`.  Multiple labels can claim the same alert; alerts no label
+/// claims are counted under "unattributed".  Purely diagnostic — built
+/// from the alert log after the run.
+[[nodiscard]] std::map<std::string, std::uint64_t> attributeAlerts(
+    const std::vector<struct AlertEvent>& log,
+    const std::vector<std::pair<std::string, sim::TimePoint>>& activations,
+    sim::Duration window);
+
 /// One transition in the alert log.
 struct AlertEvent {
     sim::TimePoint time;

@@ -1,0 +1,38 @@
+#include "osfault/clock_plane.hpp"
+
+namespace symfail::osfault {
+
+ClockPlane::ClockPlane(sim::Simulator& simulator, phone::PhoneDevice& device,
+                       ClockPlaneConfig config, std::uint64_t seed)
+    : FaultPlane{simulator, "clock", "osfault.clock",
+                 FaultSchedule{config.jumpsPerKHour, 1, {}, {}}, seed},
+      config_{config},
+      epoch_{simulator.now()} {
+    device.setClock(this);
+}
+
+sim::TimePoint ClockPlane::read(sim::TimePoint trueNow) {
+    const sim::Duration elapsed = trueNow - epoch_;
+    const sim::Duration skew =
+        sim::Duration::fromSecondsF(elapsed.asSecondsF() * config_.skewPpm / 1e6);
+    sim::TimePoint reported = trueNow + skew + offset_;
+    // The RTC cannot report a time before the campaign epoch.
+    if (reported < epoch_) reported = epoch_;
+    if (anyReported_ && reported < lastReported_) ++monotonicityViolations_;
+    lastReported_ = reported;
+    anyReported_ = true;
+    return reported;
+}
+
+void ClockPlane::activate(sim::Rng& rng) {
+    const sim::Duration magnitude = rng.lognormalDuration(
+        config_.jumpMagnitudeMedian, config_.jumpMagnitudeSigma);
+    if (rng.bernoulli(0.5)) {
+        offset_ = offset_ + magnitude;
+    } else {
+        offset_ = offset_ - magnitude;
+        ++backwardJumps_;
+    }
+}
+
+}  // namespace symfail::osfault

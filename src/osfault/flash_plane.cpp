@@ -1,0 +1,79 @@
+#include "osfault/flash_plane.hpp"
+
+#include <array>
+#include <span>
+
+#include "logger/records.hpp"
+
+namespace symfail::osfault {
+
+FlashPlane::FlashPlane(sim::Simulator& simulator, phone::FlashStore& flash,
+                       FlashPlaneConfig config, std::uint64_t seed)
+    : FaultPlane{simulator, "flash", "osfault.flash",
+                 FaultSchedule{config.faultsPerKHour, config.burst, {}, {}}, seed},
+      flash_{&flash},
+      config_{config} {
+    flash_->setFaultInjector(this);
+}
+
+// Planes outlive the device they attach to (the registry is declared
+// before the fleet's phones), so the store — and its injector pointer —
+// is gone before this runs; there is nothing to detach.
+FlashPlane::~FlashPlane() = default;
+
+FlashPlaneStats FlashPlane::stats() const {
+    return {activations(), bitFlips_, tornWrites_, droppedWrites_};
+}
+
+void FlashPlane::activate(sim::Rng& rng) {
+    // The plane targets the logger's measurement files: the compacted
+    // beats file and the consolidated Log File.
+    const std::string_view target =
+        rng.bernoulli(0.5) ? logger::kBeatsFile : logger::kLogFile;
+    const std::array<double, 3> weights{config_.bitRotWeight,
+                                        config_.tornWriteWeight,
+                                        config_.dropWriteWeight};
+    switch (rng.discrete(std::span<const double>{weights})) {
+        case 0: {  // bit rot in already-stored bytes
+            const std::size_t size = flash_->content(target).size();
+            if (size == 0) break;
+            const auto flips = static_cast<int>(rng.uniformInt(1, 3));
+            for (int i = 0; i < flips; ++i) {
+                const auto offset = static_cast<std::size_t>(
+                    rng.uniformInt(0, static_cast<std::int64_t>(size) - 1));
+                const auto mask = static_cast<std::uint8_t>(
+                    1U << static_cast<unsigned>(rng.uniformInt(0, 7)));
+                if (flash_->corruptByte(target, offset, mask)) ++bitFlips_;
+            }
+            break;
+        }
+        case 1:  // arm a torn write
+            armedKind_ = Kind::Torn;
+            armedFile_ = target;
+            break;
+        default:  // arm a dropped write (transient I/O error)
+            armedKind_ = Kind::Drop;
+            armedFile_ = target;
+            break;
+    }
+}
+
+FlashPlane::Verdict FlashPlane::onWrite(std::string_view file,
+                                        std::string_view line) {
+    if (armedKind_ == Kind::None || file != armedFile_) return {};
+    Verdict verdict;
+    verdict.kind = armedKind_;
+    armedKind_ = Kind::None;
+    armedFile_.clear();
+    if (verdict.kind == Kind::Torn) {
+        // Keep a uniformly random prefix; never the full line + '\n'.
+        verdict.keepBytes = static_cast<std::size_t>(
+            rng().uniformInt(0, static_cast<std::int64_t>(line.size())));
+        ++tornWrites_;
+    } else {
+        ++droppedWrites_;
+    }
+    return verdict;
+}
+
+}  // namespace symfail::osfault

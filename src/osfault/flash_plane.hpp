@@ -1,0 +1,66 @@
+// Flash plane: bit rot, torn writes, and transient I/O errors on the
+// logger's files.
+//
+// Two injection modes, both deterministic:
+//   * bit rot — an activation flips 1–3 bits of a random stored byte in
+//     the target file right away (retention failure in a cell already
+//     written);
+//   * torn / dropped writes — an activation *arms* a fault that the next
+//     write to the target file consumes (a failing program operation).
+//     Armed faults ride the FlashFaultInjector hook, so the hot path per
+//     write is one enum check and no Rng draw.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "osfault/plane.hpp"
+#include "phone/flash.hpp"
+
+namespace symfail::osfault {
+
+struct FlashPlaneConfig {
+    /// Activation rate (per 1000 device-hours); 0 disables the plane.
+    double faultsPerKHour{0.0};
+    int burst{1};
+    /// Unnormalized effect mix drawn per activation.
+    double bitRotWeight{0.5};
+    double tornWriteWeight{0.3};
+    double dropWriteWeight{0.2};
+
+    [[nodiscard]] bool enabled() const { return faultsPerKHour > 0.0; }
+};
+
+struct FlashPlaneStats {
+    std::uint64_t activations{0};
+    std::uint64_t bitFlips{0};
+    std::uint64_t tornWrites{0};
+    std::uint64_t droppedWrites{0};
+};
+
+class FlashPlane final : public FaultPlane, public phone::FlashFaultInjector {
+public:
+    FlashPlane(sim::Simulator& simulator, phone::FlashStore& flash,
+               FlashPlaneConfig config, std::uint64_t seed);
+    ~FlashPlane() override;
+
+    [[nodiscard]] FlashPlaneStats stats() const;
+
+    // phone::FlashFaultInjector
+    Verdict onWrite(std::string_view file, std::string_view line) override;
+
+protected:
+    void activate(sim::Rng& rng) override;
+
+private:
+    phone::FlashStore* flash_;
+    FlashPlaneConfig config_;
+    /// Armed write fault: consumed by the next write to `armedFile_`.
+    Kind armedKind_{Kind::None};
+    std::string armedFile_;
+    std::uint64_t bitFlips_{0};
+    std::uint64_t tornWrites_{0};
+    std::uint64_t droppedWrites_{0};
+};
+
+}  // namespace symfail::osfault

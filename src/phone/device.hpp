@@ -30,6 +30,7 @@
 #include "phone/apps.hpp"
 #include "phone/flash.hpp"
 #include "phone/ground_truth.hpp"
+#include "phone/radio.hpp"
 #include "simkernel/rng.hpp"
 #include "simkernel/simulator.hpp"
 #include "symbos/kernel.hpp"
@@ -49,6 +50,21 @@ enum class ShutdownKind : std::uint8_t {
 };
 
 [[nodiscard]] std::string_view toString(ShutdownKind k);
+
+/// The device's notion of wall-clock time.  Software on the phone (the
+/// logger stamping records) reads time through this; without one attached
+/// the device clock is the simulation clock.  The osfault clock plane
+/// implements it to model skew, jumps, and monotonicity violations — a
+/// *measurement* distortion: the simulation itself always runs on true
+/// time, only the timestamps written to flash drift.
+class DeviceClock {
+public:
+    virtual ~DeviceClock() = default;
+    /// Maps true simulation time to what the device's RTC reports.
+    /// Non-const: implementations track reads to detect monotonicity
+    /// violations.
+    virtual sim::TimePoint read(sim::TimePoint trueNow) = 0;
+};
 
 /// Tunable user behaviour.  Defaults describe a typical phone in the
 /// study's population; the fleet draws per-phone variations around them.
@@ -133,6 +149,8 @@ public:
     [[nodiscard]] symbos::DbLogServer& dbLog() { return dbLog_; }
     [[nodiscard]] symbos::SystemAgentServer& systemAgent() { return systemAgent_; }
     [[nodiscard]] FlashStore& flash() { return flash_; }
+    [[nodiscard]] RadioModem& radio() { return radio_; }
+    [[nodiscard]] const RadioModem& radio() const { return radio_; }
     [[nodiscard]] GroundTruth& groundTruth() { return truth_; }
     [[nodiscard]] const GroundTruth& groundTruth() const { return truth_; }
     [[nodiscard]] const UserProfile& profile() const { return config_.profile; }
@@ -140,6 +158,15 @@ public:
     /// Trace track carrying this phone's events (0 when no sink attached —
     /// which aliases the "sim" track, harmless since nothing is emitted).
     [[nodiscard]] std::uint32_t traceTrack() const { return traceTrack_; }
+
+    /// Attaches a device clock (nullptr detaches).  Not owned.
+    void setClock(DeviceClock* clock) { clock_ = clock; }
+    /// What the device's RTC currently reports; identical to the simulation
+    /// clock unless a DeviceClock is attached.
+    [[nodiscard]] sim::TimePoint clockNow() {
+        const sim::TimePoint now = simulator_->now();
+        return clock_ != nullptr ? clock_->read(now) : now;
+    }
 
     // -- Power ---------------------------------------------------------------
 
@@ -239,8 +266,10 @@ private:
     symbos::DbLogServer dbLog_;
     symbos::SystemAgentServer systemAgent_;
     FlashStore flash_;
+    RadioModem radio_;
     GroundTruth truth_;
     std::unique_ptr<UserModel> user_;
+    DeviceClock* clock_{nullptr};
 
     PowerState state_{PowerState::Off};
     std::uint32_t traceTrack_{0};

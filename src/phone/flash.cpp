@@ -5,6 +5,12 @@
 namespace symfail::phone {
 
 void FlashStore::appendLine(std::string_view file, std::string_view line) {
+    FlashFaultInjector::Verdict verdict;
+    if (injector_ != nullptr) verdict = injector_->onWrite(file, line);
+    if (verdict.kind == FlashFaultInjector::Kind::Drop) {
+        ++droppedWrites_;
+        return;
+    }
     auto it = files_.find(file);
     if (it == files_.end()) {
         it = files_.emplace(std::string{file}, std::string{}).first;
@@ -24,9 +30,23 @@ void FlashStore::appendLine(std::string_view file, std::string_view line) {
         text.erase(0, cut);
         if (observer_ != nullptr) observer_->onRotate(file, cut);
     }
+    if (verdict.kind == FlashFaultInjector::Kind::Torn) {
+        ++tornWrites_;
+        const std::size_t written = line.size() + 1;
+        // A torn write always loses at least the trailing '\n'.
+        const std::size_t keep =
+            verdict.keepBytes < written ? verdict.keepBytes : written - 1;
+        tearTail(file, written - keep);
+    }
 }
 
 void FlashStore::replaceWithLine(std::string_view file, std::string_view line) {
+    FlashFaultInjector::Verdict verdict;
+    if (injector_ != nullptr) verdict = injector_->onWrite(file, line);
+    if (verdict.kind == FlashFaultInjector::Kind::Drop) {
+        ++droppedWrites_;
+        return;
+    }
     auto it = files_.find(file);
     if (it == files_.end()) {
         it = files_.emplace(std::string{file}, std::string{}).first;
@@ -39,6 +59,14 @@ void FlashStore::replaceWithLine(std::string_view file, std::string_view line) {
         if (oldSize != 0) observer_->onRotate(file, oldSize);
         observer_->onAppend(file, 0, static_cast<std::uint32_t>(line.size() + 1),
                             line);
+    }
+    if (verdict.kind == FlashFaultInjector::Kind::Torn) {
+        ++tornWrites_;
+        const std::size_t written = line.size() + 1;
+        // A torn write always loses at least the trailing '\n'.
+        const std::size_t keep =
+            verdict.keepBytes < written ? verdict.keepBytes : written - 1;
+        tearTail(file, written - keep);
     }
 }
 
@@ -81,6 +109,42 @@ std::string FlashStore::lastLine(std::string_view file) const {
     const std::size_t prev = text.rfind('\n', end - 1);
     const std::size_t start = prev == std::string::npos ? 0 : prev + 1;
     return text.substr(start, end - start);
+}
+
+FlashTail FlashStore::readTail(std::string_view file) const {
+    const std::string& text = content(file);
+    if (text.empty()) return {};
+    FlashTail tail;
+    tail.torn = text.back() != '\n';
+    tail.line = lastLine(file);
+    return tail;
+}
+
+std::string FlashStore::lastCompleteLine(std::string_view file) const {
+    const std::string& text = content(file);
+    const std::size_t lastNl = text.rfind('\n');
+    if (lastNl == std::string::npos) return {};  // no complete line at all
+    if (lastNl == 0) return {};                  // sole complete line is empty
+    const std::size_t prev = text.rfind('\n', lastNl - 1);
+    const std::size_t start = prev == std::string::npos ? 0 : prev + 1;
+    return text.substr(start, lastNl - start);
+}
+
+bool FlashStore::corruptByte(std::string_view file, std::size_t offset,
+                             std::uint8_t mask) {
+    const auto it = files_.find(file);
+    if (it == files_.end()) return false;
+    std::string& text = it->second;
+    if (offset >= text.size()) return false;
+    if (mask == 0) return false;
+    char& byte = text[offset];
+    if (byte == '\n') return false;  // keep line framing intact
+    const char flipped = static_cast<char>(
+        static_cast<std::uint8_t>(byte) ^ mask);
+    if (flipped == '\n') return false;
+    byte = flipped;
+    ++corruptedBytes_;
+    return true;
 }
 
 void FlashStore::remove(std::string_view file) {

@@ -33,6 +33,37 @@ public:
     virtual void onRotate(std::string_view /*file*/, std::uint64_t /*cutBytes*/) {}
 };
 
+/// Decides, per write, whether the flash layer misbehaves.  The osfault
+/// flash plane implements this; the store stays fault-free without one.
+/// Consulted before the bytes land, so a verdict shapes what is stored:
+///   - None: the write proceeds normally.
+///   - Drop: a transient I/O error — the write is silently lost.  No
+///     observer callback fires (the record was never persisted), which is
+///     exactly how provenance expects an unwritten record to look.
+///   - Torn: the write lands in full, then the tail is immediately torn
+///     off (`keepBytes` of the line + '\n' survive) — a truncated flash
+///     commit.  The append and tear observer callbacks both fire, so the
+///     record lands in provenance's existing "torn" terminal bucket and
+///     the conservation invariant holds.
+class FlashFaultInjector {
+public:
+    enum class Kind : std::uint8_t { None, Drop, Torn };
+    struct Verdict {
+        Kind kind{Kind::None};
+        /// For Torn: bytes of the line (incl. '\n') that survive.
+        std::size_t keepBytes{0};
+    };
+    virtual ~FlashFaultInjector() = default;
+    virtual Verdict onWrite(std::string_view file, std::string_view line) = 0;
+};
+
+/// A file's final line together with whether it is torn (no trailing
+/// newline — the write never completed).
+struct FlashTail {
+    std::string line;
+    bool torn{false};
+};
+
 /// Simple name -> append-only text file store.
 class FlashStore {
 public:
@@ -50,6 +81,14 @@ public:
     [[nodiscard]] std::vector<std::string> lines(std::string_view file) const;
     /// Last line of the file, or empty if absent/empty.
     [[nodiscard]] std::string lastLine(std::string_view file) const;
+    /// Last line plus torn-tail status.  `torn` is true when the file ends
+    /// without a newline: the final write never completed.  Readers that
+    /// care about measurement validity (the logger's boot classifier) use
+    /// this instead of `lastLine`, which hides the distinction.
+    [[nodiscard]] FlashTail readTail(std::string_view file) const;
+    /// Last *complete* line (one terminated by '\n'), skipping a torn
+    /// tail; empty if the file holds no complete line.
+    [[nodiscard]] std::string lastCompleteLine(std::string_view file) const;
 
     void remove(std::string_view file);
     void clear() { files_.clear(); }
@@ -63,6 +102,12 @@ public:
     /// after an abrupt power loss.
     void tearTail(std::string_view file, std::size_t bytes);
 
+    /// XORs `mask` into the byte at `offset` — models flash bit rot.
+    /// Returns false (no-op) when the file or offset does not exist or the
+    /// corruption would destroy line framing ('\n' bytes are left alone:
+    /// retention failures flip cell bits, they do not invent page breaks).
+    bool corruptByte(std::string_view file, std::size_t offset, std::uint8_t mask);
+
     [[nodiscard]] std::size_t fileCount() const { return files_.size(); }
     [[nodiscard]] std::size_t totalBytes() const;
     [[nodiscard]] std::uint64_t writeCount() const { return writes_; }
@@ -70,11 +115,26 @@ public:
     /// Attaches a mutation observer (nullptr detaches).  Not owned.
     void setWriteObserver(FlashWriteObserver* observer) { observer_ = observer; }
 
+    /// Attaches a fault injector consulted on every write (nullptr
+    /// detaches).  Not owned.
+    void setFaultInjector(FlashFaultInjector* injector) { injector_ = injector; }
+
+    /// Writes swallowed by an injector Drop verdict (transient I/O errors).
+    [[nodiscard]] std::uint64_t droppedWrites() const { return droppedWrites_; }
+    /// Writes truncated by an injector Torn verdict.
+    [[nodiscard]] std::uint64_t tornWrites() const { return tornWrites_; }
+    /// Bytes flipped via corruptByte (bit-rot events that landed).
+    [[nodiscard]] std::uint64_t corruptedBytes() const { return corruptedBytes_; }
+
 private:
     std::map<std::string, std::string, std::less<>> files_;
     std::uint64_t writes_{0};
     std::size_t rotateLimit_{8 * 1024 * 1024};
     FlashWriteObserver* observer_{nullptr};
+    FlashFaultInjector* injector_{nullptr};
+    std::uint64_t droppedWrites_{0};
+    std::uint64_t tornWrites_{0};
+    std::uint64_t corruptedBytes_{0};
 };
 
 }  // namespace symfail::phone

@@ -1,0 +1,55 @@
+#include "phone/radio.hpp"
+
+namespace symfail::phone {
+
+const char* toString(RadioState state) {
+    switch (state) {
+        case RadioState::Registered: return "registered";
+        case RadioState::NoService: return "no-service";
+        case RadioState::Resetting: return "resetting";
+    }
+    return "?";
+}
+
+void RadioModem::beginLinkDrop(sim::TimePoint at) {
+    if (state_ != RadioState::Registered) return;
+    state_ = RadioState::NoService;
+    unregisteredSince_ = at;
+    ++linkDrops_;
+}
+
+void RadioModem::endLinkDrop(sim::TimePoint at) {
+    if (state_ != RadioState::NoService) return;
+    state_ = RadioState::Registered;
+    timeUnregistered_ = timeUnregistered_ + (at - unregisteredSince_);
+}
+
+void RadioModem::beginReset(sim::TimePoint at) {
+    if (state_ == RadioState::Resetting) return;
+    state_ = RadioState::Resetting;
+    unregisteredSince_ = at;
+    ++modemResets_;
+}
+
+void RadioModem::endReset(sim::TimePoint at) {
+    if (state_ != RadioState::Resetting) return;
+    state_ = RadioState::Registered;
+    timeUnregistered_ = timeUnregistered_ + (at - unregisteredSince_);
+}
+
+void RadioModem::beginStaleSignal() {
+    if (signalStale_) return;
+    signalStale_ = true;
+    ++staleWindows_;
+}
+
+void RadioModem::endStaleSignal() { signalStale_ = false; }
+
+void RadioModem::setSignalBars(int bars) {
+    if (signalStale_) return;
+    if (bars < 0) bars = 0;
+    if (bars > 5) bars = 5;
+    signalBars_ = bars;
+}
+
+}  // namespace symfail::phone

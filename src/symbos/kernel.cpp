@@ -251,6 +251,10 @@ ActiveScheduler& Kernel::schedulerOf(ProcessId pid) {
     return *processRef(pid).scheduler;
 }
 
+HeapModel& Kernel::heapOf(ProcessId pid) {
+    return processRef(pid).heap;
+}
+
 void Kernel::registerView(ProcessId pid) {
     processRef(pid).hasView = true;
 }

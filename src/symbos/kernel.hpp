@@ -222,6 +222,9 @@ public:
     [[nodiscard]] ObjectIndex& objectIndex() { return objectIndex_; }
     /// The active scheduler of a live process.
     [[nodiscard]] ActiveScheduler& schedulerOf(ProcessId pid);
+    /// The heap model of a live process.  Fault planes use this to apply
+    /// memory pressure to a victim process from outside it.
+    [[nodiscard]] HeapModel& heapOf(ProcessId pid);
 
     /// ViewSrv: registers a view for a process, enabling the watchdog.
     void registerView(ProcessId pid);

@@ -106,6 +106,14 @@ public:
     [[nodiscard]] const ChannelStats& stats() const { return stats_; }
     [[nodiscard]] const ChannelConfig& config() const { return config_; }
 
+    /// Adds an outage window after construction.  The osfault radio plane
+    /// uses this to turn modem events (link drops, resets) into channel
+    /// outages, so radio faults flow through the same outage accounting as
+    /// scheduled blackouts instead of bypassing the transport model.
+    void pushOutage(OutageWindow window) {
+        config_.outages.push_back(window);
+    }
+
 private:
     void deliverAfter(const std::string& bytes, sim::Duration delay);
 

@@ -103,7 +103,8 @@ TEST(Cli, RejectsPartiallyNumericOptions) {
 // the same way, so a fifth subcommand can't quietly regress to partial
 // parses.
 TEST(Cli, FleetOptionParsingParityAcrossSubcommands) {
-    for (const char* command : {"campaign", "transport", "obs", "sweep", "monitor"}) {
+    for (const char* command :
+         {"campaign", "transport", "obs", "sweep", "monitor", "osfault"}) {
         EXPECT_EQ(cli::runCli({command, "--phones", "25x"}), 1) << command;
         EXPECT_EQ(cli::runCli({command, "--phones", ""}), 1) << command;
         EXPECT_EQ(cli::runCli({command, "--days", "3d"}), 1) << command;
@@ -266,6 +267,62 @@ TEST(Cli, SweepRejectsBadOptions) {
     EXPECT_EQ(cli::runCli({"sweep", "--trials", "0"}), 1);
     EXPECT_EQ(cli::runCli({"sweep", "--jobs", "0"}), 1);
     EXPECT_EQ(cli::runCli({"sweep", "--grid", "/definitely/not/there.json"}), 1);
+}
+
+// An unknown grid key (a typo'd axis name) must fail the sweep up front
+// instead of silently sweeping nothing — checked end to end through the
+// CLI, grid file and all.
+TEST(Cli, SweepRejectsUnknownGridKeys) {
+    const auto dir = std::filesystem::temp_directory_path() / "symfail-cli-badgrid";
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    const auto gridPath = (dir / "grid.json").string();
+    std::ofstream{gridPath} << R"({"flash_fault_per_khours": [0, 40]})";
+    EXPECT_EQ(cli::runCli({"sweep", "--trials", "1", "--phones", "1", "--days",
+                           "2", "--grid", gridPath}),
+              1);
+    std::filesystem::remove_all(dir);
+}
+
+// -- osfault --------------------------------------------------------------------
+
+TEST(Cli, OsfaultPlaneFlagsAreAcceptedAndBounded) {
+    // The plane knobs ride campaign and sweep as well as osfault.
+    EXPECT_EQ(cli::runCli({"campaign", "--phones", "2", "--days", "6", "--seed",
+                           "3", "--flash-fault", "10", "--mem-pressure", "2"}),
+              0);
+    // Out-of-range or malformed rates fail before any campaign runs.
+    EXPECT_EQ(cli::runCli({"campaign", "--phones", "2", "--days", "2",
+                           "--flash-fault", "-5"}),
+              1);
+    EXPECT_EQ(cli::runCli({"osfault", "--phones", "2", "--days", "2",
+                           "--clock-skew", "20000"}),
+              1);
+    EXPECT_EQ(cli::runCli({"sweep", "--trials", "1", "--phones", "1", "--days",
+                           "2", "--radio-fault", "1x"}),
+              1);
+}
+
+TEST(Cli, OsfaultSubcommandRunsAndChecks) {
+    EXPECT_EQ(cli::runCli({"osfault", "--phones", "2", "--days", "20", "--seed",
+                           "5", "--flash-fault", "20", "--mem-pressure", "5",
+                           "--clock-skew", "100", "--radio-fault", "10"}),
+              0);
+    // --check with default (zero) bounds always passes.
+    EXPECT_EQ(cli::runCli({"osfault", "--phones", "2", "--days", "20", "--seed",
+                           "5", "--mem-pressure", "5", "--check"}),
+              0);
+    // Bounds live in [0, 1].
+    EXPECT_EQ(cli::runCli({"osfault", "--phones", "2", "--days", "2", "--check",
+                           "--min-precision", "1.5"}),
+              1);
+    // Perfection under heavy faults is unattainable: the check must FAIL
+    // (exit 1) rather than quietly bless a degraded measurement.
+    EXPECT_EQ(cli::runCli({"osfault", "--phones", "3", "--days", "30", "--seed",
+                           "5", "--flash-fault", "80", "--mem-pressure", "20",
+                           "--radio-fault", "30", "--check", "--min-precision",
+                           "1", "--min-recall", "1", "--min-capture", "1"}),
+              1);
 }
 
 }  // namespace

@@ -209,6 +209,59 @@ TEST(ExperimentGrid, CellMaterializesStudyConfig) {
               config.fleetConfig.campaign.asSecondsF());
 }
 
+TEST(ExperimentGrid, OsfaultAxesParseSweepAndMaterialize) {
+    const experiment::Cell defaults;
+    const auto grid = experiment::Grid::parse(
+        R"({"flash_fault_per_khour": [0, 40], "mem_pressure_per_khour": 10,)"
+        R"( "clock_skew_ppm": [-200, 0, 200], "radio_fault_per_khour": 20})",
+        defaults);
+    // 2 flash values x 3 skew values, with mem/radio pinned.
+    ASSERT_EQ(grid.size(), 6u);
+    // flash varies slower than skew (flash is the earlier nested loop).
+    EXPECT_DOUBLE_EQ(grid.cells()[0].flashFaultPerKHour, 0.0);
+    EXPECT_DOUBLE_EQ(grid.cells()[0].clockSkewPpm, -200.0);
+    EXPECT_DOUBLE_EQ(grid.cells()[2].clockSkewPpm, 200.0);
+    EXPECT_DOUBLE_EQ(grid.cells()[3].flashFaultPerKHour, 40.0);
+    EXPECT_DOUBLE_EQ(grid.cells()[1].memPressurePerKHour, 10.0);
+    EXPECT_DOUBLE_EQ(grid.cells()[1].radioFaultPerKHour, 20.0);
+
+    // The cell materializes into the fleet's plane configuration.
+    const auto config = grid.cells()[5].toStudyConfig(7);
+    EXPECT_DOUBLE_EQ(config.fleetConfig.osfault.flash.faultsPerKHour, 40.0);
+    EXPECT_DOUBLE_EQ(config.fleetConfig.osfault.memory.episodesPerKHour, 10.0);
+    EXPECT_DOUBLE_EQ(config.fleetConfig.osfault.clock.skewPpm, 200.0);
+    EXPECT_DOUBLE_EQ(config.fleetConfig.osfault.radio.faultsPerKHour, 20.0);
+    EXPECT_TRUE(config.fleetConfig.osfault.anyEnabled());
+
+    // Out-of-range values fail loudly.
+    EXPECT_THROW(
+        (void)experiment::Grid::parse(R"({"flash_fault_per_khour": -1})", defaults),
+        std::runtime_error);
+    EXPECT_THROW(
+        (void)experiment::Grid::parse(R"({"clock_skew_ppm": 20000})", defaults),
+        std::runtime_error);
+}
+
+TEST(ExperimentGrid, OsfaultAxesAppendToLabelsOnlyWhenActive) {
+    experiment::Cell cell;
+    // Pre-osfault labels are byte-stable: cells with every plane at rest
+    // render exactly as they did before the axes existed (plot keys and
+    // baselines keyed on labels survive the new axes).
+    const std::string base = cell.label();
+    EXPECT_EQ(base.find("flash="), std::string::npos);
+    EXPECT_EQ(base.find("skew="), std::string::npos);
+    cell.flashFaultPerKHour = 40.0;
+    cell.clockSkewPpm = -200.0;
+    const std::string active = cell.label();
+    EXPECT_EQ(active.find(base), 0u);  // old prefix unchanged
+    EXPECT_NE(active.find(" flash=40"), std::string::npos);
+    EXPECT_NE(active.find(" skew=-200"), std::string::npos);
+    EXPECT_EQ(active.find("mem="), std::string::npos);
+    EXPECT_EQ(active.find("radio="), std::string::npos);
+    // A cell with only plane defaults materializes no enabled planes.
+    EXPECT_FALSE(experiment::Cell{}.toStudyConfig(1).fleetConfig.osfault.anyEnabled());
+}
+
 TEST(ExperimentGrid, LoadsFromFile) {
     const auto path =
         std::filesystem::temp_directory_path() / "symfail-grid-test.json";
@@ -375,6 +428,42 @@ TEST(ExperimentDeterminism, ByteIdenticalAcrossJobCounts) {
         EXPECT_EQ(read(files1[i]), read(files4[i]));
     }
     std::filesystem::remove_all(base);
+}
+
+// The acceptance bar for the fault planes: a sweep with a plane axis
+// enabled is byte-identical across worker counts, and the enabled cell
+// actually reports plane activity in its rolled-up metrics.
+TEST(ExperimentDeterminism, OsfaultSweepIsByteIdenticalAcrossJobCounts) {
+    experiment::Cell defaults;
+    defaults.phones = 2;
+    defaults.days = 8;
+    defaults.memPressurePerKHour = 8.0;
+    experiment::GridAxes axes;
+    axes.flashFaultPerKHour = {0.0, 60.0};
+    const auto grid = experiment::Grid::fromAxes(axes, defaults);
+    experiment::RunnerOptions options;
+    options.trials = 2;
+    options.masterSeed = 77;
+    options.bootstrapResamples = 100;
+    options.jobs = 1;
+    const auto j1 = experiment::Runner{options}.run(grid);
+    options.jobs = 4;
+    const auto j4 = experiment::Runner{options}.run(grid);
+    EXPECT_EQ(experiment::sweepToJson(j1), experiment::sweepToJson(j4));
+
+    ASSERT_EQ(j1.cells.size(), 2u);
+    for (const char* metric :
+         {"osfault_flash_activations", "osfault_mem_oom_kills",
+          "recovery_freeze_precision", "recovery_freeze_recall",
+          "logger_record_anomalies"}) {
+        EXPECT_NE(j1.cells[1].find(metric), nullptr) << metric;
+    }
+    const auto* flash = j1.cells[1].find("osfault_flash_activations");
+    ASSERT_NE(flash, nullptr);
+    EXPECT_GT(flash->mean, 0.0);
+    const auto* flashOff = j1.cells[0].find("osfault_flash_activations");
+    ASSERT_NE(flashOff, nullptr);
+    EXPECT_EQ(flashOff->mean, 0.0);
 }
 
 TEST(ExperimentDeterminism, TrialsActuallyVary) {

@@ -305,6 +305,44 @@ TEST_F(LoggerFixture, TornBeatLineClassifiedAsFreeze) {
     EXPECT_EQ(last.boot.prior, PriorShutdown::Freeze);
 }
 
+TEST_F(LoggerFixture, TornBeatTailIsCountedAndClassifiedConservatively) {
+    device_->powerOn();
+    runFor(sim::Duration::minutes(5));
+    device_->requestShutdown(phone::ShutdownKind::UserOff);
+    // Tear the REBOOT beat mid-line.  The beats file is compacted to a
+    // single line, so once its tail is torn no complete line survives to
+    // recover from: the boot counts both anomalies (torn tail plus
+    // malformed line) and falls back to the conservative Freeze
+    // classification with no beat-time evidence.
+    const phone::FlashTail intact = device_->flash().readTail(kBeatsFile);
+    ASSERT_FALSE(intact.torn);
+    device_->flash().tearTail(kBeatsFile, 3);
+    EXPECT_TRUE(device_->flash().readTail(kBeatsFile).torn);
+    runFor(sim::Duration::minutes(1));
+    device_->powerOn();
+
+    const auto entries = parseLogFile(logger_->logFileContent());
+    ASSERT_FALSE(entries.empty());
+    const auto& last = entries.back();
+    ASSERT_EQ(last.type, LogFileEntry::Type::Boot);
+    EXPECT_EQ(last.boot.prior, PriorShutdown::Freeze);
+    EXPECT_EQ(logger_->tornBeatTails(), 1u);
+    EXPECT_EQ(logger_->malformedBeatLines(), 1u);
+    EXPECT_EQ(logger_->recordAnomalies(), 2u);
+    // No surviving complete beat line → no lastBeatAt evidence.
+    EXPECT_EQ(last.boot.lastBeatAt, sim::TimePoint::origin());
+}
+
+TEST_F(LoggerFixture, CleanRunsCountNoRecordAnomalies) {
+    device_->powerOn();
+    runFor(sim::Duration::minutes(10));
+    device_->requestShutdown(phone::ShutdownKind::UserOff);
+    runFor(sim::Duration::minutes(1));
+    device_->powerOn();
+    EXPECT_EQ(logger_->recordAnomalies(), 0u);
+    EXPECT_EQ(logger_->daemonDeaths(), 0u);
+}
+
 TEST_F(LoggerFixture, RunappSnapshotsAccumulate) {
     device_->powerOn();
     device_->startAppSession(phone::kAppClock, sim::Duration::hours(2));

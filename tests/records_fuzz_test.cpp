@@ -14,6 +14,7 @@
 #include "crash/dump.hpp"
 #include "logger/dexc.hpp"
 #include "logger/records.hpp"
+#include "phone/flash.hpp"
 #include "simkernel/rng.hpp"
 #include "transport/frame.hpp"
 #include "transport/reassembly.hpp"
@@ -361,6 +362,127 @@ TEST_P(DumpFramingFuzz, DumpsInterleavedWithBeatsParseDeterministically) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DumpFramingFuzz,
                          ::testing::Range<std::uint64_t>(1, 7));
+
+// -- Flash-plane-shaped corruption (the osfault flash plane's exact moves) ----
+//
+// The flash fault plane damages logs through three primitives only:
+// FlashStore::corruptByte (bit rot), a torn write consumed by the fault
+// injector hook, and a dropped write.  These suites drive the primitives
+// themselves — not hand-rolled string surgery — so the fuzz corpus is
+// byte-for-byte what a plane campaign produces.
+
+/// Seeds the store with the canonical valid log, one appendLine per line
+/// (as the logger writes it).
+std::size_t seedLogFile(phone::FlashStore& flash) {
+    const std::string original = validLogWithDump();
+    std::size_t lines = 0;
+    std::size_t start = 0;
+    while (start < original.size()) {
+        auto end = original.find('\n', start);
+        if (end == std::string::npos) end = original.size();
+        flash.appendLine(kLogFile, original.substr(start, end - start));
+        ++lines;
+        start = end + 1;
+    }
+    return lines;
+}
+
+TEST(FlashShapedFuzz, BitRotAtEveryOffsetPreservesFramingAndExactCounts) {
+    phone::FlashStore pristine;
+    const std::size_t lines = seedLogFile(pristine);
+    const std::string original = pristine.content(kLogFile);
+
+    for (const std::uint8_t mask : {std::uint8_t{0x01}, std::uint8_t{0x10},
+                                    std::uint8_t{0x80}}) {
+        for (std::size_t offset = 0; offset < original.size(); ++offset) {
+            phone::FlashStore flash;
+            seedLogFile(flash);
+            const bool flipped = flash.corruptByte(kLogFile, offset, mask);
+            const std::string damaged = flash.content(kLogFile);
+            // corruptByte never touches line framing, so the line count —
+            // and the anomaly accounting — stays exact: every line either
+            // parses or is counted malformed, nothing throws.
+            EXPECT_EQ(std::count(damaged.begin(), damaged.end(), '\n'),
+                      std::count(original.begin(), original.end(), '\n'));
+            std::size_t malformed = 0;
+            const auto entries = parseLogFile(damaged, &malformed);
+            EXPECT_EQ(entries.size() + malformed, lines);
+            if (flipped) {
+                EXPECT_EQ(flash.corruptedBytes(), 1u);
+                EXPECT_NE(damaged, original);
+            } else {
+                EXPECT_EQ(damaged, original);
+            }
+        }
+    }
+}
+
+/// Scripted injector: arms exactly one verdict for the next write.
+class OneShotInjector final : public phone::FlashFaultInjector {
+public:
+    Verdict next{};
+    Verdict onWrite(std::string_view /*file*/, std::string_view /*line*/) override {
+        const Verdict verdict = next;
+        next = {};
+        return verdict;
+    }
+};
+
+TEST(FlashShapedFuzz, TornWritesAtEveryByteOffsetAreDetectedExactly) {
+    const std::string line = validDumpLine();
+    for (std::size_t keep = 0; keep <= line.size() + 1; ++keep) {
+        phone::FlashStore flash;
+        const std::size_t baseLines = seedLogFile(flash);
+        const std::string before = flash.content(kLogFile);
+
+        OneShotInjector injector;
+        flash.setFaultInjector(&injector);
+        injector.next = {phone::FlashFaultInjector::Kind::Torn, keep};
+        flash.appendLine(kLogFile, line);
+        EXPECT_EQ(flash.tornWrites(), 1u);
+
+        const std::string damaged = flash.content(kLogFile);
+        const phone::FlashTail tail = flash.readTail(kLogFile);
+        if (keep == 0) {
+            // The whole line (and its newline) was lost: the file reverts
+            // to its pre-write bytes and the tail is clean.
+            EXPECT_EQ(damaged, before);
+            EXPECT_FALSE(tail.torn);
+        } else {
+            // A partial line survives without its newline; the torn tail
+            // is detected and the last *complete* line still parses.
+            EXPECT_TRUE(tail.torn);
+            EXPECT_LE(damaged.size(), before.size() + line.size());
+            const std::string recovered = flash.lastCompleteLine(kLogFile);
+            std::size_t recoveredMalformed = 0;
+            EXPECT_EQ(parseLogFile(recovered, &recoveredMalformed).size(), 1u);
+            EXPECT_EQ(recoveredMalformed, 0u);
+        }
+        std::size_t malformed = 0;
+        const auto entries = parseLogFile(damaged, &malformed);
+        // The intact prefix always survives; the torn tail is at most one
+        // anomaly (a short prefix of a record can still parse as a
+        // degenerate record, so it lands in either bucket — but never
+        // both, never a crash).
+        EXPECT_GE(entries.size() + malformed, baseLines);
+        EXPECT_LE(entries.size() + malformed, baseLines + 1);
+    }
+}
+
+TEST(FlashShapedFuzz, DroppedWritesLeaveTheFileBitIdentical) {
+    phone::FlashStore flash;
+    seedLogFile(flash);
+    const std::string before = flash.content(kLogFile);
+    OneShotInjector injector;
+    flash.setFaultInjector(&injector);
+    injector.next = {phone::FlashFaultInjector::Kind::Drop, 0};
+    flash.appendLine(kLogFile, validDumpLine());
+    EXPECT_EQ(flash.droppedWrites(), 1u);
+    EXPECT_EQ(flash.content(kLogFile), before);
+    std::size_t malformed = 0;
+    (void)parseLogFile(flash.content(kLogFile), &malformed);
+    EXPECT_EQ(malformed, 0u);
+}
 
 }  // namespace
 }  // namespace symfail::logger

@@ -20,8 +20,9 @@ Direction is inferred from the metric name:
                           baseline + 100*THRESHOLD points)
 Anything else is informational only.
 
-Special case: `provenance_overhead_pct` also carries an absolute
-acceptance bar of 5 points — the provenance tracker must stay cheap no
+Special case: `provenance_overhead_pct` and the osfault bench's
+`idle_overhead_pct` also carry an absolute acceptance bar of 5 points —
+the provenance tracker and the idle fault-plane hooks must stay cheap no
 matter what the baseline machine measured.
 
 Baselines are machine-specific by nature; regenerate with
@@ -32,7 +33,12 @@ and commit the result when the hardware or the code legitimately moves.
 import json
 import sys
 
-PROVENANCE_OVERHEAD_CAP_PCT = 5.0
+# Absolute acceptance bars in percentage points, independent of whatever
+# the baseline machine measured.
+OVERHEAD_CAPS_PCT = {
+    "provenance_overhead_pct": 5.0,
+    "idle_overhead_pct": 5.0,
+}
 
 
 def direction(name: str) -> str:
@@ -63,8 +69,9 @@ def compare(bench: str, metrics: dict, base: dict, threshold: float):
             verdict = "REGRESSION"
         elif kind == "info":
             verdict = "info"
-        if name == "provenance_overhead_pct" and cur > PROVENANCE_OVERHEAD_CAP_PCT:
-            verdict = "REGRESSION (absolute cap %.1f%%)" % PROVENANCE_OVERHEAD_CAP_PCT
+        cap = OVERHEAD_CAPS_PCT.get(name)
+        if cap is not None and cur > cap:
+            verdict = "REGRESSION (absolute cap %.1f%%)" % cap
         print(f"  {bench}.{name}: {cur:.6g} vs baseline {ref:.6g} [{verdict}]")
         if verdict.startswith("REGRESSION"):
             failures.append(f"{bench}.{name}")

@@ -16,6 +16,7 @@
 #include "experiment/grid.hpp"
 #include "experiment/runner.hpp"
 #include "monitor/monitor.hpp"
+#include "osfault/validity.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
 #include "obs/trace.hpp"
@@ -31,7 +32,8 @@ void printUsage() {
         "commands:\n"
         "  campaign [--phones N] [--days D] [--seed S] [--logs DIR] [--csv DIR]\n"
         "           [--json FILE] [--no-transport] [--loss PCT] [--no-retries]\n"
-        "           [--trace FILE] [--metrics FILE]\n"
+        "           [--flash-fault R] [--mem-pressure R] [--clock-skew PPM]\n"
+        "           [--radio-fault R] [--trace FILE] [--metrics FILE]\n"
         "           run a fleet campaign (defaults: the paper's 25 phones,\n"
         "           425 days) and print every regenerated artifact;\n"
         "           --trace writes a Perfetto-loadable trace, --metrics a\n"
@@ -78,10 +80,22 @@ void printUsage() {
         "           conservation invariant fails\n"
         "  sweep    [--trials N] [--jobs J] [--grid FILE.json] [--seed S]\n"
         "           [--phones N] [--days D] [--bootstrap R] [--json FILE]\n"
-        "           [--csv DIR] [--metrics FILE]\n"
+        "           [--csv DIR] [--metrics FILE] [--flash-fault R]\n"
+        "           [--mem-pressure R] [--clock-skew PPM] [--radio-fault R]\n"
         "           run N replicated trials of every grid cell on J workers\n"
         "           and report mean / stddev / 95%% CI per metric; output is\n"
-        "           byte-identical for any --jobs value at a fixed seed\n"
+        "           byte-identical for any --jobs value at a fixed seed;\n"
+        "           grid axes flash_fault_per_khour / mem_pressure_per_khour /\n"
+        "           clock_skew_ppm / radio_fault_per_khour sweep the planes\n"
+        "  osfault  [--phones N] [--days D] [--seed S] [--loss PCT]\n"
+        "           [--flash-fault R] [--mem-pressure R] [--clock-skew PPM]\n"
+        "           [--radio-fault R] [--check] [--min-precision P]\n"
+        "           [--min-recall R] [--min-capture C]\n"
+        "           run a campaign (default 120 days) with the OS-interface\n"
+        "           fault planes enabled (rates in faults per 1000 h; skew in\n"
+        "           ppm) and score measurement validity: how precisely the\n"
+        "           pipeline still recovers the ground-truth failure tables;\n"
+        "           --check exits 1 when recovery drops below the bounds\n"
         "  tables   print the paper's reference taxonomies\n"
         "  help     show this message\n");
 }
@@ -294,6 +308,45 @@ struct ObsAttachment {
     }
 };
 
+/// `--name value` as a bounded real number (used by the osfault knobs,
+/// whose rates are not percentages).
+double realOption(const std::vector<std::string>& args, const std::string& name,
+                  double fallback, double lo, double hi) {
+    const auto value = option(args, name);
+    if (!value) return fallback;
+    double parsed = 0.0;
+    try {
+        std::size_t consumed = 0;
+        parsed = std::stod(*value, &consumed);
+        if (consumed != value->size()) {
+            throw std::invalid_argument{"trailing characters"};
+        }
+    } catch (const std::exception&) {
+        throw std::runtime_error("invalid value for " + name + ": " + *value);
+    }
+    if (parsed < lo || parsed > hi) {
+        throw std::runtime_error(name + " must be in [" + std::to_string(lo) +
+                                 ", " + std::to_string(hi) + "], got " + *value);
+    }
+    return parsed;
+}
+
+/// Applies the OS-interface fault-plane knobs.  Rates are faults per 1000
+/// simulated hours (the paper's failure-rate unit); skew is in ppm.  All
+/// default to zero, which attaches no planes at all.
+void applyOsfaultOptions(const std::vector<std::string>& args,
+                         fleet::FleetConfig& config) {
+    auto& osfault = config.osfault;
+    osfault.flash.faultsPerKHour =
+        realOption(args, "--flash-fault", osfault.flash.faultsPerKHour, 0.0, 100'000.0);
+    osfault.memory.episodesPerKHour = realOption(
+        args, "--mem-pressure", osfault.memory.episodesPerKHour, 0.0, 100'000.0);
+    osfault.clock.skewPpm =
+        realOption(args, "--clock-skew", osfault.clock.skewPpm, -10'000.0, 10'000.0);
+    osfault.radio.faultsPerKHour =
+        realOption(args, "--radio-fault", osfault.radio.faultsPerKHour, 0.0, 100'000.0);
+}
+
 /// Applies the shared transport knobs (--loss/--dup/--reorder as percent,
 /// --no-retries, --outage-day/--outage-days) to a fleet config.
 void applyTransportOptions(const std::vector<std::string>& args,
@@ -346,6 +399,7 @@ int runCampaign(const std::vector<std::string>& args) {
     const auto days = parseFleetOptions(args, config.fleetConfig, 425);
     if (hasFlag(args, "--no-transport")) config.fleetConfig.transport.enabled = false;
     applyTransportOptions(args, config.fleetConfig);
+    applyOsfaultOptions(args, config.fleetConfig);
     ObsAttachment obsFiles;
     obsFiles.attach(args, config.fleetConfig);
 
@@ -532,6 +586,12 @@ int runSweep(const std::vector<std::string>& args) {
     experiment::Cell defaultCell;
     defaultCell.phones = defaults.phoneCount;
     defaultCell.days = days;
+    // Osfault flags set the default cell too; grid axes override per cell.
+    applyOsfaultOptions(args, defaults);
+    defaultCell.flashFaultPerKHour = defaults.osfault.flash.faultsPerKHour;
+    defaultCell.memPressurePerKHour = defaults.osfault.memory.episodesPerKHour;
+    defaultCell.clockSkewPpm = defaults.osfault.clock.skewPpm;
+    defaultCell.radioFaultPerKHour = defaults.osfault.radio.faultsPerKHour;
 
     experiment::RunnerOptions options;
     options.masterSeed = defaults.seed;
@@ -572,6 +632,55 @@ int runSweep(const std::vector<std::string>& args) {
     // Failed trials are reported per cell without poisoning siblings, but
     // the exit status must still say something went wrong.
     return summary.failedTrials() == 0 ? 0 : 1;
+}
+
+int runOsfault(const std::vector<std::string>& args) {
+    validateOutputPaths(args);
+    core::StudyConfig config;
+    const auto days = parseFleetOptions(args, config.fleetConfig, 120);
+    applyTransportOptions(args, config.fleetConfig);
+    applyOsfaultOptions(args, config.fleetConfig);
+    const auto& planes = config.fleetConfig.osfault;
+
+    std::printf(
+        "osfault: %d phones, %lld days, seed %llu\n"
+        "planes: flash %.3g/kh, mem-pressure %.3g/kh, clock-skew %.3g ppm, "
+        "radio %.3g/kh\n\n",
+        config.fleetConfig.phoneCount, static_cast<long long>(days),
+        static_cast<unsigned long long>(config.fleetConfig.seed),
+        planes.flash.faultsPerKHour, planes.memory.episodesPerKHour,
+        planes.clock.skewPpm, planes.radio.faultsPerKHour);
+
+    const core::FailureStudy study{config};
+    const auto results = study.runFieldStudy();
+    std::printf("%s\n", core::renderHeadline(results).c_str());
+
+    const osfault::ValidityReport report{results.evaluation,
+                                         results.fleet.osfault};
+    std::printf("%s", osfault::render(report).c_str());
+    std::printf("osfault logger: record-anomalies=%llu daemon-deaths=%llu\n",
+                static_cast<unsigned long long>(results.fleet.loggerRecordAnomalies),
+                static_cast<unsigned long long>(results.fleet.loggerDaemonDeaths));
+
+    if (hasFlag(args, "--check")) {
+        // Bounds default to 0 (always pass); the CI smoke job pins real
+        // calibrated values per plane.
+        osfault::ValidityBounds bounds;
+        const double precision = realOption(args, "--min-precision", 0.0, 0.0, 1.0);
+        const double recall = realOption(args, "--min-recall", 0.0, 0.0, 1.0);
+        bounds.minFreezePrecision = precision;
+        bounds.minSelfShutdownPrecision = precision;
+        bounds.minFreezeRecall = recall;
+        bounds.minSelfShutdownRecall = recall;
+        bounds.minPanicCaptureRate = realOption(args, "--min-capture", 0.0, 0.0, 1.0);
+        const std::string violation = osfault::firstViolation(report, bounds);
+        if (!violation.empty()) {
+            std::printf("osfault check: FAIL (%s)\n", violation.c_str());
+            return 1;
+        }
+        std::printf("osfault check: OK\n");
+    }
+    return 0;
 }
 
 std::uint64_t multiBurstCount(const sim::FreqCounter& bursts) {
@@ -805,6 +914,7 @@ int runCli(const std::vector<std::string>& args) {
         if (command == "transport") return runTransport(rest);
         if (command == "trace") return runTrace(rest);
         if (command == "sweep") return runSweep(rest);
+        if (command == "osfault") return runOsfault(rest);
         if (command == "monitor") return runMonitor(rest);
         if (command == "analyze") return runAnalyze(rest);
         if (command == "crash") return runCrash(rest);
