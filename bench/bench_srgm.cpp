@@ -1,0 +1,127 @@
+// G1: reliability-growth fitting cost.
+//
+// Two questions about the SRGM subsystem (ISSUE acceptance: running the
+// full analysis must cost the campaign less than 5% wall time):
+//   1. How fast does one profile-MLE fit run on a 10k-event sequence,
+//      per model?  (fits/sec; the Weibull nested search and the
+//      Musa-Okumoto O(n)-per-eval likelihood are the expensive members)
+//   2. What does the full fleet + per-phone + per-version analysis cost
+//      relative to the paper-scale campaign that produced the data?
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <utility>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "simkernel/nhpp.hpp"
+#include "simkernel/rng.hpp"
+#include "srgm/analyze.hpp"
+
+namespace {
+
+using namespace symfail;
+using clock_type = std::chrono::steady_clock;
+
+double seconds(clock_type::time_point start) {
+    return std::chrono::duration<double>(clock_type::now() - start).count();
+}
+
+/// ~10k-event ground-truth sequence for one model, sampled by thinning.
+srgm::EventData sampleSequence(srgm::ModelKind kind) {
+    constexpr double kHorizon = 2000.0;
+    srgm::ModelParams params;
+    double lambdaMax = 0.0;
+    switch (kind) {
+        case srgm::ModelKind::GoelOkumoto:
+            params = {10200.0, 0.002, 1.0};
+            lambdaMax = params.a * params.b;
+            break;
+        case srgm::ModelKind::MusaOkumoto:
+            params = {2200.0, 0.05, 1.0};
+            lambdaMax = params.a * params.b;
+            break;
+        case srgm::ModelKind::DelayedSShaped:
+            params = {10300.0, 0.003, 1.0};
+            lambdaMax = params.a * params.b / 2.718281828459045;
+            break;
+        case srgm::ModelKind::WeibullType:
+            params = {10200.0, 4.47e-5, 1.5};
+            lambdaMax = params.a * params.b * params.c *
+                        std::pow(kHorizon, params.c - 1.0);
+            break;
+    }
+    sim::Rng root{20260807};
+    sim::Rng rng = root.substream(modelName(kind));
+    auto times = sim::sampleNhppByThinning(
+        rng, [&](double t) { return srgm::intensity(kind, params, t); },
+        lambdaMax, kHorizon);
+    return srgm::EventData::singleWindow(std::move(times), kHorizon);
+}
+
+void fitThroughput(bench::JsonReporter& json) {
+    std::printf("-- Profile-MLE throughput (10k-event sequences)\n");
+    std::printf("%18s  %8s  %10s  %12s\n", "model", "events", "ms/fit",
+                "fits/sec");
+    for (const srgm::ModelKind kind : srgm::kAllModels) {
+        const srgm::EventData data = sampleSequence(kind);
+        (void)srgm::fitModel(kind, data);  // warm-up
+        const auto start = clock_type::now();
+        int reps = 0;
+        double elapsed = 0.0;
+        do {
+            const srgm::FitResult fit = srgm::fitModel(kind, data);
+            if (!fit.converged) std::printf("  (fit did not converge)\n");
+            ++reps;
+            elapsed = seconds(start);
+        } while (elapsed < 0.25);
+        const double fitsPerSec = static_cast<double>(reps) / elapsed;
+        std::printf("%18s  %8zu  %10.3f  %12.1f\n",
+                    std::string{modelName(kind)}.c_str(), data.events(),
+                    elapsed / reps * 1'000.0, fitsPerSec);
+        std::string metric{modelName(kind)};
+        for (char& ch : metric) {
+            if (ch == '-') ch = '_';
+        }
+        json.add(metric + "_fits_per_sec", fitsPerSec);
+    }
+    std::printf("\n");
+}
+
+void campaignOverhead(bench::JsonReporter& json) {
+    const auto studyStart = clock_type::now();
+    const auto results = bench::runDefaultFieldStudy();
+    const double studyElapsed = seconds(studyStart);
+
+    // The full analysis the CLI runs: fleet + per-phone + per-version
+    // fits, each with the holdout benchmark.
+    const auto analyzeStart = clock_type::now();
+    const srgm::SrgmReport report =
+        srgm::analyzeSrgm(results.dataset, results.classification);
+    const double analyzeElapsed = seconds(analyzeStart);
+    const double overheadPct =
+        studyElapsed > 0.0 ? analyzeElapsed / studyElapsed * 100.0 : 0.0;
+
+    std::printf("-- Full analysis vs paper-scale campaign\n");
+    std::printf("%24s  %10s\n", "stage", "seconds");
+    std::printf("%24s  %10.3f\n", "campaign + pipeline", studyElapsed);
+    std::printf("%24s  %10.3f\n", "srgm analysis", analyzeElapsed);
+    std::printf("groups: fleet + %zu phones + %zu versions, %zu fleet events\n",
+                report.phones.size(), report.versions.size(),
+                report.fleet.events);
+    std::printf("overhead: %.2f%% (acceptance: < 5%%)\n", overheadPct);
+    json.add("campaign_seconds", studyElapsed);
+    json.add("analysis_seconds", analyzeElapsed);
+    json.add("srgm_overhead_pct", overheadPct);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    bench::JsonReporter json{argc, argv, "srgm"};
+    std::printf("=== G1: reliability-growth fitting cost ===\n\n");
+    fitThroughput(json);
+    campaignOverhead(json);
+    json.write();
+    return 0;
+}

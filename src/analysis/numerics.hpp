@@ -1,0 +1,93 @@
+// Shared deterministic MLE numerics.
+//
+// Two fitting codepaths need the same machinery: the TBF Weibull fit in
+// analysis/reliability.cpp and the NHPP solvers in src/srgm/.  Both
+// maximize a one-dimensional profile log-likelihood whose derivative is
+// awkward but whose value is cheap, and both accumulate long sums of logs
+// where naive summation loses digits on 10k+ samples.  This header holds
+// the one copy of each: a bracketed golden-section minimizer (derivative
+// free, fixed iteration count, bit-reproducible across platforms) and a
+// Kahan-compensated accumulator.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <span>
+
+namespace symfail::analysis {
+
+/// Result of a 1-D minimization.
+struct MinimizeResult {
+    double x{0.0};   ///< Argmin within the bracket.
+    double fx{0.0};  ///< Function value at x.
+};
+
+/// Golden-section search for the minimum of `f` on [lo, hi].
+///
+/// Derivative-free and unconditionally convergent on a unimodal bracket:
+/// the interval shrinks by the golden ratio each step, so `iters` = 90
+/// narrows any bracket by ~1e-18 relative — below double resolution —
+/// with a fixed, platform-independent evaluation sequence (no tolerance
+/// test whose rounding could differ across libms).  On a multimodal
+/// function it converges to *a* local minimum inside the bracket, which
+/// is why callers optimize smooth profile likelihoods in log-space.
+template <typename Fn>
+[[nodiscard]] MinimizeResult goldenSectionMinimize(double lo, double hi, Fn&& f,
+                                                   int iters = 90) {
+    // invphi = 1/phi, invphi2 = 1/phi^2
+    constexpr double invphi = 0.6180339887498949;
+    constexpr double invphi2 = 0.3819660112501051;
+    double a = lo;
+    double b = hi;
+    double x1 = a + invphi2 * (b - a);
+    double x2 = a + invphi * (b - a);
+    double f1 = f(x1);
+    double f2 = f(x2);
+    for (int i = 0; i < iters; ++i) {
+        if (f1 < f2) {
+            b = x2;
+            x2 = x1;
+            f2 = f1;
+            x1 = a + invphi2 * (b - a);
+            f1 = f(x1);
+        } else {
+            a = x1;
+            x1 = x2;
+            f1 = f2;
+            x2 = a + invphi * (b - a);
+            f2 = f(x2);
+        }
+    }
+    return f1 < f2 ? MinimizeResult{x1, f1} : MinimizeResult{x2, f2};
+}
+
+/// Kahan-compensated running sum for log-likelihood accumulation.
+///
+/// Summing 10k+ log terms of mixed magnitude naively drifts by enough to
+/// perturb AIC margins near the decision boundary; compensated summation
+/// keeps the error at one ulp of the total independent of length.
+class KahanSum {
+public:
+    void add(double value) {
+        const double y = value - compensation_;
+        const double t = sum_ + y;
+        compensation_ = (t - sum_) - y;
+        sum_ = t;
+    }
+    [[nodiscard]] double value() const { return sum_; }
+
+private:
+    double sum_{0.0};
+    double compensation_{0.0};
+};
+
+/// Compensated sum of log(x) over a sample (zeros clamped to `floor`,
+/// since measured durations can quantize to zero but log cannot).
+[[nodiscard]] inline double sumLog(std::span<const double> xs,
+                                   double floor = 1e-12) {
+    KahanSum sum;
+    for (const double x : xs) sum.add(std::log(x > floor ? x : floor));
+    return sum.value();
+}
+
+}  // namespace symfail::analysis

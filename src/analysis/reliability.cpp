@@ -4,15 +4,17 @@
 #include <cmath>
 #include <map>
 
+#include "analysis/numerics.hpp"
+
 namespace symfail::analysis {
 
 ExponentialFit fitExponential(std::span<const double> samplesHours) {
     ExponentialFit fit;
     fit.samples = samplesHours.size();
     if (samplesHours.empty()) return fit;
-    double sum = 0.0;
-    for (const double x : samplesHours) sum += x;
-    fit.meanHours = sum / static_cast<double>(samplesHours.size());
+    KahanSum sum;
+    for (const double x : samplesHours) sum.add(x);
+    fit.meanHours = sum.value() / static_cast<double>(samplesHours.size());
     if (fit.meanHours <= 0.0) return fit;
     // logL = -n log(mean) - sum(x)/mean = -n (log mean + 1)
     fit.logLikelihood = -static_cast<double>(fit.samples) *
@@ -30,53 +32,47 @@ WeibullFit fitWeibull(std::span<const double> samplesHours) {
     x.reserve(samplesHours.size());
     for (const double s : samplesHours) x.push_back(std::max(s, 1e-9));
     const auto n = static_cast<double>(x.size());
-    double sumLog = 0.0;
-    for (const double v : x) sumLog += std::log(v);
-    const double meanLog = sumLog / n;
+    const double logSum = sumLog(x);
 
-    // Newton iteration on the MLE shape equation:
-    //   f(k) = sum(x^k log x)/sum(x^k) - 1/k - meanLog = 0
-    double k = 1.0;
-    bool converged = false;
-    for (int iter = 0; iter < 100; ++iter) {
-        double s0 = 0.0;  // sum x^k
-        double s1 = 0.0;  // sum x^k log x
-        double s2 = 0.0;  // sum x^k (log x)^2
-        for (const double v : x) {
-            const double lv = std::log(v);
-            const double p = std::pow(v, k);
-            s0 += p;
-            s1 += p * lv;
-            s2 += p * lv * lv;
-        }
-        const double f = s1 / s0 - 1.0 / k - meanLog;
-        const double fprime = (s2 * s0 - s1 * s1) / (s0 * s0) + 1.0 / (k * k);
-        const double step = f / fprime;
-        k -= step;
-        if (k <= 1e-3) k = 1e-3;
-        if (k > 100.0) k = 100.0;
-        if (std::abs(step) < 1e-9) {
-            converged = true;
-            break;
-        }
-    }
-    double s0 = 0.0;
-    for (const double v : x) s0 += std::pow(v, k);
-    const double scale = std::pow(s0 / n, 1.0 / k);
+    // Profile log-likelihood over the shape k with the scale maximized
+    // out in closed form: scale(k) = (sum x^k / n)^(1/k), at which the
+    // scaled sum equals n, so
+    //   l(k) = n log k - n k log scale(k) + (k-1) sum(log x) - n.
+    // Maximized by the shared golden-section search over log k (the
+    // profile is unimodal; log-space keeps the bracket scale-free).
+    const auto negProfile = [&](double logK) {
+        const double k = std::exp(logK);
+        KahanSum powered;
+        for (const double v : x) powered.add(std::pow(v, k));
+        const double logScale = std::log(powered.value() / n) / k;
+        const double logLik =
+            n * std::log(k) - n * k * logScale + (k - 1.0) * logSum - n;
+        return -logLik;
+    };
+    const auto best =
+        goldenSectionMinimize(std::log(1e-3), std::log(100.0), negProfile);
+    const double k = std::exp(best.x);
+    KahanSum powered;
+    for (const double v : x) powered.add(std::pow(v, k));
+    const double scale = std::pow(powered.value() / n, 1.0 / k);
 
     fit.shape = k;
     fit.scaleHours = scale;
-    fit.converged = converged;
-    // logL = n log k - n k log(scale) + (k-1) sum(log x) - sum((x/scale)^k)
-    double sumScaled = 0.0;
-    for (const double v : x) sumScaled += std::pow(v / scale, k);
-    fit.logLikelihood = n * std::log(k) - n * k * std::log(scale) +
-                        (k - 1.0) * sumLog - sumScaled;
+    // The bracketed search always collapses to the profile maximum; the
+    // flag survives for API compatibility (and still guards the n < 3
+    // early-out above).
+    fit.converged = true;
+    fit.logLikelihood = -best.fx;
     return fit;
 }
 
 double aic(double logLikelihood, int parameters) {
     return 2.0 * parameters - 2.0 * logLikelihood;
+}
+
+double bic(double logLikelihood, int parameters, std::size_t samples) {
+    const double n = samples == 0 ? 1.0 : static_cast<double>(samples);
+    return parameters * std::log(n) - 2.0 * logLikelihood;
 }
 
 TbfAnalysis analyzeTimeBetweenFailures(const LogDataset& dataset,

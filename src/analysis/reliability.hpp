@@ -43,6 +43,10 @@ struct WeibullFit {
 /// Akaike information criterion: 2k - 2 logL.
 [[nodiscard]] double aic(double logLikelihood, int parameters);
 
+/// Bayesian information criterion: k ln n - 2 logL.  Shares the "lower is
+/// better" convention with aic(); the SRGM model selection reports both.
+[[nodiscard]] double bic(double logLikelihood, int parameters, std::size_t samples);
+
 /// Full inter-failure-time analysis over a campaign.
 struct TbfAnalysis {
     std::vector<double> interarrivalsHours;  ///< pooled, per-phone gaps

@@ -6,6 +6,7 @@
 #include "experiment/pool.hpp"
 #include "experiment/seed.hpp"
 #include "monitor/monitor.hpp"
+#include "srgm/analyze.hpp"
 
 namespace symfail::experiment {
 namespace {
@@ -60,6 +61,17 @@ TrialMetrics fieldTrialMetrics(const Cell& cell, std::uint64_t seed) {
     for (const auto& stage : prov.stages) {
         if (stage.stage == "end-to-end") provE2eP95 = stage.p95;
     }
+    // Fleet-level reliability-growth rollups (per-phone/per-version fits
+    // are skipped: cell statistics aggregate the fleet numbers).  The
+    // analysis is read-only over the collected dataset, so campaign
+    // results are bit-identical with or without it.
+    srgm::SrgmOptions srgmOptions;
+    srgmOptions.perPhone = false;
+    srgmOptions.perVersion = false;
+    const srgm::SrgmReport srgmReport =
+        srgm::analyzeSrgm(results.dataset, results.classification, srgmOptions);
+    const srgm::GroupReport& srgmFleet = srgmReport.fleet;
+    const bool srgmHasBest = srgmFleet.bestIndex < srgmFleet.fits.size();
     return {
         {"mtbf_freeze_hours", mtbf.mtbfFreezeHours},
         {"mtbf_self_shutdown_hours", mtbf.mtbfSelfShutdownHours},
@@ -112,6 +124,19 @@ TrialMetrics fieldTrialMetrics(const Cell& cell, std::uint64_t seed) {
          static_cast<double>(results.fleet.loggerRecordAnomalies)},
         {"logger_daemon_deaths",
          static_cast<double>(results.fleet.loggerDaemonDeaths)},
+        // Reliability growth: which NHPP model the fleet sequence selects,
+        // the Laplace trend, and how the held-out forecast scored.
+        {"srgm_events", static_cast<double>(srgmFleet.events)},
+        {"srgm_best_model",
+         srgmHasBest ? static_cast<double>(srgmFleet.bestIndex) : -1.0},
+        {"srgm_laplace_trend", srgmFleet.laplace},
+        {"srgm_ks_distance",
+         srgmHasBest ? srgmFleet.fits[srgmFleet.bestIndex].ksDistance : 0.0},
+        {"srgm_holdout_valid", srgmFleet.holdout.valid ? 1.0 : 0.0},
+        {"srgm_holdout_count_rel_err",
+         srgmFleet.holdout.valid ? srgmFleet.holdout.countRelError : 0.0},
+        {"srgm_preq_gain_vs_hpp",
+         srgmFleet.holdout.valid ? srgmFleet.holdout.preqGainVsHpp : 0.0},
     };
 }
 

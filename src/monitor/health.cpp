@@ -223,6 +223,10 @@ void HealthEngine::finalize() {
 WindowStats HealthEngine::windowStats(sim::TimePoint now) const {
     WindowStats stats;
     const auto cutoff = windowCutoff(now);
+    // Laplace trend inputs: each windowed failure's relative position in
+    // its phone's observed slice of the window.
+    double positionSum = 0.0;
+    std::uint64_t positioned = 0;
     for (const auto& [name, state] : phones_) {
         stats.freezes += state.windowFreezes.size();
         stats.selfShutdowns += state.windowSelf.size();
@@ -231,7 +235,17 @@ WindowStats HealthEngine::windowStats(sim::TimePoint now) const {
         if (state.heard) {
             const auto lo = std::max(state.firstRecordAt, cutoff);
             const auto hi = std::min(state.watermark, now);
-            if (hi > lo) stats.observedHours += (hi - lo).asHoursF();
+            if (hi > lo) {
+                stats.observedHours += (hi - lo).asHoursF();
+                const double span = (hi - lo).asSecondsF();
+                const auto position = [&](sim::TimePoint t) {
+                    const double v = (t - lo).asSecondsF() / span;
+                    positionSum += std::clamp(v, 0.0, 1.0);
+                    ++positioned;
+                };
+                for (const auto t : state.windowFreezes) position(t);
+                for (const auto t : state.windowSelf) position(t);
+            }
         }
     }
     stats.multiBursts = windowMultiBursts_.size();
@@ -254,6 +268,20 @@ WindowStats HealthEngine::windowStats(sim::TimePoint now) const {
         stats.observedHours <= 0.0
             ? 0.0
             : 1000.0 * static_cast<double>(failures) / stats.observedHours;
+    if (positioned > 0) {
+        const double n = static_cast<double>(positioned);
+        // Laplace trend: under a constant rate the positions are U(0,1),
+        // so the standardized mean is ~N(0,1).
+        stats.laplaceTrend =
+            (positionSum - n / 2.0) / std::sqrt(n / 12.0);
+        // Linear intensity matched to (count, mean position): the slope
+        // factor gamma in [-2, 2] keeps the fitted rate nonnegative
+        // inside the window; integrating the extrapolation over the next
+        // window-length horizon gives n * (1 + gamma).
+        const double gamma =
+            std::clamp(12.0 * (positionSum / n - 0.5), -2.0, 2.0);
+        stats.forecastNextWindowFailures = std::max(0.0, n * (1.0 + gamma));
+    }
     return stats;
 }
 

@@ -69,6 +69,15 @@ struct WindowStats {
     double mtbfAnyHours{0.0};
     /// (freezes + self-shutdowns) per 1000 observed hours.
     double failureRatePerKiloHour{0.0};
+    /// Windowed Laplace trend factor over freezes + self-shutdowns:
+    /// standardized mean event position inside each phone's observed
+    /// slice of the window.  ~N(0,1) under a constant rate; positive
+    /// means failures cluster late (reliability regressing), negative
+    /// means early (growth).  0 when the window holds no failure.
+    double laplaceTrend{0.0};
+    /// Expected failures over the next window-length horizon, from a
+    /// moment-matched linear intensity fitted to the windowed events.
+    double forecastNextWindowFailures{0.0};
 };
 
 /// Lifetime tallies across the fed stream.

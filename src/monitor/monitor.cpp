@@ -102,6 +102,13 @@ std::vector<AlertRule> defaultRules(const MonitorConfig& config) {
     rules.push_back(AlertRule{"phone-outage", "outage_silence_hours",
                               Comparison::GreaterThan, config.silenceHours,
                               Severity::Warning, true, {}});
+    // Reliability regressing: the windowed Laplace trend is ~N(0,1)
+    // under a constant failure rate, so a sustained value above 2 means
+    // failures are clustering late in the window — the fitted intensity
+    // trend has inverted from growth to degradation.
+    rules.push_back(AlertRule{"reliability-regressing", "window_laplace_trend",
+                              Comparison::GreaterThan, 2.0, Severity::Warning,
+                              false, 1.0});
     // Burst activity: multi-panic bursts are normal (~25% of bursts), so
     // only an elevated windowed count is noteworthy.
     rules.push_back(AlertRule{"panic-burst-activity", "window_multi_bursts",
@@ -320,6 +327,15 @@ std::optional<double> FleetMonitor::metricValue(
         if (metric == "window_top_family_dumps") {
             return static_cast<double>(window.topFamilyDumps);
         }
+        if (metric == "window_laplace_trend") {
+            // The normal approximation is unusable on a handful of
+            // events; stay silent until the window holds a real sample.
+            if (window.freezes + window.selfShutdowns < 6) return std::nullopt;
+            return window.laplaceTrend;
+        }
+        if (metric == "window_forecast_failures") {
+            return window.forecastNextWindowFailures;
+        }
         if (metric == "window_observed_hours") return window.observedHours;
         if (metric == "phones_silent") {
             std::size_t silent = 0;
@@ -468,6 +484,10 @@ std::string FleetMonitor::snapshotsJsonl() const {
         appendNumber(out, s.window.mtbfAnyHours);
         out += ",\"failure_rate_per_khour\":";
         appendNumber(out, s.window.failureRatePerKiloHour);
+        out += ",\"laplace_trend\":";
+        appendNumber(out, s.window.laplaceTrend);
+        out += ",\"forecast_next_window\":";
+        appendNumber(out, s.window.forecastNextWindowFailures);
         out += "},\"totals\":{";
         appendf(out, "\"boots\":%llu,\"panics\":%llu,\"freezes\":%llu,"
                      "\"self_shutdowns\":%llu,\"user_shutdowns\":%llu,"
@@ -557,6 +577,9 @@ std::string FleetMonitor::renderDashboard() const {
             static_cast<unsigned long long>(last.window.selfShutdowns),
             static_cast<unsigned long long>(last.window.panics),
             last.window.mtbfAnyHours, last.window.failureRatePerKiloHour);
+    appendf(out, "  reliability trend     Laplace %+.2f at end; forecast %.0f failures over next %.0f h\n",
+            last.window.laplaceTrend, last.window.forecastNextWindowFailures,
+            config_.health.rateWindow.asHoursF());
     appendf(out, "  crash families        %llu dumps total; window: %llu dumps in %llu families, top %s (%llu)\n",
             static_cast<unsigned long long>(totals.dumps),
             static_cast<unsigned long long>(last.window.dumps),
@@ -652,6 +675,16 @@ void FleetMonitor::publishMetrics(obs::MetricsRegistry& registry) const {
         .set(snapshots_.empty()
                  ? 0.0
                  : static_cast<double>(snapshots_.back().window.topFamilyDumps));
+    registry
+        .gauge("monitor", "window_laplace_trend",
+               "Windowed Laplace trend factor at campaign end")
+        .set(snapshots_.empty() ? 0.0 : snapshots_.back().window.laplaceTrend);
+    registry
+        .gauge("monitor", "forecast_failures_window",
+               "Forecast failures over the next window-length horizon")
+        .set(snapshots_.empty()
+                 ? 0.0
+                 : snapshots_.back().window.forecastNextWindowFailures);
     registry.gauge("monitor", "snapshots", "Snapshots taken")
         .set(static_cast<double>(snapshots_.size()));
     registry

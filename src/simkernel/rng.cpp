@@ -30,6 +30,22 @@ Rng Rng::fork() {
     return Rng{nextU64()};
 }
 
+Rng Rng::substream(std::string_view salt) const {
+    // FNV-1a over the salt, then fold in the current state words through
+    // splitmix64.  Reads state_ without mutating it, so the parent stream
+    // is untouched; distinct salts land in unrelated streams.
+    std::uint64_t h = 0xCBF29CE484222325ULL;
+    for (const char c : salt) {
+        h ^= static_cast<std::uint8_t>(c);
+        h *= 0x00000100000001B3ULL;
+    }
+    for (const std::uint64_t w : state_) {
+        std::uint64_t mix = h ^ w;
+        h = splitmix64(mix);
+    }
+    return Rng{h};
+}
+
 std::uint64_t Rng::nextU64() {
     const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
     const std::uint64_t t = state_[1] << 17;

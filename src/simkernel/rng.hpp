@@ -11,6 +11,7 @@
 #include <array>
 #include <cstdint>
 #include <span>
+#include <string_view>
 #include <vector>
 
 #include "simkernel/time.hpp"
@@ -26,6 +27,13 @@ public:
     /// Derives an independent child stream; used to give each phone in the
     /// fleet its own generator so per-phone runs are order-independent.
     [[nodiscard]] Rng fork();
+
+    /// Derives an independent child stream keyed by a salt string WITHOUT
+    /// advancing this generator (unlike fork(), which consumes a draw).
+    /// Used for side-channel consumers — e.g. the SRGM ground-truth NHPP
+    /// sampler — that must not perturb the campaign's event stream:
+    /// a run with the substream drawn stays bit-identical to one without.
+    [[nodiscard]] Rng substream(std::string_view salt) const;
 
     [[nodiscard]] std::uint64_t nextU64();
 

@@ -1,0 +1,74 @@
+// Reliability-growth analysis over a collected campaign dataset.
+//
+// Builds failure-time sequences at three grouping levels — fleet (campaign
+// clock, one observation window), per phone (phone-relative clock), and
+// per firmware version (phone-relative clocks pooled across the version's
+// phones) — from the same failure population the paper's MTBF uses:
+// freezes plus classified self-shutdowns.  Each group gets the full model
+// family fit, AIC/BIC selection with the KS goodness-of-fit check, the
+// Laplace trend factor, and a held-out forecast benchmark.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/dataset.hpp"
+#include "analysis/discriminator.hpp"
+#include "srgm/forecast.hpp"
+
+namespace symfail::obs {
+class MetricsRegistry;
+}
+
+namespace symfail::srgm {
+
+struct SrgmOptions {
+    /// Fraction of each observation window used for the holdout fit.
+    double holdoutSplit{0.7};
+    bool perPhone{true};
+    bool perVersion{true};
+};
+
+/// One grouping level's complete analysis.
+struct GroupReport {
+    std::string name;  ///< "fleet", phone name, or firmware version.
+    std::size_t events{0};
+    double observedHours{0.0};
+    double mtbfHours{0.0};  ///< observedHours / events; 0 when event-free.
+    double laplace{0.0};    ///< Laplace trend factor (see fit.hpp).
+    std::vector<FitResult> fits;  ///< kAllModels order.
+    /// Index into fits of the AIC-selected model; fits.size() when none
+    /// converged.
+    std::size_t bestIndex{0};
+    HoldoutResult holdout;
+};
+
+struct SrgmReport {
+    SrgmOptions options;
+    GroupReport fleet;
+    std::vector<GroupReport> phones;    ///< Sorted by phone name.
+    std::vector<GroupReport> versions;  ///< Sorted by version string.
+};
+
+/// Runs the full analysis.  Deterministic for identical inputs.
+[[nodiscard]] SrgmReport analyzeSrgm(const analysis::LogDataset& dataset,
+                                     const analysis::ShutdownClassification& cls,
+                                     const SrgmOptions& options = {});
+
+/// Human-readable report (one `srgm <group>:` headline per group, fit and
+/// holdout detail lines beneath).
+[[nodiscard]] std::string renderSrgmText(const SrgmReport& report);
+
+/// JSON document: {"fleet": {...}, "phones": [...], "versions": [...]}.
+[[nodiscard]] std::string srgmToJson(const SrgmReport& report);
+
+/// Writes srgm_fits.csv and srgm_holdout.csv into `directory` (created if
+/// missing); returns the paths written.  Throws std::runtime_error on I/O
+/// failure.
+std::vector<std::string> exportSrgmCsv(const SrgmReport& report,
+                                       const std::string& directory);
+
+/// Publishes fleet- and version-level gauges under the "srgm" subsystem.
+void publishSrgmMetrics(const SrgmReport& report, obs::MetricsRegistry& registry);
+
+}  // namespace symfail::srgm

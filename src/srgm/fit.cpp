@@ -1,0 +1,250 @@
+#include "srgm/fit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "analysis/numerics.hpp"
+#include "analysis/reliability.hpp"
+
+namespace symfail::srgm {
+namespace {
+
+using analysis::goldenSectionMinimize;
+using analysis::KahanSum;
+
+/// Shared per-sequence reductions: the two-parameter models' profile
+/// likelihood needs only these (plus the window ends), making each
+/// golden-section evaluation O(#windows) instead of O(n) — except
+/// Musa-Okumoto, whose sum ln(1 + b t_i) resists reduction.
+struct Reductions {
+    double n{0.0};
+    double sumT{0.0};
+    double sumLogT{0.0};
+};
+
+Reductions reduce(const EventData& data) {
+    Reductions r;
+    r.n = static_cast<double>(data.times.size());
+    KahanSum sumT;
+    for (const double t : data.times) sumT.add(t);
+    r.sumT = sumT.value();
+    r.sumLogT = analysis::sumLog(data.times);
+    return r;
+}
+
+/// sum_j G(T_j; b, c) over the observation windows.
+double windowUnitMeanSum(ModelKind kind, const EventData& data, double b, double c) {
+    KahanSum sum;
+    for (const double end : data.windowEnds) sum.add(unitMean(kind, b, c, end));
+    return sum.value();
+}
+
+/// sum_i t_i^c with the near-zero clamp the Weibull density needs.
+/// Depends on c alone, so the nested search hoists it out of the inner
+/// b loop — one O(n) scan per outer c evaluation instead of ninety.
+double weibullPowSum(const EventData& data, double c) {
+    KahanSum powered;
+    for (const double t : data.times) {
+        powered.add(std::pow(t > 1e-9 ? t : 1e-9, c));
+    }
+    return powered.value();
+}
+
+/// Profile log-likelihood at shape (b, c): a profiled out in closed form.
+/// `sumPowC` must be weibullPowSum(data, c) for WeibullType (unused
+/// otherwise).  Returns -inf when the shape makes the likelihood
+/// degenerate.
+double profileLogLik(ModelKind kind, const EventData& data, const Reductions& r,
+                     double b, double c, double sumPowC = 0.0) {
+    const double gSum = windowUnitMeanSum(kind, data, b, c);
+    if (!(gSum > 0.0) || !std::isfinite(gSum)) {
+        return -std::numeric_limits<double>::infinity();
+    }
+    const double aHat = r.n / gSum;
+    // sum_i ln g(t_i): reduced per model where the algebra allows.
+    double sumLogG = 0.0;
+    switch (kind) {
+        case ModelKind::GoelOkumoto:
+            sumLogG = r.n * std::log(b) - b * r.sumT;
+            break;
+        case ModelKind::MusaOkumoto: {
+            KahanSum s;
+            for (const double t : data.times) s.add(std::log1p(b * t));
+            sumLogG = r.n * std::log(b) - s.value();
+            break;
+        }
+        case ModelKind::DelayedSShaped:
+            sumLogG = 2.0 * r.n * std::log(b) + r.sumLogT - b * r.sumT;
+            break;
+        case ModelKind::WeibullType:
+            sumLogG = r.n * (std::log(b) + std::log(c)) + (c - 1.0) * r.sumLogT -
+                      b * sumPowC;
+            break;
+    }
+    const double logLik = r.n * std::log(aHat) - r.n + sumLogG;
+    return std::isfinite(logLik) ? logLik
+                                 : -std::numeric_limits<double>::infinity();
+}
+
+/// Search bracket for ln b, scale-free: b * T_max spans [1e-6, 1e6] (for
+/// Weibull-type, b * T_max^c spans the same range), so the bracket covers
+/// everything from a near-flat to a near-instantaneous shape regardless
+/// of the time unit.
+struct Bracket {
+    double lo;
+    double hi;
+};
+
+Bracket logBBracket(double maxEnd, double c) {
+    const double logT = std::log(maxEnd > 0.0 ? maxEnd : 1.0);
+    return {std::log(1e-6) - c * logT, std::log(1e6) - c * logT};
+}
+
+bool interior(double x, const Bracket& bracket) {
+    const double margin = 1e-4 * (bracket.hi - bracket.lo);
+    return x > bracket.lo + margin && x < bracket.hi - margin;
+}
+
+}  // namespace
+
+double EventData::totalHours() const {
+    KahanSum sum;
+    for (const double end : windowEnds) sum.add(end);
+    return sum.value();
+}
+
+EventData EventData::singleWindow(std::vector<double> eventTimes, double endHours) {
+    EventData data;
+    data.times = std::move(eventTimes);
+    std::sort(data.times.begin(), data.times.end());
+    data.eventEnds.assign(data.times.size(), endHours);
+    data.windowEnds = {endHours};
+    return data;
+}
+
+FitResult fitModel(ModelKind kind, const EventData& data) {
+    FitResult fit;
+    fit.kind = kind;
+    fit.events = data.times.size();
+    if (fit.events < kMinFitEvents || data.windowEnds.empty()) return fit;
+    double maxEnd = 0.0;
+    for (const double end : data.windowEnds) maxEnd = std::max(maxEnd, end);
+    if (maxEnd <= 0.0) return fit;
+
+    const Reductions r = reduce(data);
+
+    double bestB = 0.0;
+    double bestC = 1.0;
+    double bestLogLik = 0.0;
+    bool atBoundary = false;
+
+    if (kind == ModelKind::WeibullType) {
+        // Nested search: outer over ln c, inner over ln b at fixed c.
+        const Bracket cBracket{std::log(0.2), std::log(5.0)};
+        const auto negAtLogC = [&](double logC) {
+            const double c = std::exp(logC);
+            const double sumPowC = weibullPowSum(data, c);
+            const Bracket bBracket = logBBracket(maxEnd, c);
+            const auto inner = goldenSectionMinimize(
+                bBracket.lo, bBracket.hi, [&](double logB) {
+                    return -profileLogLik(kind, data, r, std::exp(logB), c,
+                                          sumPowC);
+                });
+            return inner.fx;
+        };
+        const auto outer =
+            goldenSectionMinimize(cBracket.lo, cBracket.hi, negAtLogC);
+        bestC = std::exp(outer.x);
+        const double sumPowBest = weibullPowSum(data, bestC);
+        const Bracket bBracket = logBBracket(maxEnd, bestC);
+        const auto inner =
+            goldenSectionMinimize(bBracket.lo, bBracket.hi, [&](double logB) {
+                return -profileLogLik(kind, data, r, std::exp(logB), bestC,
+                                      sumPowBest);
+            });
+        bestB = std::exp(inner.x);
+        bestLogLik = -inner.fx;
+        atBoundary = !interior(outer.x, cBracket) || !interior(inner.x, bBracket);
+    } else {
+        const Bracket bBracket = logBBracket(maxEnd, 1.0);
+        const auto best =
+            goldenSectionMinimize(bBracket.lo, bBracket.hi, [&](double logB) {
+                return -profileLogLik(kind, data, r, std::exp(logB), 1.0);
+            });
+        bestB = std::exp(best.x);
+        bestLogLik = -best.fx;
+        atBoundary = !interior(best.x, bBracket);
+    }
+
+    if (!std::isfinite(bestLogLik)) return fit;
+    const double gSum = windowUnitMeanSum(kind, data, bestB, bestC);
+    fit.params.a = gSum > 0.0 ? r.n / gSum : 0.0;
+    fit.params.b = bestB;
+    fit.params.c = bestC;
+    fit.logLikelihood = bestLogLik;
+    const int k = paramCount(kind);
+    fit.aic = analysis::aic(bestLogLik, k);
+    fit.bic = analysis::bic(bestLogLik, k, fit.events);
+    fit.converged = !atBoundary;
+
+    // Goodness of fit: conditional on its window's count, each event has
+    // CDF G(t)/G(T_end) under the fitted model, so the transformed times
+    // pool to U(0,1) when the model is right.
+    std::vector<double> u;
+    u.reserve(data.times.size());
+    for (std::size_t i = 0; i < data.times.size(); ++i) {
+        const double gEnd = unitMean(kind, bestB, bestC, data.eventEnds[i]);
+        if (gEnd > 0.0) {
+            u.push_back(unitMean(kind, bestB, bestC, data.times[i]) / gEnd);
+        }
+    }
+    fit.ksDistance = ksAgainstUniform(std::move(u));
+    return fit;
+}
+
+std::vector<FitResult> fitAllModels(const EventData& data) {
+    std::vector<FitResult> fits;
+    fits.reserve(kAllModels.size());
+    for (const ModelKind kind : kAllModels) fits.push_back(fitModel(kind, data));
+    return fits;
+}
+
+std::size_t selectBest(const std::vector<FitResult>& fits) {
+    std::size_t best = fits.size();
+    for (std::size_t i = 0; i < fits.size(); ++i) {
+        if (!fits[i].converged) continue;
+        if (best == fits.size() || fits[i].aic < fits[best].aic ||
+            (fits[i].aic == fits[best].aic && fits[i].bic < fits[best].bic)) {
+            best = i;
+        }
+    }
+    return best;
+}
+
+double laplaceTrend(const EventData& data) {
+    const std::size_t n = data.times.size();
+    if (n == 0) return 0.0;
+    KahanSum sum;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double end = data.eventEnds[i];
+        sum.add(end > 0.0 ? data.times[i] / end : 0.5);
+    }
+    const double nf = static_cast<double>(n);
+    return (sum.value() - nf / 2.0) / std::sqrt(nf / 12.0);
+}
+
+double ksAgainstUniform(std::vector<double> values) {
+    if (values.empty()) return 0.0;
+    std::sort(values.begin(), values.end());
+    const double n = static_cast<double>(values.size());
+    double d = 0.0;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        const double u = std::clamp(values[i], 0.0, 1.0);
+        d = std::max(d, (static_cast<double>(i) + 1.0) / n - u);
+        d = std::max(d, u - static_cast<double>(i) / n);
+    }
+    return d;
+}
+
+}  // namespace symfail::srgm

@@ -1,0 +1,83 @@
+// Deterministic maximum-likelihood fitting of the NHPP model family.
+//
+// Events pool across observation windows (one window for a fleet-level
+// fit on the campaign clock; one window per phone for per-phone and
+// per-version fits, each on its phone-relative clock).  For event times
+// t_i and window ends T_j, the NHPP log-likelihood under m(t) = a G(t) is
+//
+//   l(a, theta) = sum_i ln(a g(t_i; theta)) - a sum_j G(T_j; theta),
+//
+// so `a` profiles out in closed form: a_hat = n / sum_j G(T_j), leaving a
+// one-dimensional (two for Weibull-type) search over the shape parameters
+// done with the shared golden-section minimizer in log-space — fully
+// deterministic, no external solver.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "srgm/models.hpp"
+
+namespace symfail::srgm {
+
+/// Pooled failure-time sequence over one or more observation windows.
+/// Times are hours from each window's own origin; `eventEnds[i]` is the
+/// end of the window event i belongs to, and `windowEnds` lists every
+/// window (including event-free ones, which still censor the likelihood).
+struct EventData {
+    std::vector<double> times;      ///< Ascending within each window's clock.
+    std::vector<double> eventEnds;  ///< Parallel to `times`.
+    std::vector<double> windowEnds;
+
+    [[nodiscard]] std::size_t events() const { return times.size(); }
+    /// Total observed exposure (sum of window lengths), hours.
+    [[nodiscard]] double totalHours() const;
+
+    [[nodiscard]] static EventData singleWindow(std::vector<double> times,
+                                                double endHours);
+};
+
+/// One model's fit over an event sequence.
+struct FitResult {
+    ModelKind kind{ModelKind::GoelOkumoto};
+    ModelParams params;
+    double logLikelihood{0.0};
+    double aic{0.0};
+    double bic{0.0};
+    /// Kolmogorov-Smirnov distance of the fitted-CDF-transformed event
+    /// times against U(0,1) — the goodness-of-fit check.
+    double ksDistance{0.0};
+    std::size_t events{0};
+    /// False when the sequence is too short to fit (< 3 events) or the
+    /// likelihood maximized at the search-bracket boundary.
+    bool converged{false};
+};
+
+/// Minimum events for a meaningful MLE; shorter sequences come back with
+/// converged = false and zeroed criteria.
+inline constexpr std::size_t kMinFitEvents = 3;
+
+/// Fits one model by profile MLE.  Deterministic: identical input bytes
+/// give identical output bytes on every run.
+[[nodiscard]] FitResult fitModel(ModelKind kind, const EventData& data);
+
+/// Fits every model in kAllModels order.
+[[nodiscard]] std::vector<FitResult> fitAllModels(const EventData& data);
+
+/// Index of the selected model: lowest AIC among converged fits,
+/// BIC as tie-break, kAllModels order as final tie-break.  Returns
+/// kAllModels.size() when no fit converged.
+[[nodiscard]] std::size_t selectBest(const std::vector<FitResult>& fits);
+
+/// Laplace trend factor over the pooled windows: each event maps to its
+/// within-window relative position u_i = t_i / T_end(i) (uniform under a
+/// homogeneous process), and the factor is the standardized mean
+/// (sum u_i - n/2) / sqrt(n/12) — asymptotically N(0,1) under no trend.
+/// Positive: events cluster late (reliability degrading); negative:
+/// events cluster early (reliability growing).  0 for empty data.
+[[nodiscard]] double laplaceTrend(const EventData& data);
+
+/// KS distance of sorted values against U(0,1); 0 for empty input.
+[[nodiscard]] double ksAgainstUniform(std::vector<double> values);
+
+}  // namespace symfail::srgm

@@ -1,0 +1,89 @@
+#include "srgm/forecast.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "analysis/numerics.hpp"
+
+namespace symfail::srgm {
+
+EventData truncateAt(const EventData& data, double splitFraction) {
+    EventData prefix;
+    prefix.windowEnds.reserve(data.windowEnds.size());
+    for (const double end : data.windowEnds) {
+        prefix.windowEnds.push_back(end * splitFraction);
+    }
+    for (std::size_t i = 0; i < data.times.size(); ++i) {
+        const double tau = data.eventEnds[i] * splitFraction;
+        if (data.times[i] <= tau) {
+            prefix.times.push_back(data.times[i]);
+            prefix.eventEnds.push_back(tau);
+        }
+    }
+    return prefix;
+}
+
+HoldoutResult holdoutForecast(const EventData& data, double splitFraction) {
+    HoldoutResult result;
+    result.splitFraction = splitFraction;
+    if (!(splitFraction > 0.0 && splitFraction < 1.0)) return result;
+
+    const EventData prefix = truncateAt(data, splitFraction);
+    result.prefixEvents = prefix.events();
+    result.tailEvents = data.events() - prefix.events();
+
+    const double prefixHours = prefix.totalHours();
+    const double tailHours = data.totalHours() - prefixHours;
+    if (result.prefixEvents < kMinFitEvents || tailHours <= 0.0 ||
+        prefixHours <= 0.0) {
+        return result;
+    }
+
+    const std::vector<FitResult> fits = fitAllModels(prefix);
+    const std::size_t best = selectBest(fits);
+    if (best >= fits.size()) return result;
+    const FitResult& fit = fits[best];
+    result.bestKind = fit.kind;
+
+    // Forecast tail count: sum over windows of m(T_j) - m(tau_j).
+    analysis::KahanSum predicted;
+    for (const double end : data.windowEnds) {
+        predicted.add(meanValue(fit.kind, fit.params, end) -
+                      meanValue(fit.kind, fit.params, end * splitFraction));
+    }
+    result.predictedTailCount = predicted.value();
+    result.actualTailCount = static_cast<double>(result.tailEvents);
+    result.countRelError =
+        std::abs(result.predictedTailCount - result.actualTailCount) /
+        std::max(result.actualTailCount, 1.0);
+    result.predictedTailMtbfHours =
+        result.predictedTailCount > 0.0 ? tailHours / result.predictedTailCount
+                                        : std::numeric_limits<double>::infinity();
+    result.actualTailMtbfHours =
+        result.tailEvents > 0 ? tailHours / result.actualTailCount
+                              : std::numeric_limits<double>::infinity();
+
+    // Prequential log-likelihood of the held-out tail under the
+    // prefix-fitted NHPP: sum ln lambda(t_i) over tail events minus the
+    // forecast tail count.
+    analysis::KahanSum nhpp;
+    for (std::size_t i = 0; i < data.times.size(); ++i) {
+        if (data.times[i] <= data.eventEnds[i] * splitFraction) continue;
+        const double rate = intensity(fit.kind, fit.params, data.times[i]);
+        nhpp.add(std::log(rate > 1e-300 ? rate : 1e-300));
+    }
+    result.preqLogLikNhpp = nhpp.value() - result.predictedTailCount;
+
+    // HPP baseline: constant rate at the prefix empirical rate.
+    const double hppRate =
+        static_cast<double>(result.prefixEvents) / prefixHours;
+    result.preqLogLikHpp =
+        result.actualTailCount * std::log(hppRate > 1e-300 ? hppRate : 1e-300) -
+        hppRate * tailHours;
+    result.preqGainVsHpp = result.preqLogLikNhpp - result.preqLogLikHpp;
+    result.valid = true;
+    return result;
+}
+
+}  // namespace symfail::srgm

@@ -1,0 +1,54 @@
+// Held-out forecast benchmarking: fit on a campaign prefix, score on the
+// tail.
+//
+// The split is proportional per window — each observation window [0, T_j]
+// is truncated at tau_j = split * T_j — so per-phone and per-version
+// groups with staggered spans all contribute both training and held-out
+// exposure.  The fitted model's forecast of the tail is scored three
+// ways: relative error of the predicted tail failure count, tail MTBF,
+// and prequential log-likelihood against a constant-rate (HPP) baseline
+// whose rate is the prefix empirical rate — the "did modeling the trend
+// buy anything" test.
+#pragma once
+
+#include "srgm/fit.hpp"
+
+namespace symfail::srgm {
+
+struct HoldoutResult {
+    /// False when the prefix or tail is too thin to score (fewer than
+    /// kMinFitEvents prefix events, no tail exposure, or no converged fit).
+    bool valid{false};
+    double splitFraction{0.0};
+    std::size_t prefixEvents{0};
+    std::size_t tailEvents{0};
+    ModelKind bestKind{ModelKind::GoelOkumoto};
+
+    double predictedTailCount{0.0};
+    double actualTailCount{0.0};
+    /// |predicted - actual| / max(actual, 1).
+    double countRelError{0.0};
+
+    double predictedTailMtbfHours{0.0};
+    double actualTailMtbfHours{0.0};
+
+    /// Prequential (one-step-ahead accumulated) log-likelihood of the tail
+    /// under the prefix-fitted NHPP and under the HPP baseline, and the
+    /// gain (NHPP minus HPP; positive means the trend model forecast the
+    /// tail better).
+    double preqLogLikNhpp{0.0};
+    double preqLogLikHpp{0.0};
+    double preqGainVsHpp{0.0};
+};
+
+/// Truncates `data` at `splitFraction` of each window, fits all models on
+/// the prefix, selects by AIC, and scores the selected model's tail
+/// forecast.  splitFraction must be in (0, 1).
+[[nodiscard]] HoldoutResult holdoutForecast(const EventData& data,
+                                            double splitFraction);
+
+/// The prefix of `data`: windows truncated at split * T_j, events beyond
+/// their truncated window dropped.
+[[nodiscard]] EventData truncateAt(const EventData& data, double splitFraction);
+
+}  // namespace symfail::srgm

@@ -1,0 +1,57 @@
+#include "srgm/models.hpp"
+
+#include <cmath>
+
+namespace symfail::srgm {
+
+std::string_view modelName(ModelKind kind) {
+    switch (kind) {
+        case ModelKind::GoelOkumoto: return "goel-okumoto";
+        case ModelKind::MusaOkumoto: return "musa-okumoto";
+        case ModelKind::DelayedSShaped: return "delayed-s-shaped";
+        case ModelKind::WeibullType: return "weibull-type";
+    }
+    return "unknown";
+}
+
+int paramCount(ModelKind kind) {
+    return kind == ModelKind::WeibullType ? 3 : 2;
+}
+
+double unitMean(ModelKind kind, double b, double c, double t) {
+    if (t <= 0.0) return 0.0;
+    switch (kind) {
+        case ModelKind::GoelOkumoto: return 1.0 - std::exp(-b * t);
+        case ModelKind::MusaOkumoto: return std::log1p(b * t);
+        case ModelKind::DelayedSShaped:
+            return 1.0 - (1.0 + b * t) * std::exp(-b * t);
+        case ModelKind::WeibullType:
+            return 1.0 - std::exp(-b * std::pow(t, c));
+    }
+    return 0.0;
+}
+
+double unitIntensity(ModelKind kind, double b, double c, double t) {
+    if (t < 0.0) return 0.0;
+    switch (kind) {
+        case ModelKind::GoelOkumoto: return b * std::exp(-b * t);
+        case ModelKind::MusaOkumoto: return b / (1.0 + b * t);
+        case ModelKind::DelayedSShaped: return b * b * t * std::exp(-b * t);
+        case ModelKind::WeibullType: {
+            if (t <= 0.0) return c < 1.0 ? 0.0 : (c == 1.0 ? b : 0.0);
+            const double tc = std::pow(t, c);
+            return b * c * (tc / t) * std::exp(-b * tc);
+        }
+    }
+    return 0.0;
+}
+
+double meanValue(ModelKind kind, const ModelParams& params, double t) {
+    return params.a * unitMean(kind, params.b, params.c, t);
+}
+
+double intensity(ModelKind kind, const ModelParams& params, double t) {
+    return params.a * unitIntensity(kind, params.b, params.c, t);
+}
+
+}  // namespace symfail::srgm

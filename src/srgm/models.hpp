@@ -1,0 +1,58 @@
+// NHPP software-reliability-growth model family.
+//
+// Each model is a non-homogeneous Poisson process whose mean-value
+// function factors as m(t) = a * G(t; theta): `a` is the expected total
+// event count (or a rate scale for the unbounded Musa-Okumoto), and G is
+// a unit shape function.  The factorization is what makes the MLE cheap —
+// `a` profiles out in closed form and only the shape parameters need a
+// numeric search (see fit.cpp).
+//
+// The four members are the standard smartphone-reliability set (Meskini
+// et al., arXiv 2111.06840): Goel-Okumoto exponential, Musa-Okumoto
+// logarithmic, delayed S-shaped, and the Weibull-type generalization.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string_view>
+
+namespace symfail::srgm {
+
+enum class ModelKind : std::uint8_t {
+    GoelOkumoto,     ///< m(t) = a (1 - e^{-bt}); constant fault-exposure rate.
+    MusaOkumoto,     ///< m(t) = a ln(1 + bt); unbounded, geometric rate decay.
+    DelayedSShaped,  ///< m(t) = a (1 - (1+bt) e^{-bt}); ramp-then-decay.
+    WeibullType,     ///< m(t) = a (1 - e^{-b t^c}); shape-flexible 3-parameter.
+};
+
+/// Every model, in the fixed report/selection order.
+inline constexpr std::array<ModelKind, 4> kAllModels{
+    ModelKind::GoelOkumoto, ModelKind::MusaOkumoto, ModelKind::DelayedSShaped,
+    ModelKind::WeibullType};
+
+/// Fitted (or generating) parameters.  `c` is meaningful only for
+/// WeibullType; the two-parameter models keep it at 1.
+struct ModelParams {
+    double a{0.0};  ///< Scale: expected eventual count / rate multiplier.
+    double b{0.0};  ///< Shape-rate parameter (1/hours, model-specific meaning).
+    double c{1.0};  ///< Weibull time exponent.
+};
+
+[[nodiscard]] std::string_view modelName(ModelKind kind);
+
+/// Number of free parameters (for AIC/BIC): 2 except WeibullType's 3.
+[[nodiscard]] int paramCount(ModelKind kind);
+
+/// Unit shape function G(t) with G(0) = 0; m(t) = a * G(t).
+[[nodiscard]] double unitMean(ModelKind kind, double b, double c, double t);
+
+/// Unit intensity g(t) = dG/dt; lambda(t) = a * g(t).
+[[nodiscard]] double unitIntensity(ModelKind kind, double b, double c, double t);
+
+/// Mean-value function m(t) = E[N(0, t]].
+[[nodiscard]] double meanValue(ModelKind kind, const ModelParams& params, double t);
+
+/// Intensity lambda(t) = dm/dt.
+[[nodiscard]] double intensity(ModelKind kind, const ModelParams& params, double t);
+
+}  // namespace symfail::srgm

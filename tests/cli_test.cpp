@@ -104,7 +104,8 @@ TEST(Cli, RejectsPartiallyNumericOptions) {
 // parses.
 TEST(Cli, FleetOptionParsingParityAcrossSubcommands) {
     for (const char* command :
-         {"campaign", "transport", "obs", "sweep", "monitor", "osfault"}) {
+         {"campaign", "transport", "obs", "sweep", "monitor", "osfault",
+          "srgm"}) {
         EXPECT_EQ(cli::runCli({command, "--phones", "25x"}), 1) << command;
         EXPECT_EQ(cli::runCli({command, "--phones", ""}), 1) << command;
         EXPECT_EQ(cli::runCli({command, "--days", "3d"}), 1) << command;
@@ -285,6 +286,67 @@ TEST(Cli, SweepRejectsUnknownGridKeys) {
 }
 
 // -- osfault --------------------------------------------------------------------
+
+TEST(Cli, SrgmRunsAndWritesOutputs) {
+    const auto dir = std::filesystem::temp_directory_path() / "symfail-srgm-cli";
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    const auto json = (dir / "srgm.json").string();
+    const auto metrics = (dir / "metrics.prom").string();
+    const auto csvDir = (dir / "csv").string();
+    EXPECT_EQ(cli::runCli({"srgm", "--phones", "4", "--days", "60", "--seed",
+                           "5", "--json", json, "--csv", csvDir, "--metrics",
+                           metrics}),
+              0);
+    EXPECT_TRUE(std::filesystem::exists(json));
+    EXPECT_TRUE(std::filesystem::exists(csvDir + "/srgm_fits.csv"));
+    EXPECT_TRUE(std::filesystem::exists(csvDir + "/srgm_holdout.csv"));
+    std::ifstream jsonIn{json};
+    const std::string body{std::istreambuf_iterator<char>{jsonIn}, {}};
+    EXPECT_NE(body.find("\"fleet\""), std::string::npos);
+    EXPECT_NE(body.find("\"holdout\""), std::string::npos);
+    std::ifstream promIn{metrics};
+    const std::string prom{std::istreambuf_iterator<char>{promIn}, {}};
+    EXPECT_NE(prom.find("symfail_srgm_fleet_events"), std::string::npos);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Cli, SrgmJsonIsByteIdenticalAcrossRuns) {
+    const auto dir = std::filesystem::temp_directory_path() / "symfail-srgm-det";
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    std::string bodies[2];
+    for (int run = 0; run < 2; ++run) {
+        const auto json = (dir / ("run" + std::to_string(run) + ".json")).string();
+        ASSERT_EQ(cli::runCli({"srgm", "--phones", "4", "--days", "60", "--seed",
+                               "5", "--fleet-only", "--json", json}),
+                  0);
+        std::ifstream in{json};
+        bodies[run] = {std::istreambuf_iterator<char>{in}, {}};
+    }
+    ASSERT_FALSE(bodies[0].empty());
+    EXPECT_EQ(bodies[0], bodies[1]);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Cli, SrgmCheckGatesOnBounds) {
+    // Generous bounds pass.
+    EXPECT_EQ(cli::runCli({"srgm", "--phones", "4", "--days", "60", "--seed",
+                           "5", "--fleet-only", "--check"}),
+              0);
+    // An unreachable prequential-gain floor must fail the check.
+    EXPECT_EQ(cli::runCli({"srgm", "--phones", "4", "--days", "60", "--seed",
+                           "5", "--fleet-only", "--check", "--min-preq-gain",
+                           "1e8"}),
+              1);
+    // Malformed knobs fail before any campaign runs.
+    EXPECT_EQ(cli::runCli({"srgm", "--phones", "2", "--days", "2", "--holdout",
+                           "1.5"}),
+              1);
+    EXPECT_EQ(cli::runCli({"srgm", "--phones", "2", "--days", "2", "--check",
+                           "--max-count-err", "abc"}),
+              1);
+}
 
 TEST(Cli, OsfaultPlaneFlagsAreAcceptedAndBounded) {
     // The plane knobs ride campaign and sweep as well as osfault.

@@ -381,6 +381,30 @@ TEST(ExperimentRunner, FieldTrialsCarryMonitorMetrics) {
     }
 }
 
+// Every sweep cell also carries the fleet-level reliability-growth
+// rollups: model selection, trend, and holdout forecast scores.
+TEST(ExperimentRunner, FieldTrialsCarrySrgmMetrics) {
+    experiment::RunnerOptions options;
+    options.trials = 1;
+    options.masterSeed = 77;
+    options.bootstrapResamples = 0;
+    experiment::Cell cell;
+    cell.phones = 2;
+    cell.days = 10;
+    const experiment::Runner runner{options};
+    const auto summary = runner.run(experiment::Grid::single(cell));
+    ASSERT_EQ(summary.cells.size(), 1u);
+    for (const char* metric :
+         {"srgm_events", "srgm_best_model", "srgm_laplace_trend",
+          "srgm_ks_distance", "srgm_holdout_valid",
+          "srgm_holdout_count_rel_err", "srgm_preq_gain_vs_hpp"}) {
+        EXPECT_NE(summary.cells[0].find(metric), nullptr) << metric;
+    }
+    const auto* events = summary.cells[0].find("srgm_events");
+    ASSERT_NE(events, nullptr);
+    EXPECT_GE(events->mean, 0.0);
+}
+
 // -- Scheduling determinism (the tentpole guarantee) ---------------------------
 
 /// Tiny-but-real grid: two cells of genuine field-study campaigns.

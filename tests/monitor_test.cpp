@@ -384,5 +384,99 @@ TEST(MonitorLive, SnapshotStreamIsWellFormedJsonl) {
     EXPECT_NE(prometheus.find("symfail_monitor_alerts_fired"), std::string::npos);
 }
 
+// -- Windowed reliability trend ----------------------------------------------
+
+logger::LogFileEntry bootEntry(double atHours, logger::PriorShutdown prior,
+                               double lastBeatHours) {
+    logger::LogFileEntry entry;
+    entry.type = logger::LogFileEntry::Type::Boot;
+    entry.boot.time = kT0 + sim::Duration::fromSecondsF(atHours * 3600.0);
+    entry.boot.prior = prior;
+    entry.boot.lastBeatAt =
+        kT0 + sim::Duration::fromSecondsF(lastBeatHours * 3600.0);
+    return entry;
+}
+
+/// One phone observed over [0, spanHours] with freezes at `freezeHours`.
+monitor::WindowStats statsForFreezes(const std::vector<double>& freezeHours,
+                                     double spanHours) {
+    monitor::HealthEngine engine;
+    engine.onRecord("phone", bootEntry(0.0, logger::PriorShutdown::None, 0.0));
+    for (const double t : freezeHours) {
+        engine.onRecord("phone",
+                        bootEntry(t + 0.01, logger::PriorShutdown::Freeze, t));
+    }
+    engine.onRecord("phone",
+                    bootEntry(spanHours, logger::PriorShutdown::None, 0.0));
+    engine.finalize();
+    return engine.windowStats(kT0 +
+                              sim::Duration::fromSecondsF(spanHours * 3600.0));
+}
+
+TEST(WindowTrend, LateClusteredFailuresReadAsRegressing) {
+    std::vector<double> late;
+    for (int i = 0; i < 20; ++i) late.push_back(90.0 + 0.4 * i);
+    const auto stats = statsForFreezes(late, 100.0);
+    EXPECT_EQ(stats.freezes, 20u);
+    EXPECT_GT(stats.laplaceTrend, 2.0);
+    // A rising intensity forecasts more failures next window than seen
+    // in this one.
+    EXPECT_GT(stats.forecastNextWindowFailures, 20.0);
+}
+
+TEST(WindowTrend, EarlyClusteredFailuresReadAsImproving) {
+    std::vector<double> early;
+    for (int i = 0; i < 20; ++i) early.push_back(1.0 + 0.4 * i);
+    const auto stats = statsForFreezes(early, 100.0);
+    EXPECT_LT(stats.laplaceTrend, -2.0);
+    EXPECT_LT(stats.forecastNextWindowFailures, 5.0);
+}
+
+TEST(WindowTrend, UniformFailuresReadAsSteady) {
+    std::vector<double> uniform;
+    for (int i = 0; i < 20; ++i) uniform.push_back(2.5 + 5.0 * i);
+    const auto stats = statsForFreezes(uniform, 100.0);
+    EXPECT_NEAR(stats.laplaceTrend, 0.0, 1.0);
+    EXPECT_NEAR(stats.forecastNextWindowFailures, 20.0, 8.0);
+    // No failures at all: both statistics stay at their zero defaults.
+    const auto clean = statsForFreezes({}, 100.0);
+    EXPECT_EQ(clean.laplaceTrend, 0.0);
+    EXPECT_EQ(clean.forecastNextWindowFailures, 0.0);
+}
+
+TEST(WindowTrend, ReliabilityRegressingRuleShipsByDefault) {
+    const auto rules = monitor::defaultRules(monitor::MonitorConfig{});
+    bool found = false;
+    for (const auto& rule : rules) {
+        if (rule.name != "reliability-regressing") continue;
+        found = true;
+        EXPECT_EQ(rule.metric, "window_laplace_trend");
+        EXPECT_FALSE(rule.perPhone);
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(WindowTrend, SnapshotsAndMetricsCarryTheTrend) {
+    auto config = liveConfig();
+    config.campaign = sim::Duration::days(20);
+    monitor::FleetMonitor fleetMonitor;
+    config.obs.monitor = &fleetMonitor;
+    (void)fleet::runCampaign(config);
+
+    const auto jsonl = fleetMonitor.snapshotsJsonl();
+    EXPECT_NE(jsonl.find("\"laplace_trend\":"), std::string::npos);
+    EXPECT_NE(jsonl.find("\"forecast_next_window\":"), std::string::npos);
+    EXPECT_NE(fleetMonitor.renderDashboard().find("reliability trend"),
+              std::string::npos);
+
+    obs::MetricsRegistry registry;
+    fleetMonitor.publishMetrics(registry);
+    const auto prometheus = registry.renderPrometheus();
+    EXPECT_NE(prometheus.find("symfail_monitor_window_laplace_trend"),
+              std::string::npos);
+    EXPECT_NE(prometheus.find("symfail_monitor_forecast_failures_window"),
+              std::string::npos);
+}
+
 }  // namespace
 }  // namespace symfail

@@ -1,8 +1,11 @@
 // Unit tests for the discrete-event simulation substrate.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "simkernel/event_queue.hpp"
 #include "simkernel/histogram.hpp"
+#include "simkernel/nhpp.hpp"
 #include "simkernel/rng.hpp"
 #include "simkernel/simulator.hpp"
 #include "simkernel/stats.hpp"
@@ -129,6 +132,93 @@ TEST(Rng, BernoulliRate) {
     int hits = 0;
     for (int i = 0; i < 100'000; ++i) hits += rng.bernoulli(0.25) ? 1 : 0;
     EXPECT_NEAR(hits / 100'000.0, 0.25, 0.01);
+}
+
+TEST(Rng, SubstreamDoesNotAdvanceParent) {
+    Rng withSub{99};
+    Rng withoutSub{99};
+    const Rng child = withSub.substream("srgm-ground-truth");
+    (void)child;
+    // The parent's stream must be bit-identical whether or not the
+    // substream was derived — that is the whole point of substream().
+    for (int i = 0; i < 64; ++i) {
+        EXPECT_EQ(withSub.nextU64(), withoutSub.nextU64());
+    }
+}
+
+TEST(Rng, SubstreamDeterministicAndSaltSensitive) {
+    const Rng parent{99};
+    Rng a = parent.substream("alpha");
+    Rng b = parent.substream("alpha");
+    Rng c = parent.substream("beta");
+    bool anyDiffer = false;
+    for (int i = 0; i < 64; ++i) {
+        const std::uint64_t va = a.nextU64();
+        EXPECT_EQ(va, b.nextU64());
+        anyDiffer = anyDiffer || va != c.nextU64();
+    }
+    EXPECT_TRUE(anyDiffer);
+}
+
+TEST(Nhpp, ThinningIsDeterministic) {
+    const auto intensity = [](double t) { return 5.0 * std::exp(-t / 40.0); };
+    Rng r1 = Rng{7}.substream("nhpp");
+    Rng r2 = Rng{7}.substream("nhpp");
+    const auto t1 = sampleNhppByThinning(r1, intensity, 5.0, 100.0);
+    const auto t2 = sampleNhppByThinning(r2, intensity, 5.0, 100.0);
+    ASSERT_FALSE(t1.empty());
+    EXPECT_EQ(t1, t2);
+}
+
+TEST(Nhpp, TimesOrderedWithinHorizon) {
+    const auto intensity = [](double t) { return 2.0 + std::sin(t) + 1.0; };
+    Rng rng{11};
+    const auto times = sampleNhppByThinning(rng, intensity, 4.0, 200.0);
+    ASSERT_GT(times.size(), 10u);
+    for (std::size_t i = 0; i < times.size(); ++i) {
+        EXPECT_GT(times[i], 0.0);
+        EXPECT_LT(times[i], 200.0);
+        if (i > 0) {
+            EXPECT_GT(times[i], times[i - 1]);
+        }
+    }
+}
+
+TEST(Nhpp, ConstantIntensityMatchesPoissonCount) {
+    // With lambda(t) == lambdaMax the thinning accepts everything and the
+    // count over the horizon is Poisson(lambda * T); check the mean over
+    // repetitions stays within a few standard errors.
+    Rng rng{42};
+    const double lambda = 3.0;
+    const double horizon = 50.0;
+    const int reps = 200;
+    double total = 0.0;
+    for (int i = 0; i < reps; ++i) {
+        total += static_cast<double>(
+            sampleNhppByThinning(rng, [&](double) { return lambda; }, lambda, horizon)
+                .size());
+    }
+    const double meanCount = total / reps;
+    const double expected = lambda * horizon;
+    EXPECT_NEAR(meanCount, expected, 4.0 * std::sqrt(expected / reps));
+}
+
+TEST(Nhpp, DecayingIntensityExpectedCount) {
+    // Goel-Okumoto intensity a*b*exp(-b t): expected count on [0, T] is
+    // a*(1 - exp(-b T)).
+    Rng rng{77};
+    const double a = 120.0;
+    const double b = 0.02;
+    const int reps = 100;
+    double total = 0.0;
+    for (int i = 0; i < reps; ++i) {
+        total += static_cast<double>(
+            sampleNhppByThinning(
+                rng, [&](double t) { return a * b * std::exp(-b * t); }, a * b, 300.0)
+                .size());
+    }
+    const double expected = a * (1.0 - std::exp(-b * 300.0));
+    EXPECT_NEAR(total / reps, expected, 0.05 * expected);
 }
 
 TEST(EventQueue, OrdersByTime) {

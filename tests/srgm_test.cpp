@@ -1,0 +1,326 @@
+// Tests for the reliability-growth subsystem: model shapes, MLE
+// parameter recovery on NHPP-sampled sequences, AIC selection, trend and
+// goodness-of-fit statistics, and the held-out forecast benchmark.
+#include <algorithm>
+#include <cmath>
+#include <string_view>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "simkernel/nhpp.hpp"
+#include "simkernel/rng.hpp"
+#include "srgm/fit.hpp"
+#include "srgm/forecast.hpp"
+#include "srgm/models.hpp"
+
+namespace symfail::srgm {
+namespace {
+
+constexpr std::uint64_t kSeed = 20260807;
+
+/// Samples one ground-truth sequence from the model's intensity by
+/// thinning.  `lambdaMax` must upper-bound the intensity on [0, horizon].
+EventData sampleModel(ModelKind kind, const ModelParams& params, double horizon,
+                      double lambdaMax, std::string_view salt) {
+    sim::Rng root{kSeed};
+    sim::Rng rng = root.substream(salt);
+    auto times = sim::sampleNhppByThinning(
+        rng, [&](double t) { return intensity(kind, params, t); }, lambdaMax,
+        horizon);
+    return EventData::singleWindow(std::move(times), horizon);
+}
+
+void expectRecovers(ModelKind kind, const ModelParams& truth, double horizon,
+                    double lambdaMax, std::string_view salt,
+                    double tolerance = 0.05) {
+    const EventData data = sampleModel(kind, truth, horizon, lambdaMax, salt);
+    ASSERT_GE(data.events(), 5000u) << modelName(kind);
+    const FitResult fit = fitModel(kind, data);
+    ASSERT_TRUE(fit.converged) << modelName(kind);
+    EXPECT_NEAR(fit.params.a, truth.a, tolerance * truth.a) << modelName(kind);
+    if (kind == ModelKind::WeibullType) {
+        // Raw b is exponentially ill-conditioned in c (a 1% error in the
+        // exponent moves b by ~10% at these time scales), so compare the
+        // characteristic time b^{-1/c} — the scale the data determines.
+        const double truthScale = std::pow(truth.b, -1.0 / truth.c);
+        const double fitScale = std::pow(fit.params.b, -1.0 / fit.params.c);
+        EXPECT_NEAR(fitScale, truthScale, tolerance * truthScale);
+        EXPECT_NEAR(fit.params.c, truth.c, tolerance * truth.c);
+    } else {
+        EXPECT_NEAR(fit.params.b, truth.b, tolerance * truth.b)
+            << modelName(kind);
+    }
+}
+
+std::size_t indexOf(ModelKind kind) {
+    return static_cast<std::size_t>(
+        std::find(kAllModels.begin(), kAllModels.end(), kind) -
+        kAllModels.begin());
+}
+
+TEST(SrgmModels, ShapeFunctionsStartAtZeroAndGrow) {
+    for (const ModelKind kind : kAllModels) {
+        EXPECT_EQ(unitMean(kind, 0.01, 1.5, 0.0), 0.0) << modelName(kind);
+        double prev = 0.0;
+        for (const double t : {1.0, 10.0, 100.0, 1000.0}) {
+            const double g = unitMean(kind, 0.01, 1.5, t);
+            EXPECT_GT(g, prev) << modelName(kind) << " at t=" << t;
+            prev = g;
+        }
+    }
+}
+
+TEST(SrgmModels, IntensityMatchesMeanValueDerivative) {
+    const ModelParams params{100.0, 0.01, 1.5};
+    for (const ModelKind kind : kAllModels) {
+        for (const double t : {5.0, 50.0, 500.0}) {
+            const double h = 1e-4 * t;
+            const double numeric = (meanValue(kind, params, t + h) -
+                                    meanValue(kind, params, t - h)) /
+                                   (2.0 * h);
+            EXPECT_NEAR(intensity(kind, params, t), numeric,
+                        1e-4 * std::abs(numeric) + 1e-12)
+                << modelName(kind) << " at t=" << t;
+        }
+    }
+}
+
+// --- Parameter recovery at ~10k events (the acceptance bar: within 5%). ---
+
+TEST(SrgmRecovery, GoelOkumoto) {
+    const ModelParams truth{10200.0, 0.002, 1.0};
+    expectRecovers(ModelKind::GoelOkumoto, truth, 2000.0,
+                   truth.a * truth.b, "recover-go");
+}
+
+TEST(SrgmRecovery, MusaOkumoto) {
+    const ModelParams truth{2200.0, 0.05, 1.0};
+    expectRecovers(ModelKind::MusaOkumoto, truth, 2000.0,
+                   truth.a * truth.b, "recover-mo");
+}
+
+TEST(SrgmRecovery, DelayedSShaped) {
+    const ModelParams truth{10300.0, 0.003, 1.0};
+    // lambda(t) = a b^2 t e^{-bt} peaks at t = 1/b with value a b / e.
+    expectRecovers(ModelKind::DelayedSShaped, truth, 2000.0,
+                   truth.a * truth.b / std::exp(1.0), "recover-dss");
+}
+
+TEST(SrgmRecovery, WeibullType) {
+    const double horizon = 2000.0;
+    const ModelParams truth{10200.0, 4.47e-5, 1.5};
+    // For c > 1 the exponential factor is <= 1, so
+    // a b c t^{c-1} bounds the intensity on [0, horizon].
+    const double lambdaMax =
+        truth.a * truth.b * truth.c * std::pow(horizon, truth.c - 1.0);
+    expectRecovers(ModelKind::WeibullType, truth, horizon, lambdaMax,
+                   "recover-weibull");
+}
+
+// --- Model selection. ---
+
+TEST(SrgmSelection, AicPicksGoelOkumotoGenerator) {
+    const ModelParams truth{10200.0, 0.002, 1.0};
+    const EventData data = sampleModel(ModelKind::GoelOkumoto, truth, 2000.0,
+                                       truth.a * truth.b, "select-go");
+    const auto fits = fitAllModels(data);
+    ASSERT_EQ(fits.size(), kAllModels.size());
+    EXPECT_EQ(selectBest(fits), indexOf(ModelKind::GoelOkumoto));
+}
+
+TEST(SrgmSelection, AicPicksDelayedSShapedGenerator) {
+    const ModelParams truth{10300.0, 0.003, 1.0};
+    const EventData data =
+        sampleModel(ModelKind::DelayedSShaped, truth, 2000.0,
+                    truth.a * truth.b / std::exp(1.0), "select-dss");
+    const auto fits = fitAllModels(data);
+    EXPECT_EQ(selectBest(fits), indexOf(ModelKind::DelayedSShaped));
+}
+
+TEST(SrgmSelection, AicPicksWeibullWhenShapeIsNotExponential) {
+    const double horizon = 2000.0;
+    const ModelParams truth{10200.0, 2.5e-7, 2.0};
+    const double lambdaMax =
+        truth.a * truth.b * truth.c * std::pow(horizon, truth.c - 1.0);
+    const EventData data = sampleModel(ModelKind::WeibullType, truth, horizon,
+                                       lambdaMax, "select-weibull");
+    const auto fits = fitAllModels(data);
+    EXPECT_EQ(selectBest(fits), indexOf(ModelKind::WeibullType));
+}
+
+TEST(SrgmSelection, NoConvergedFitSelectsSentinel) {
+    const EventData empty = EventData::singleWindow({}, 100.0);
+    const auto fits = fitAllModels(empty);
+    for (const FitResult& fit : fits) EXPECT_FALSE(fit.converged);
+    EXPECT_EQ(selectBest(fits), kAllModels.size());
+}
+
+// --- Edge cases. ---
+
+TEST(SrgmFit, EmptySequenceDoesNotConverge) {
+    const FitResult fit =
+        fitModel(ModelKind::GoelOkumoto, EventData::singleWindow({}, 100.0));
+    EXPECT_FALSE(fit.converged);
+    EXPECT_EQ(fit.events, 0u);
+    EXPECT_EQ(laplaceTrend(EventData::singleWindow({}, 100.0)), 0.0);
+}
+
+TEST(SrgmFit, BelowMinimumEventsDoesNotConverge) {
+    const EventData data = EventData::singleWindow({10.0, 40.0}, 100.0);
+    ASSERT_LT(data.events(), kMinFitEvents);
+    for (const ModelKind kind : kAllModels) {
+        EXPECT_FALSE(fitModel(kind, data).converged) << modelName(kind);
+    }
+}
+
+TEST(SrgmFit, EventFreeWindowCensorsTheScale) {
+    const ModelParams truth{500.0, 0.01, 1.0};
+    EventData data = sampleModel(ModelKind::GoelOkumoto, truth, 400.0,
+                                 truth.a * truth.b, "censor");
+    const FitResult withOne = fitModel(ModelKind::GoelOkumoto, data);
+    ASSERT_TRUE(withOne.converged);
+    // A second, event-free window of the same length is extra exposure
+    // with no failures: the same n spreads over twice the cumulative
+    // shape mass, halving the profiled scale.
+    data.windowEnds.push_back(400.0);
+    const FitResult withTwo = fitModel(ModelKind::GoelOkumoto, data);
+    ASSERT_TRUE(withTwo.converged);
+    EXPECT_LT(withTwo.params.a, 0.7 * withOne.params.a);
+}
+
+TEST(SrgmFit, PooledDuplicateWindowsMatchSingleWindowShape) {
+    const ModelParams truth{5100.0, 0.002, 1.0};
+    const EventData one = sampleModel(ModelKind::GoelOkumoto, truth, 2000.0,
+                                      truth.a * truth.b, "pooled");
+    EventData two = one;
+    two.times.insert(two.times.end(), one.times.begin(), one.times.end());
+    two.eventEnds.insert(two.eventEnds.end(), one.eventEnds.begin(),
+                         one.eventEnds.end());
+    two.windowEnds.push_back(2000.0);
+    const FitResult single = fitModel(ModelKind::GoelOkumoto, one);
+    const FitResult pooled = fitModel(ModelKind::GoelOkumoto, two);
+    ASSERT_TRUE(single.converged);
+    ASSERT_TRUE(pooled.converged);
+    // The same realization observed in two identical windows describes
+    // the same per-window process: identical shape, identical scale.
+    EXPECT_NEAR(pooled.params.b, single.params.b, 1e-6 * single.params.b);
+    EXPECT_NEAR(pooled.params.a, single.params.a, 1e-6 * single.params.a);
+}
+
+TEST(SrgmFit, FitIsBitwiseDeterministic) {
+    const ModelParams truth{10200.0, 0.002, 1.0};
+    const EventData data = sampleModel(ModelKind::GoelOkumoto, truth, 2000.0,
+                                       truth.a * truth.b, "determinism");
+    for (const ModelKind kind : kAllModels) {
+        const FitResult first = fitModel(kind, data);
+        const FitResult second = fitModel(kind, data);
+        EXPECT_EQ(first.params.a, second.params.a) << modelName(kind);
+        EXPECT_EQ(first.params.b, second.params.b) << modelName(kind);
+        EXPECT_EQ(first.params.c, second.params.c) << modelName(kind);
+        EXPECT_EQ(first.logLikelihood, second.logLikelihood) << modelName(kind);
+        EXPECT_EQ(first.aic, second.aic) << modelName(kind);
+        EXPECT_EQ(first.bic, second.bic) << modelName(kind);
+        EXPECT_EQ(first.ksDistance, second.ksDistance) << modelName(kind);
+    }
+}
+
+// --- Trend and goodness-of-fit statistics. ---
+
+TEST(SrgmTrend, LaplaceSignsFollowClustering) {
+    std::vector<double> early, late, uniform;
+    for (int i = 0; i < 50; ++i) {
+        early.push_back(0.5 + static_cast<double>(i) * 0.2);   // all in [0, 10]
+        late.push_back(90.0 + static_cast<double>(i) * 0.2);   // all in [90, 100]
+        uniform.push_back(1.0 + static_cast<double>(i) * 2.0); // spread evenly
+    }
+    EXPECT_LT(laplaceTrend(EventData::singleWindow(early, 100.0)), -3.0);
+    EXPECT_GT(laplaceTrend(EventData::singleWindow(late, 100.0)), 3.0);
+    EXPECT_NEAR(laplaceTrend(EventData::singleWindow(uniform, 100.0)), 0.0, 0.5);
+}
+
+TEST(SrgmTrend, KsDistanceSeparatesUniformFromClumped) {
+    std::vector<double> grid;
+    for (int i = 1; i <= 100; ++i) grid.push_back(static_cast<double>(i) / 101.0);
+    EXPECT_LT(ksAgainstUniform(grid), 0.02);
+    EXPECT_GT(ksAgainstUniform(std::vector<double>(100, 0.5)), 0.45);
+    EXPECT_EQ(ksAgainstUniform({}), 0.0);
+}
+
+TEST(SrgmTrend, GoodFitHasSmallKsDistance) {
+    const ModelParams truth{10200.0, 0.002, 1.0};
+    const EventData data = sampleModel(ModelKind::GoelOkumoto, truth, 2000.0,
+                                       truth.a * truth.b, "gof");
+    const FitResult fit = fitModel(ModelKind::GoelOkumoto, data);
+    ASSERT_TRUE(fit.converged);
+    // ~10k transformed samples against U(0,1): the 1% critical KS value
+    // is about 1.63 / sqrt(n) ~ 0.016; allow double.
+    EXPECT_LT(fit.ksDistance, 0.035);
+}
+
+// --- Holdout forecasting. ---
+
+TEST(SrgmForecast, TruncateScalesWindowsAndDropsTailEvents) {
+    EventData data;
+    data.times = {10.0, 60.0, 5.0, 95.0};
+    data.eventEnds = {100.0, 100.0, 100.0, 100.0};
+    data.windowEnds = {100.0, 50.0};
+    const EventData prefix = truncateAt(data, 0.7);
+    ASSERT_EQ(prefix.windowEnds.size(), 2u);
+    EXPECT_DOUBLE_EQ(prefix.windowEnds[0], 70.0);
+    EXPECT_DOUBLE_EQ(prefix.windowEnds[1], 35.0);
+    ASSERT_EQ(prefix.events(), 3u);  // 95.0 falls past its truncated window
+    for (const double end : prefix.eventEnds) EXPECT_DOUBLE_EQ(end, 70.0);
+}
+
+TEST(SrgmForecast, RecoversTailOnSyntheticGrowthData) {
+    const ModelParams truth{10200.0, 0.002, 1.0};
+    const EventData data = sampleModel(ModelKind::GoelOkumoto, truth, 2000.0,
+                                       truth.a * truth.b, "holdout-growth");
+    const HoldoutResult holdout = holdoutForecast(data, 0.7);
+    ASSERT_TRUE(holdout.valid);
+    EXPECT_GE(holdout.prefixEvents, kMinFitEvents);
+    EXPECT_GT(holdout.tailEvents, 0u);
+    EXPECT_LT(holdout.countRelError, 0.1);
+    // The prefix rate overestimates the decaying tail, so modeling the
+    // trend must beat the constant-rate baseline.
+    EXPECT_GT(holdout.preqGainVsHpp, 10.0);
+}
+
+TEST(SrgmForecast, SteadyDataScoresCloseToHpp) {
+    // Constant intensity: HPP is the true model, so the NHPP gain should
+    // be near zero (never large), and the count forecast stays accurate.
+    sim::Rng root{kSeed};
+    sim::Rng rng = root.substream("holdout-steady");
+    auto times = sim::sampleNhppByThinning(
+        rng, [](double) { return 5.0; }, 5.0, 2000.0);
+    const EventData data = EventData::singleWindow(std::move(times), 2000.0);
+    const HoldoutResult holdout = holdoutForecast(data, 0.7);
+    ASSERT_TRUE(holdout.valid);
+    EXPECT_LT(holdout.countRelError, 0.1);
+    EXPECT_LT(std::abs(holdout.preqGainVsHpp), 20.0);
+}
+
+TEST(SrgmForecast, ThinPrefixIsInvalid) {
+    const EventData data =
+        EventData::singleWindow({10.0, 95.0, 96.0, 97.0, 98.0}, 100.0);
+    const HoldoutResult holdout = holdoutForecast(data, 0.5);
+    EXPECT_FALSE(holdout.valid);  // only one event before tau = 50
+    EXPECT_FALSE(holdoutForecast(data, 0.0).valid);
+    EXPECT_FALSE(holdoutForecast(data, 1.0).valid);
+}
+
+TEST(SrgmForecast, HoldoutIsDeterministic) {
+    const ModelParams truth{10200.0, 0.002, 1.0};
+    const EventData data = sampleModel(ModelKind::GoelOkumoto, truth, 2000.0,
+                                       truth.a * truth.b, "holdout-det");
+    const HoldoutResult first = holdoutForecast(data, 0.7);
+    const HoldoutResult second = holdoutForecast(data, 0.7);
+    EXPECT_EQ(first.predictedTailCount, second.predictedTailCount);
+    EXPECT_EQ(first.preqLogLikNhpp, second.preqLogLikNhpp);
+    EXPECT_EQ(first.preqLogLikHpp, second.preqLogLikHpp);
+    EXPECT_EQ(first.countRelError, second.countRelError);
+}
+
+}  // namespace
+}  // namespace symfail::srgm

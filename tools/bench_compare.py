@@ -38,6 +38,7 @@ import sys
 OVERHEAD_CAPS_PCT = {
     "provenance_overhead_pct": 5.0,
     "idle_overhead_pct": 5.0,
+    "srgm_overhead_pct": 5.0,
 }
 
 

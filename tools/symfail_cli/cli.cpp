@@ -18,6 +18,7 @@
 #include "monitor/monitor.hpp"
 #include "osfault/validity.hpp"
 #include "obs/metrics.hpp"
+#include "srgm/analyze.hpp"
 #include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 #include "transport/metrics.hpp"
@@ -96,6 +97,21 @@ void printUsage() {
         "           ppm) and score measurement validity: how precisely the\n"
         "           pipeline still recovers the ground-truth failure tables;\n"
         "           --check exits 1 when recovery drops below the bounds\n"
+        "  srgm     [<logdir>] [--phones N] [--days D] [--seed S] [--loss PCT]\n"
+        "           [--holdout F] [--fleet-only] [--json FILE] [--csv DIR]\n"
+        "           [--metrics FILE] [--check] [--max-count-err E]\n"
+        "           [--min-preq-gain G] [--max-ks D]\n"
+        "           fit the NHPP reliability-growth model family\n"
+        "           (Goel-Okumoto, Musa-Okumoto, delayed S-shaped,\n"
+        "           Weibull-type) to the campaign's failure times at fleet,\n"
+        "           per-phone and per-version level, select by AIC/BIC with\n"
+        "           a KS goodness-of-fit check, and benchmark a held-out\n"
+        "           forecast (fit on the first --holdout fraction, score\n"
+        "           the tail) against a constant-rate baseline; with a\n"
+        "           <logdir> the fits run over *.log files on disk instead\n"
+        "           of a fresh campaign (default: the paper's 25 phones,\n"
+        "           425 days); --check exits 1 when the holdout forecast\n"
+        "           misses the bounds\n"
         "  tables   print the paper's reference taxonomies\n"
         "  help     show this message\n");
 }
@@ -869,6 +885,95 @@ int runCrash(const std::vector<std::string>& args) {
     return 0;
 }
 
+int runSrgm(const std::vector<std::string>& args) {
+    validateOutputPaths(args);
+    const bool fromLogs = !args.empty() && args[0].rfind("--", 0) != 0;
+
+    srgm::SrgmOptions options;
+    options.holdoutSplit = realOption(args, "--holdout", 0.7, 0.05, 0.95);
+    if (hasFlag(args, "--fleet-only")) {
+        options.perPhone = false;
+        options.perVersion = false;
+    }
+    // Check bounds parse up front so a malformed knob fails before the
+    // campaign burns minutes.  They default to permissive values; the CI
+    // smoke job pins calibrated ones for the paper-scale campaign.
+    const double maxCountErr = realOption(args, "--max-count-err", 1.0, 0.0, 100.0);
+    const double minPreqGain = realOption(args, "--min-preq-gain", 0.0, -1e9, 1e9);
+    const double maxKs = realOption(args, "--max-ks", 1.0, 0.0, 1.0);
+
+    core::StudyConfig config;
+    std::optional<core::FieldStudyResults> results;
+    if (fromLogs) {
+        const auto logs = core::loadLogs(args[0]);
+        if (logs.empty()) {
+            std::fprintf(stderr, "srgm: no *.log files in %s\n", args[0].c_str());
+            return 1;
+        }
+        std::printf("loaded %zu phone logs from %s\n\n", logs.size(),
+                    args[0].c_str());
+        const core::FailureStudy study{config};
+        results = study.analyzeLogs(logs);
+    } else {
+        const auto days = parseFleetOptions(args, config.fleetConfig, 425);
+        applyTransportOptions(args, config.fleetConfig);
+        std::printf("srgm: %d phones, %lld days, seed %llu, holdout %.2f\n\n",
+                    config.fleetConfig.phoneCount, static_cast<long long>(days),
+                    static_cast<unsigned long long>(config.fleetConfig.seed),
+                    options.holdoutSplit);
+        const core::FailureStudy study{config};
+        results = study.runFieldStudy();
+    }
+
+    const srgm::SrgmReport report =
+        srgm::analyzeSrgm(results->dataset, results->classification, options);
+    std::printf("%s", srgm::renderSrgmText(report).c_str());
+
+    if (const auto path = option(args, "--json")) {
+        writeTextFile(*path, srgm::srgmToJson(report), "srgm JSON");
+    }
+    if (const auto dir = option(args, "--csv")) {
+        const auto files = srgm::exportSrgmCsv(report, *dir);
+        std::printf("wrote %zu CSV files to %s\n", files.size(), dir->c_str());
+    }
+    if (const auto path = option(args, "--metrics")) {
+        obs::MetricsRegistry registry;
+        srgm::publishSrgmMetrics(report, registry);
+        writeMetricsFile(registry, *path);
+    }
+
+    if (hasFlag(args, "--check")) {
+        const srgm::GroupReport& fleet = report.fleet;
+        std::string violation;
+        char buf[160];
+        if (fleet.bestIndex >= fleet.fits.size()) {
+            violation = "no model converged on the fleet sequence";
+        } else if (fleet.fits[fleet.bestIndex].ksDistance > maxKs) {
+            std::snprintf(buf, sizeof buf, "fleet KS distance %.4f > max %.4f",
+                          fleet.fits[fleet.bestIndex].ksDistance, maxKs);
+            violation = buf;
+        } else if (!fleet.holdout.valid) {
+            violation = "holdout forecast has insufficient data";
+        } else if (fleet.holdout.countRelError > maxCountErr) {
+            std::snprintf(buf, sizeof buf,
+                          "holdout count relative error %.4f > max %.4f",
+                          fleet.holdout.countRelError, maxCountErr);
+            violation = buf;
+        } else if (fleet.holdout.preqGainVsHpp < minPreqGain) {
+            std::snprintf(buf, sizeof buf,
+                          "prequential gain vs HPP %.4f < min %.4f",
+                          fleet.holdout.preqGainVsHpp, minPreqGain);
+            violation = buf;
+        }
+        if (!violation.empty()) {
+            std::printf("srgm check: FAIL (%s)\n", violation.c_str());
+            return 1;
+        }
+        std::printf("srgm check: OK\n");
+    }
+    return 0;
+}
+
 int runForum(const std::vector<std::string>& args) {
     core::StudyConfig config;
     config.forumConfig.failureReports = static_cast<int>(
@@ -918,6 +1023,7 @@ int runCli(const std::vector<std::string>& args) {
         if (command == "monitor") return runMonitor(rest);
         if (command == "analyze") return runAnalyze(rest);
         if (command == "crash") return runCrash(rest);
+        if (command == "srgm") return runSrgm(rest);
         if (command == "forum") return runForum(rest);
         if (command == "tables") return runTables();
     } catch (const std::exception& error) {
