@@ -94,4 +94,43 @@ sim::Duration LogDataset::totalObservedTime() const {
     return total;
 }
 
+std::size_t LogDataset::approxMemoryBytes() const {
+    constexpr std::size_t mapNode = 3 * sizeof(void*);
+    std::size_t total = sizeof *this;
+    total += shutdowns_.capacity() * sizeof(ShutdownObservation);
+    for (const auto& obs : shutdowns_) total += obs.phoneName.size();
+    total += freezes_.capacity() * sizeof(FreezeObservation);
+    for (const auto& obs : freezes_) total += obs.phoneName.size();
+    total += panics_.capacity() * sizeof(PanicObservation);
+    for (const auto& obs : panics_) {
+        total += obs.phoneName.size();
+        for (const auto& app : obs.record.runningApps) {
+            total += app.size() + sizeof(std::string);
+        }
+    }
+    total += userReports_.capacity() * sizeof(UserReportObservation);
+    for (const auto& obs : userReports_) {
+        total += obs.phoneName.size() + obs.record.symptom.size();
+    }
+    total += dumps_.capacity() * sizeof(DumpObservation);
+    for (const auto& obs : dumps_) {
+        total += obs.phoneName.size() + obs.dump.processName.size();
+        for (const auto& app : obs.dump.runningApps) {
+            total += app.size() + sizeof(std::string);
+        }
+        for (const auto& frame : obs.dump.frames) {
+            total += frame.size() + sizeof(std::string);
+        }
+    }
+    total += spans_.capacity() * sizeof(PhoneSpan);
+    for (const auto& span : spans_) total += span.phoneName.size();
+    for (const auto& [phone, version] : versions_) {
+        total += phone.size() + version.size() + 2 * sizeof(std::string) + mapNode;
+    }
+    for (const auto& entry : coverageLoss_) {
+        total += entry.first.size() + sizeof(std::string) + sizeof(double) + mapNode;
+    }
+    return total;
+}
+
 }  // namespace symfail::analysis

@@ -116,6 +116,10 @@ public:
     /// Total observed wall-clock phone-time (sum of spans).
     [[nodiscard]] sim::Duration totalObservedTime() const;
 
+    /// Approximate heap footprint of the parsed observation vectors;
+    /// deterministic for identical input logs.
+    [[nodiscard]] std::size_t approxMemoryBytes() const;
+
 private:
     std::vector<ShutdownObservation> shutdowns_;
     std::vector<FreezeObservation> freezes_;

@@ -97,4 +97,15 @@ std::vector<analysis::PhoneLog> CollectionServer::collectedLogs() const {
     return logs;
 }
 
+std::size_t CollectionServer::approxMemoryBytes() const {
+    constexpr std::size_t mapNode = 3 * sizeof(void*);
+    std::size_t total = sizeof *this;
+    for (const auto& [phone, log] : latest_) {
+        total += phone.size() + log.content.size() + sizeof(std::string) +
+                 sizeof(StoredLog) + mapNode;
+    }
+    total += reassembler_.approxMemoryBytes();
+    return total;
+}
+
 }  // namespace symfail::fleet

@@ -93,6 +93,11 @@ public:
     /// stores or acks.
     void setIngestObserver(IngestObserver* observer) { observer_ = observer; }
 
+    /// Approximate heap footprint of the server: stored whole-file copies
+    /// plus the reassembler's chunk maps; deterministic for identical
+    /// upload sequences.
+    [[nodiscard]] std::size_t approxMemoryBytes() const;
+
 private:
     struct StoredLog {
         std::string content;

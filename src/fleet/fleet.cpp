@@ -1,6 +1,7 @@
 #include "fleet/fleet.hpp"
 
 #include <algorithm>
+#include <functional>
 #include <map>
 #include <memory>
 
@@ -262,7 +263,48 @@ FleetResult runCampaign(const FleetConfig& config) {
                                   std::move(flashAdapter), std::move(device)});
     }
 
+    // Capacity accounting: a read-only sweep over every subsystem's byte
+    // probe.  The sweep touches no RNG stream and mutates nothing, so —
+    // like the monitor — attaching it leaves every campaign table
+    // bit-identical (the extra events only shift queue sequence numbers,
+    // which order only the sweep itself).
+    obs::ResourceAccountant* accountant = config.obs.accountant;
+    std::function<void()> takeAccountingSample;
+    if (accountant != nullptr) {
+        takeAccountingSample = [&simulator, &units, &server, accountant,
+                                monitor]() {
+            std::uint64_t phoneBytes = 0;
+            std::uint64_t loggerBytes = 0;
+            std::uint64_t transportBytes = 0;
+            for (const auto& unit : units) {
+                phoneBytes += unit.device->approxMemoryBytes();
+                loggerBytes += unit.logger->approxMemoryBytes();
+                if (unit.dataChannel != nullptr) {
+                    transportBytes += unit.dataChannel->approxMemoryBytes();
+                }
+                if (unit.ackChannel != nullptr) {
+                    transportBytes += unit.ackChannel->approxMemoryBytes();
+                }
+                if (unit.uploadAgent != nullptr) {
+                    transportBytes += unit.uploadAgent->approxMemoryBytes();
+                }
+            }
+            accountant->record("simkernel", simulator.queueApproxBytes());
+            accountant->record("phone", phoneBytes);
+            accountant->record("logger", loggerBytes);
+            accountant->record("transport", transportBytes);
+            accountant->record("server", server.approxMemoryBytes());
+            if (monitor != nullptr) {
+                accountant->record("monitor", monitor->approxMemoryBytes());
+            }
+        };
+        simulator.schedulePeriodic(
+            config.obs.accountingInterval, "obs.account",
+            [takeAccountingSample](sim::Periodic&) { takeAccountingSample(); });
+    }
+
     simulator.runUntil(sim::TimePoint::origin() + config.campaign);
+    if (accountant != nullptr) takeAccountingSample();
     if (monitor != nullptr) {
         monitor->onCampaignEnd(sim::TimePoint::origin() + config.campaign);
         server.setIngestObserver(nullptr);
@@ -299,6 +341,7 @@ FleetResult runCampaign(const FleetConfig& config) {
         result.loggerDaemonDeaths += unit.logger->daemonDeaths();
     }
     result.simulatorEvents = simulator.eventsFired();
+    result.queueDepthPeak = simulator.queueDepthPeak();
     if (planeRegistry != nullptr) result.osfault = planeRegistry->stats();
 
     // Transport accounting: what made it to the collection server, and

@@ -19,6 +19,7 @@
 #include "analysis/dataset.hpp"
 #include "analysis/evaluator.hpp"
 #include "faults/rates.hpp"
+#include "obs/accountant.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
 #include "obs/provenance.hpp"
@@ -69,6 +70,15 @@ struct ObsOptions {
     /// attachments it never perturbs the campaign.  When `trace` is also
     /// set, failure records additionally render as Perfetto flow chains.
     obs::ProvenanceTracker* provenance{nullptr};
+    /// Capacity accounting: a periodic read-only sweep records each
+    /// subsystem's approxMemoryBytes() into the ledger ("simkernel",
+    /// "phone", "logger", "transport", "server", "monitor"), plus one
+    /// final sweep at campaign end.  Values derive from simulated state
+    /// only, so the ledger is bit-identical across runs and the campaign
+    /// tables are bit-identical with accounting on or off.
+    obs::ResourceAccountant* accountant{nullptr};
+    /// Simulated-clock cadence of the accounting sweep.
+    sim::Duration accountingInterval = sim::Duration::hours(24);
 };
 
 /// Campaign configuration.
@@ -139,6 +149,9 @@ struct FleetResult {
     std::uint64_t userReportsFiled{0};
     std::uint64_t totalBoots{0};
     std::uint64_t simulatorEvents{0};
+    /// Largest pending-event count seen at any dispatch (always tracked;
+    /// deterministic).
+    std::size_t queueDepthPeak{0};
 
     /// Fault-plane activity (all zeros when no planes were enabled).
     osfault::CampaignPlaneStats osfault;

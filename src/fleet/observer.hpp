@@ -58,6 +58,11 @@ public:
     /// "alerted" stamp.  Called before onCampaignBegin; the tracker
     /// outlives the campaign run.
     virtual void onProvenanceAttached(obs::ProvenanceTracker* /*tracker*/) {}
+    /// Approximate bytes of observer-held state (window buffers, snapshot
+    /// history).  Read by the resource accountant's sampling sweep; must
+    /// be derived from simulated state only (deterministic).  The default
+    /// reports nothing.
+    [[nodiscard]] virtual std::uint64_t approxMemoryBytes() const { return 0; }
 
     void onWholeFile(const std::string& /*phoneName*/, std::string_view /*content*/,
                      bool /*stored*/) override {}

@@ -113,6 +113,17 @@ public:
 
     [[nodiscard]] const LoggerConfig& config() const { return config_; }
 
+    /// Approximate heap footprint of the logger object and its per-boot AO
+    /// machinery.  The log content itself lives in the device's flash
+    /// store and is accounted there.
+    [[nodiscard]] std::size_t approxMemoryBytes() const {
+        return sizeof *this +
+               aos_.capacity() * sizeof(void*) +
+               aos_.size() * sizeof(symbos::FunctionAo) +
+               timers_.capacity() * sizeof(void*) +
+               timers_.size() * sizeof(symbos::RTimer);
+    }
+
 private:
     void onBoot();
     void onShutdown(phone::ShutdownKind kind);

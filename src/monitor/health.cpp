@@ -335,4 +335,26 @@ std::optional<PhoneHealthView> HealthEngine::phone(const std::string& name,
     return std::nullopt;
 }
 
+std::size_t HealthEngine::approxMemoryBytes() const {
+    constexpr std::size_t mapNode = 3 * sizeof(void*);
+    std::size_t total = sizeof *this;
+    for (const auto& [phone, state] : phones_) {
+        total += phone.size() + sizeof(std::string) + sizeof(PhoneState) + mapNode;
+        total += state.hls.capacity() * sizeof(HlEvent);
+        total += state.pending.size() * sizeof(PendingPanic);
+        total += (state.windowFreezes.size() + state.windowSelf.size() +
+                  state.windowBoots.size() + state.windowPanics.size()) *
+                 sizeof(sim::TimePoint);
+    }
+    total += byCategory_.size() *
+             (sizeof(symbos::PanicCategory) +
+              sizeof(analysis::CategoryRelationRow) + mapNode);
+    total += windowMultiBursts_.size() * sizeof(sim::TimePoint);
+    for (const auto& [family, window] : windowFamilies_) {
+        total += family.size() + sizeof(std::string) + mapNode +
+                 window.size() * sizeof(sim::TimePoint);
+    }
+    return total;
+}
+
 }  // namespace symfail::monitor

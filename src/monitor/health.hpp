@@ -157,6 +157,10 @@ public:
                                                        sim::TimePoint now) const;
     [[nodiscard]] const HealthConfig& config() const { return config_; }
 
+    /// Approximate heap footprint of the per-phone streaming state and
+    /// fleet-wide windows; deterministic for identical record streams.
+    [[nodiscard]] std::size_t approxMemoryBytes() const;
+
 private:
     struct HlEvent {
         sim::TimePoint time;

@@ -695,4 +695,25 @@ void FleetMonitor::publishMetrics(obs::MetricsRegistry& registry) const {
                  : static_cast<double>(snapshots_.back().phonesHeard));
 }
 
+std::uint64_t FleetMonitor::approxMemoryBytes() const {
+    constexpr std::size_t mapNode = 3 * sizeof(void*);
+    std::size_t total = sizeof *this;
+    for (const auto& [phone, stream] : streams_) {
+        total += phone.size() + sizeof(std::string) + mapNode;
+        total += stream.tap.approxMemoryBytes() + stream.lines.approxMemoryBytes();
+    }
+    for (const auto& entry : presence_) {
+        total += entry.first.size() + sizeof(std::string) + sizeof(Presence) + mapNode;
+    }
+    total += snapshots_.capacity() * sizeof(Snapshot);
+    for (const Snapshot& snapshot : snapshots_) {
+        total += snapshot.silentPhones.capacity() * sizeof(std::string);
+        total += snapshot.activeAlerts.capacity() * sizeof(std::string);
+        for (const std::string& name : snapshot.silentPhones) total += name.size();
+        for (const std::string& name : snapshot.activeAlerts) total += name.size();
+    }
+    total += health_.approxMemoryBytes();
+    return total;
+}
+
 }  // namespace symfail::monitor

@@ -105,6 +105,9 @@ public:
                      bool stored) override;
     void onFrameAccepted(const transport::IngestResult& frame) override;
     void onProvenanceAttached(obs::ProvenanceTracker* tracker) override;
+    /// Approximate monitor-held bytes (stream buffers, presence table,
+    /// health windows, snapshot history) for the resource accountant.
+    [[nodiscard]] std::uint64_t approxMemoryBytes() const override;
 
     /// Replay mode: streams an already-collected dataset through the
     /// engine in global time order with virtual ticks, then finalizes.

@@ -59,6 +59,16 @@ public:
     [[nodiscard]] std::size_t buffered() const { return pending_.size(); }
     [[nodiscard]] std::uint64_t bytesReleased() const { return bytesReleased_; }
 
+    /// Approximate heap footprint of the buffered segments.
+    [[nodiscard]] std::size_t approxMemoryBytes() const {
+        constexpr std::size_t mapNode = 3 * sizeof(void*);
+        std::size_t total = sizeof *this;
+        for (const auto& [seq, segment] : pending_) {
+            total += sizeof(seq) + segment.bytes.size() + sizeof(Segment) + mapNode;
+        }
+        return total;
+    }
+
 private:
     struct Segment {
         std::string bytes;
@@ -90,6 +100,11 @@ public:
     [[nodiscard]] std::string feed(std::string_view bytes);
 
     [[nodiscard]] std::size_t pendingBytes() const { return buffer_.size(); }
+
+    /// Approximate heap footprint of the pending partial line.
+    [[nodiscard]] std::size_t approxMemoryBytes() const {
+        return sizeof *this + buffer_.size();
+    }
 
 private:
     std::string buffer_;

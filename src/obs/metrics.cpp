@@ -104,6 +104,11 @@ MetricsRegistry::Metric& MetricsRegistry::upsert(std::string_view subsystem,
     key += labels;
     auto [it, inserted] = metrics_.try_emplace(std::move(key));
     Metric& metric = it->second;
+    if (!inserted && metric.help.empty() && !help.empty()) {
+        // A later registration may carry the family's help when the first
+        // one didn't; keep exposition HELP lines complete either way.
+        metric.help = help;
+    }
     if (inserted) {
         metric.kind = kind;
         metric.help = help;
@@ -209,13 +214,24 @@ std::vector<MetricSample> MetricsRegistry::snapshot() const {
 }
 
 std::string MetricsRegistry::renderPrometheus() const {
+    const std::vector<MetricSample> samples = snapshot();
+    // Family-level HELP: the first non-empty help among a family's
+    // labeled samples speaks for the family, wherever it was registered.
+    std::map<std::string, std::string> familyHelp;
+    for (const MetricSample& sample : samples) {
+        if (sample.help.empty()) continue;
+        auto [it, inserted] = familyHelp.try_emplace(sample.name, sample.help);
+        (void)it;
+        (void)inserted;
+    }
     std::string out;
     std::string lastFamily;
-    for (const MetricSample& sample : snapshot()) {
+    for (const MetricSample& sample : samples) {
         const std::string family = promName(sample.name);
         if (family != lastFamily) {
-            if (!sample.help.empty()) {
-                out += "# HELP " + family + " " + sample.help + "\n";
+            const auto helpIt = familyHelp.find(sample.name);
+            if (helpIt != familyHelp.end()) {
+                out += "# HELP " + family + " " + helpIt->second + "\n";
             }
             out += "# TYPE " + family + " ";
             out += kindName(sample.kind);
@@ -246,6 +262,8 @@ std::string MetricsRegistry::renderPrometheus() const {
             // histogram type itself admits only _bucket/_sum/_count).
             const std::pair<const char*, double> quantiles[] = {
                 {"0.5", sample.p50}, {"0.95", sample.p95}, {"0.99", sample.p99}};
+            out += "# HELP " + family +
+                   "_quantile Bucket-interpolated quantiles of " + family + "\n";
             out += "# TYPE " + family + "_quantile gauge\n";
             for (const auto& [q, value] : quantiles) {
                 out += family + "_quantile{quantile=\"";

@@ -3,12 +3,20 @@
 //
 // Components register metrics under a subsystem ("transport", "fleet",
 // "logger", …); the registry owns the instruments and hands back stable
-// references, so updating a counter is a plain integer increment.  A
+// references, so updating a counter is an atomic integer increment.  A
 // snapshot can be exported as JSON, Prometheus text exposition, or CSV.
 // Iteration order is the lexicographic metric name — deterministic, so
 // exported documents are byte-stable across identical campaigns.
+//
+// Thread-safety split: *updating* an already-registered Counter/Gauge is
+// safe from any thread (relaxed atomics — experiment-pool workers bump
+// shared instruments concurrently), while *registration* (counter()/
+// gauge()/histogram()) and snapshotting remain externally synchronized,
+// as the single-threaded simulator and the pool's pre-registration
+// pattern require.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -19,25 +27,38 @@
 
 namespace symfail::obs {
 
-/// Monotonically increasing integer.
+/// Monotonically increasing integer.  inc() is thread-safe (relaxed).
 class Counter {
 public:
-    void inc(std::uint64_t delta = 1) { value_ += delta; }
-    [[nodiscard]] std::uint64_t value() const { return value_; }
+    void inc(std::uint64_t delta = 1) {
+        value_.fetch_add(delta, std::memory_order_relaxed);
+    }
+    [[nodiscard]] std::uint64_t value() const {
+        return value_.load(std::memory_order_relaxed);
+    }
 
 private:
-    std::uint64_t value_{0};
+    std::atomic<std::uint64_t> value_{0};
 };
 
-/// Last-write-wins real value.
+/// Last-write-wins real value.  set()/add() are thread-safe (relaxed;
+/// add() uses a CAS loop — std::atomic<double>::fetch_add is C++20 and
+/// not yet universal).
 class Gauge {
 public:
-    void set(double value) { value_ = value; }
-    void add(double delta) { value_ += delta; }
-    [[nodiscard]] double value() const { return value_; }
+    void set(double value) { value_.store(value, std::memory_order_relaxed); }
+    void add(double delta) {
+        double current = value_.load(std::memory_order_relaxed);
+        while (!value_.compare_exchange_weak(current, current + delta,
+                                             std::memory_order_relaxed)) {
+        }
+    }
+    [[nodiscard]] double value() const {
+        return value_.load(std::memory_order_relaxed);
+    }
 
 private:
-    double value_{0.0};
+    std::atomic<double> value_{0.0};
 };
 
 /// Histogram with explicit ascending bucket upper bounds (Prometheus
@@ -90,7 +111,9 @@ struct MetricSample {
     double p99{0.0};
 };
 
-/// The registry.  Not thread-safe (the simulator is single-threaded).
+/// The registry.  Registration and snapshotting are not thread-safe (the
+/// simulator is single-threaded); updates through returned references
+/// are (see Counter/Gauge).
 class MetricsRegistry {
 public:
     Counter& counter(std::string_view subsystem, std::string_view name,

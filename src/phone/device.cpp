@@ -338,4 +338,27 @@ void PhoneDevice::batteryTick() {
     }
 }
 
+std::size_t PhoneDevice::approxMemoryBytes() const {
+    constexpr std::size_t mapNode = 3 * sizeof(void*);
+    std::size_t total = sizeof *this;
+    total += kernel_->approxMemoryBytes();
+    total += flash_.approxMemoryBytes();
+    total += truth_.approxMemoryBytes();
+    for (const auto& [name, session] : sessions_) {
+        total += name.size() + sizeof(AppSession) + sizeof(std::string) + mapNode;
+    }
+    for (const auto& [name, pid] : residents_) {
+        total += name.size() + sizeof(symbos::ProcessId) + sizeof(std::string) + mapNode;
+    }
+    total += activeActivities_.size() *
+             (sizeof(std::pair<symbos::ActivityKind, int>) + mapNode);
+    total += bootHooks_.capacity() * sizeof(BootHook);
+    total += shutdownHooks_.capacity() * sizeof(ShutdownHook);
+    total += powerDownHooks_.capacity() * sizeof(PowerDownHook);
+    total += activityHooks_.capacity() * sizeof(ActivityHook);
+    total += outputFailureHooks_.capacity() * sizeof(OutputFailureHook);
+    if (user_ != nullptr) total += sizeof(UserModel);
+    return total;
+}
+
 }  // namespace symfail::phone

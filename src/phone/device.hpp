@@ -250,6 +250,12 @@ public:
     [[nodiscard]] sim::Duration totalOnTime() const;
     [[nodiscard]] std::uint64_t bootCount() const { return bootCount_; }
 
+    /// Approximate heap footprint of the device's object graph (kernel,
+    /// flash contents, ground-truth journal, session/hook containers).
+    /// Derived from simulated state only, so identical campaigns yield
+    /// identical values; read by the resource accountant.
+    [[nodiscard]] std::size_t approxMemoryBytes() const;
+
 private:
     friend class UserModel;
 

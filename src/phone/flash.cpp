@@ -166,4 +166,13 @@ std::size_t FlashStore::totalBytes() const {
     return total;
 }
 
+std::size_t FlashStore::approxMemoryBytes() const {
+    constexpr std::size_t mapNode = 3 * sizeof(void*);
+    std::size_t total = sizeof *this;
+    for (const auto& [name, content] : files_) {
+        total += name.size() + content.size() + 2 * sizeof(std::string) + mapNode;
+    }
+    return total;
+}
+
 }  // namespace symfail::phone

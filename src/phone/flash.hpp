@@ -110,6 +110,11 @@ public:
 
     [[nodiscard]] std::size_t fileCount() const { return files_.size(); }
     [[nodiscard]] std::size_t totalBytes() const;
+    /// Approximate heap footprint of the store: file names and contents
+    /// plus a per-file node estimate.  Derived from sizes only, so
+    /// identical write sequences yield identical values (the resource
+    /// accountant's determinism contract).
+    [[nodiscard]] std::size_t approxMemoryBytes() const;
     [[nodiscard]] std::uint64_t writeCount() const { return writes_; }
 
     /// Attaches a mutation observer (nullptr detaches).  Not owned.

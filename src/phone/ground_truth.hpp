@@ -53,6 +53,12 @@ public:
     /// Events of one kind, in time order.
     [[nodiscard]] std::vector<TruthEvent> eventsOf(TruthKind kind) const;
 
+    /// Approximate heap footprint of the journal (event vector capacity;
+    /// detail strings beyond the inline buffer are not chased).
+    [[nodiscard]] std::size_t approxMemoryBytes() const {
+        return sizeof *this + events_.capacity() * sizeof(TruthEvent);
+    }
+
 private:
     std::vector<TruthEvent> events_;
 };

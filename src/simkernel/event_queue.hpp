@@ -40,6 +40,17 @@ public:
     [[nodiscard]] bool empty() const { return live_ == 0; }
     [[nodiscard]] std::size_t size() const { return live_; }
 
+    /// Approximate heap footprint of the pending-event set: the heap
+    /// vector's capacity plus a per-node estimate for the lazy-cancel set.
+    /// Derived from container sizes only (no allocator introspection), so
+    /// identical schedules yield identical values within one binary.
+    /// Closures that spill past std::function's inline buffer are not
+    /// counted.
+    [[nodiscard]] std::size_t approxBytes() const {
+        return heap_.capacity() * sizeof(Entry) +
+               cancelled_.size() * (sizeof(std::uint64_t) + 2 * sizeof(void*));
+    }
+
     /// Time of the earliest pending event, if any.
     [[nodiscard]] std::optional<TimePoint> nextTime() const;
 

@@ -57,17 +57,24 @@ PeriodicHandle Simulator::schedulePeriodic(Duration period, const char* category
 
 void Simulator::dispatch(EventQueue::Fired& fired) {
     now_ = fired.at;
+    const std::size_t depth = queue_.size() + 1;  // include the popped event
+    if (depth > queueDepthPeak_) queueDepthPeak_ = depth;
     if (trace_ != nullptr) {
         trace_->instant(0, "sim.dispatch",
                         fired.category != nullptr ? fired.category : "uncategorized",
                         now_);
     }
     if (profiler_ != nullptr) {
-        const auto hostStart = std::chrono::steady_clock::now();
-        fired.action();
-        const std::chrono::duration<double> hostCost =
-            std::chrono::steady_clock::now() - hostStart;
-        profiler_->noteEvent(fired.category, hostCost.count(), queue_.size());
+        if (profiler_->sampleThisEvent()) {
+            const auto hostStart = std::chrono::steady_clock::now();
+            fired.action();
+            const std::chrono::duration<double> hostCost =
+                std::chrono::steady_clock::now() - hostStart;
+            profiler_->noteEvent(fired.category, hostCost.count(), queue_.size());
+        } else {
+            fired.action();
+            profiler_->noteEventUnsampled(fired.category, queue_.size());
+        }
     } else {
         fired.action();
     }

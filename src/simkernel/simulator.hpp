@@ -90,6 +90,16 @@ public:
     [[nodiscard]] std::uint64_t eventsFired() const { return fired_; }
     [[nodiscard]] std::size_t pendingEvents() const { return queue_.size(); }
 
+    /// Largest pending-event count seen at any dispatch (including the
+    /// event being dispatched).  Always tracked — it is one integer max
+    /// per event — so capacity reports never need a profiler attached.
+    [[nodiscard]] std::size_t queueDepthPeak() const { return queueDepthPeak_; }
+    /// Approximate bytes held by the pending-event set (see
+    /// EventQueue::approxBytes); deterministic for identical schedules.
+    [[nodiscard]] std::size_t queueApproxBytes() const {
+        return queue_.approxBytes();
+    }
+
     /// Attaches a trace sink (non-owning; nullptr detaches).  Dispatch
     /// emits one instant per categorised event on track 0; components read
     /// the sink through traceSink() to emit their own events.
@@ -109,6 +119,7 @@ private:
     EventQueue queue_;
     TimePoint now_{};
     std::uint64_t fired_{0};
+    std::size_t queueDepthPeak_{0};
     bool stopRequested_{false};
     obs::TraceSink* trace_{nullptr};
     obs::CampaignProfiler* profiler_{nullptr};

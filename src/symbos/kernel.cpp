@@ -288,4 +288,18 @@ HeapModel& ExecContext::heap() const {
     return kernel_->processRef(pid_).heap;
 }
 
+std::size_t Kernel::approxMemoryBytes() const {
+    constexpr std::size_t hashNode = 3 * sizeof(void*);
+    std::size_t total = sizeof *this;
+    for (const auto& [pid, process] : processes_) {
+        total += hashNode + sizeof(Process) + process->name.size();
+        if (process->scheduler != nullptr) total += sizeof(ActiveScheduler);
+    }
+    for (const PanicEvent& event : panicLog_) {
+        total += event.processName.size() + event.diagnostic.size();
+    }
+    total += panicLog_.capacity() * sizeof(PanicEvent);
+    return total;
+}
+
 }  // namespace symfail::symbos

@@ -249,6 +249,10 @@ public:
 
     /// Every panic since construction or the last clear (ground truth).
     [[nodiscard]] const std::vector<PanicEvent>& panicLog() const { return panicLog_; }
+
+    /// Approximate heap footprint of the kernel's process table and panic
+    /// log; derived from container sizes, deterministic per campaign.
+    [[nodiscard]] std::size_t approxMemoryBytes() const;
     void clearPanicLog() { panicLog_.clear(); }
 
 private:

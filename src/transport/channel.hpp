@@ -114,6 +114,13 @@ public:
         config_.outages.push_back(window);
     }
 
+    /// Approximate heap footprint of the channel object.  In-flight
+    /// frames live in scheduled simulator closures and are accounted to
+    /// the simkernel's event queue, not here.
+    [[nodiscard]] std::size_t approxMemoryBytes() const {
+        return sizeof *this + config_.outages.capacity() * sizeof(OutageWindow);
+    }
+
 private:
     void deliverAfter(const std::string& bytes, sim::Duration delay);
 

@@ -99,4 +99,16 @@ std::string Reassembler::reconstruct(const std::string& phone) const {
     return content;
 }
 
+std::size_t Reassembler::approxMemoryBytes() const {
+    constexpr std::size_t mapNode = 3 * sizeof(void*);
+    std::size_t total = sizeof *this;
+    for (const auto& [phone, assembly] : assemblies_) {
+        total += phone.size() + sizeof(std::string) + sizeof(Assembly) + mapNode;
+        for (const auto& [seq, segment] : assembly.segments) {
+            total += sizeof(seq) + segment.size() + sizeof(std::string) + mapNode;
+        }
+    }
+    return total;
+}
+
 }  // namespace symfail::transport

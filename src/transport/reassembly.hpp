@@ -75,6 +75,11 @@ public:
 
     [[nodiscard]] const ReassemblyStats& stats() const { return stats_; }
 
+    /// Approximate heap footprint of the chunk maps (phone names, segment
+    /// payloads, per-node estimates); deterministic for identical ingest
+    /// sequences.
+    [[nodiscard]] std::size_t approxMemoryBytes() const;
+
 private:
     struct Assembly {
         std::map<std::uint32_t, std::string> segments;

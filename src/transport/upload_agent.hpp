@@ -87,6 +87,16 @@ public:
     /// nullptr detaches; the tracker is not owned.
     void setProvenance(obs::ProvenanceTracker* tracker) { provenance_ = tracker; }
 
+    /// Approximate heap footprint of the agent: the per-segment ack/sent
+    /// maps plus the per-boot AO machinery.
+    [[nodiscard]] std::size_t approxMemoryBytes() const {
+        constexpr std::size_t node =
+            sizeof(std::pair<std::uint32_t, std::uint32_t>) + 3 * sizeof(void*);
+        return sizeof *this + (ackedBytes_.size() + sentBytes_.size()) * node +
+               (ao_ != nullptr ? sizeof(symbos::FunctionAo) : 0) +
+               (timer_ != nullptr ? sizeof(symbos::RTimer) : 0);
+    }
+
 private:
     void onBoot();
     void teardown();

@@ -105,7 +105,7 @@ TEST(Cli, RejectsPartiallyNumericOptions) {
 TEST(Cli, FleetOptionParsingParityAcrossSubcommands) {
     for (const char* command :
          {"campaign", "transport", "obs", "sweep", "monitor", "osfault",
-          "srgm"}) {
+          "srgm", "perf"}) {
         EXPECT_EQ(cli::runCli({command, "--phones", "25x"}), 1) << command;
         EXPECT_EQ(cli::runCli({command, "--phones", ""}), 1) << command;
         EXPECT_EQ(cli::runCli({command, "--days", "3d"}), 1) << command;
@@ -139,6 +139,9 @@ TEST(Cli, RejectsUnwritableOutputPathsUpFront) {
               1);
     EXPECT_EQ(cli::runCli({"monitor", "--phones", "1", "--days", "2",
                            "--alerts", bad}),
+              1);
+    EXPECT_EQ(cli::runCli({"perf", "--fleet-sizes", "2", "--days", "2",
+                           "--json", bad}),
               1);
     // A directory where a file is expected is rejected too.
     const auto dir = std::filesystem::temp_directory_path();
@@ -345,6 +348,100 @@ TEST(Cli, SrgmCheckGatesOnBounds) {
               1);
     EXPECT_EQ(cli::runCli({"srgm", "--phones", "2", "--days", "2", "--check",
                            "--max-count-err", "abc"}),
+              1);
+}
+
+// -- perf -----------------------------------------------------------------------
+
+namespace {
+/// Concatenates every `"accounting": {...}` object of a perf JSON document
+/// — the deterministic half of each cell (the "host" sections measure
+/// wall time and RSS and legitimately differ between runs).
+std::string accountingSections(const std::string& json) {
+    std::string sections;
+    std::size_t pos = 0;
+    while ((pos = json.find("\"accounting\"", pos)) != std::string::npos) {
+        const std::size_t end = json.find("\"host\"", pos);
+        EXPECT_NE(end, std::string::npos);
+        if (end == std::string::npos) break;
+        sections += json.substr(pos, end - pos);
+        pos = end;
+    }
+    return sections;
+}
+}  // namespace
+
+TEST(Cli, PerfRunsAndWritesOutputs) {
+    const auto dir = std::filesystem::temp_directory_path() / "symfail-perf-cli";
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    const auto json = (dir / "perf.json").string();
+    const auto metrics = (dir / "metrics.prom").string();
+    const auto csvDir = (dir / "csv").string();
+    EXPECT_EQ(cli::runCli({"perf", "--fleet-sizes", "2,3", "--days", "2",
+                           "--seed", "5", "--json", json, "--csv", csvDir,
+                           "--metrics", metrics}),
+              0);
+    std::ifstream jsonIn{json};
+    const std::string body{std::istreambuf_iterator<char>{jsonIn}, {}};
+    EXPECT_NE(body.find("\"accounting\""), std::string::npos);
+    EXPECT_NE(body.find("\"bytes_per_phone\""), std::string::npos);
+    EXPECT_NE(body.find("\"phone_hours_per_sec\""), std::string::npos);
+    EXPECT_NE(body.find("\"peak_rss_bytes\""), std::string::npos);
+    // Every accounted subsystem shows up in the breakdown.
+    for (const char* subsystem :
+         {"\"simkernel\"", "\"phone\"", "\"logger\"", "\"transport\"",
+          "\"server\"", "\"analysis\""}) {
+        EXPECT_NE(body.find(subsystem), std::string::npos) << subsystem;
+    }
+    EXPECT_TRUE(std::filesystem::exists(csvDir + "/perf_scaling.csv"));
+    std::ifstream promIn{metrics};
+    const std::string prom{std::istreambuf_iterator<char>{promIn}, {}};
+    EXPECT_NE(prom.find("symfail_perf_bytes_per_phone"), std::string::npos);
+    EXPECT_NE(prom.find("symfail_perf_phone_hours_per_sec"), std::string::npos);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Cli, PerfAccountingJsonIsByteIdenticalAcrossRuns) {
+    const auto dir = std::filesystem::temp_directory_path() / "symfail-perf-det";
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    std::string sections[2];
+    for (int run = 0; run < 2; ++run) {
+        const auto json = (dir / ("run" + std::to_string(run) + ".json")).string();
+        ASSERT_EQ(cli::runCli({"perf", "--fleet-sizes", "3", "--days", "3",
+                               "--seed", "9", "--json", json}),
+                  0);
+        std::ifstream in{json};
+        const std::string body{std::istreambuf_iterator<char>{in}, {}};
+        sections[run] = accountingSections(body);
+    }
+    ASSERT_FALSE(sections[0].empty());
+    EXPECT_EQ(sections[0], sections[1]);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Cli, PerfCheckGatesOnBounds) {
+    // Generous bounds pass.
+    EXPECT_EQ(cli::runCli({"perf", "--fleet-sizes", "2", "--days", "2", "--seed",
+                           "5", "--check", "--max-bytes-per-phone", "1e12"}),
+              0);
+    // An unreachable footprint bound must fail the check.
+    EXPECT_EQ(cli::runCli({"perf", "--fleet-sizes", "2", "--days", "2", "--seed",
+                           "5", "--check", "--max-bytes-per-phone", "1"}),
+              1);
+    // ... as must an unreachable throughput floor.
+    EXPECT_EQ(cli::runCli({"perf", "--fleet-sizes", "2", "--days", "2", "--seed",
+                           "5", "--check", "--min-phone-hours-per-sec", "1e12"}),
+              1);
+    // Malformed knobs fail before any campaign runs.
+    EXPECT_EQ(cli::runCli({"perf", "--fleet-sizes", "2,x", "--days", "2"}), 1);
+    EXPECT_EQ(cli::runCli({"perf", "--fleet-sizes", "2,", "--days", "2"}), 1);
+    EXPECT_EQ(cli::runCli({"perf", "--fleet-sizes", "0", "--days", "2"}), 1);
+    EXPECT_EQ(cli::runCli({"perf", "--sample-hours", "0", "--days", "2"}), 1);
+    EXPECT_EQ(cli::runCli({"perf", "--stride", "1x", "--days", "2"}), 1);
+    EXPECT_EQ(cli::runCli({"perf", "--days", "2", "--check",
+                           "--max-bytes-per-phone", "abc"}),
               1);
 }
 

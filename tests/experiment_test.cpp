@@ -17,6 +17,8 @@
 #include "experiment/runner.hpp"
 #include "experiment/seed.hpp"
 #include "experiment/stats.hpp"
+#include "obs/accountant.hpp"
+#include "obs/metrics.hpp"
 
 namespace symfail {
 namespace {
@@ -139,6 +141,43 @@ TEST(ExperimentPool, MoreWorkersThanTasks) {
         counts[i].fetch_add(1, std::memory_order_relaxed);
     });
     for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(counts[i].load(), 1);
+}
+
+// Updating pre-registered instruments from pool workers is the documented
+// thread-safe path (registration stays single-threaded).  Run under TSan
+// in CI: a data race here fails the tsan job even if the values happen to
+// come out right.
+TEST(ExperimentPool, SharedMetricUpdatesAreThreadSafe) {
+    obs::MetricsRegistry registry;
+    auto& tasks = registry.counter("pool", "tasks", "tasks run by workers");
+    auto& total = registry.gauge("pool", "task_sum", "sum of task indices");
+    constexpr std::size_t kTasks = 512;
+    experiment::runWorkStealing(kTasks, 8, [&](std::size_t i) {
+        tasks.inc();
+        total.add(static_cast<double>(i));
+    });
+    EXPECT_EQ(tasks.value(), kTasks);
+    // Integer-valued doubles below 2^53 sum exactly in any order.
+    EXPECT_DOUBLE_EQ(total.value(),
+                     static_cast<double>(kTasks * (kTasks - 1) / 2));
+}
+
+// The accountant is mutex-guarded: workers accounting their per-trial
+// subsystems into one shared ledger must never race or lose samples.
+TEST(ExperimentPool, SharedAccountantUpdatesAreThreadSafe) {
+    obs::ResourceAccountant accountant;
+    constexpr std::size_t kTasks = 256;
+    experiment::runWorkStealing(kTasks, 8, [&](std::size_t i) {
+        accountant.record("worker-" + std::to_string(i % 4), i + 1);
+    });
+    EXPECT_EQ(accountant.samplesTaken(), kTasks);
+    const auto accounts = accountant.accounts();
+    ASSERT_EQ(accounts.size(), 4u);
+    for (const auto& account : accounts) {
+        EXPECT_EQ(account.samples, kTasks / 4);
+        EXPECT_GE(account.peakBytes, account.currentBytes);
+    }
+    EXPECT_GE(accountant.peakTotalBytes(), accountant.totalBytes());
 }
 
 // -- Grid -----------------------------------------------------------------------

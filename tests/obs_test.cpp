@@ -5,13 +5,16 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <set>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "fleet/fleet.hpp"
+#include "obs/accountant.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
+#include "obs/provenance.hpp"
 #include "obs/trace.hpp"
 #include "simkernel/simulator.hpp"
 
@@ -413,6 +416,243 @@ TEST(ObsCampaign, MetricsMatchCampaignTotals) {
               result.simulatorEvents);
     EXPECT_EQ(metrics.counter("transport", "records_delivered").value(),
               result.transport.recordsDelivered);
+}
+
+// ------------------------------------------------------------- accountant
+
+TEST(Accountant, LedgerTracksCurrentPeakAndSamples) {
+    ResourceAccountant accountant;
+    accountant.record("phone", 100);
+    accountant.record("server", 50);
+    EXPECT_EQ(accountant.totalBytes(), 150u);
+    EXPECT_EQ(accountant.peakTotalBytes(), 150u);
+    // A shrinking account lowers the total but not the peaks.
+    accountant.record("phone", 40);
+    EXPECT_EQ(accountant.totalBytes(), 90u);
+    EXPECT_EQ(accountant.peakTotalBytes(), 150u);
+    EXPECT_EQ(accountant.samplesTaken(), 3u);
+
+    const auto accounts = accountant.accounts();
+    ASSERT_EQ(accounts.size(), 2u);  // sorted by name
+    EXPECT_EQ(accounts[0].subsystem, "phone");
+    EXPECT_EQ(accounts[0].currentBytes, 40u);
+    EXPECT_EQ(accounts[0].peakBytes, 100u);
+    EXPECT_EQ(accounts[0].samples, 2u);
+    EXPECT_EQ(accounts[1].subsystem, "server");
+
+    const std::string report = accountant.renderReport();
+    EXPECT_NE(report.find("phone"), std::string::npos);
+    EXPECT_NE(report.find("server"), std::string::npos);
+
+    MetricsRegistry registry;
+    accountant.publish(registry);
+    EXPECT_DOUBLE_EQ(
+        registry.gauge("account", "bytes", "subsystem", "phone").value(), 40.0);
+    EXPECT_DOUBLE_EQ(registry.gauge("account", "peak_total_bytes").value(),
+                     150.0);
+    EXPECT_EQ(registry.counter("account", "samples").value(), 3u);
+
+    accountant.reset();
+    EXPECT_EQ(accountant.totalBytes(), 0u);
+    EXPECT_TRUE(accountant.accounts().empty());
+}
+
+TEST(Accountant, RssProbesAreSaneOnThisPlatform) {
+    // VmRSS/VmHWM come from /proc/self/status; on platforms without it
+    // both read 0.  Where present, the peak bounds the current value.
+    const std::uint64_t rss = readRssBytes();
+    const std::uint64_t peak = readPeakRssBytes();
+    if (peak > 0) {
+        EXPECT_GE(peak, rss / 2);  // HWM is >= RSS modulo paging
+    }
+    if (rss > 0) {
+        EXPECT_GT(peak, 0u);
+    }
+}
+
+/// The accounting analogue of InstrumentationDoesNotPerturbCampaign: the
+/// sweep schedules real (read-only) events, so the event *count* may
+/// differ, but every campaign table must stay bit-identical.
+TEST(ObsCampaign, AccountingDoesNotPerturbCampaign) {
+    auto plain = tinyCampaign();
+    const auto bare = fleet::runCampaign(plain);
+
+    auto accounted = tinyCampaign();
+    ResourceAccountant accountant;
+    accounted.obs.accountant = &accountant;
+    accounted.obs.accountingInterval = sim::Duration::hours(12);
+    const auto swept = fleet::runCampaign(accounted);
+
+    ASSERT_EQ(bare.logs.size(), swept.logs.size());
+    for (std::size_t i = 0; i < bare.logs.size(); ++i) {
+        EXPECT_EQ(bare.logs[i].logFileContent, swept.logs[i].logFileContent);
+    }
+    EXPECT_EQ(bare.totalBoots, swept.totalBoots);
+    EXPECT_EQ(bare.panicsInjected, swept.panicsInjected);
+    EXPECT_EQ(bare.hangsInjected, swept.hangsInjected);
+    EXPECT_EQ(bare.transport.recordsDelivered, swept.transport.recordsDelivered);
+    ASSERT_EQ(bare.collectedLogs.size(), swept.collectedLogs.size());
+    for (std::size_t i = 0; i < bare.collectedLogs.size(); ++i) {
+        EXPECT_EQ(bare.collectedLogs[i].logFileContent,
+                  swept.collectedLogs[i].logFileContent);
+    }
+
+    // The sweep actually ran and saw every expected subsystem.
+    EXPECT_GT(accountant.samplesTaken(), 0u);
+    EXPECT_GT(accountant.totalBytes(), 0u);
+    const auto accounts = accountant.accounts();
+    for (const char* subsystem :
+         {"logger", "phone", "server", "simkernel", "transport"}) {
+        bool found = false;
+        for (const auto& account : accounts) {
+            if (account.subsystem == subsystem) {
+                found = account.peakBytes > 0;
+                break;
+            }
+        }
+        EXPECT_TRUE(found) << subsystem;
+    }
+}
+
+/// The ledger derives from simulated state only, so two identical
+/// campaigns account identically — byte for byte.
+TEST(ObsCampaign, AccountingLedgerIsByteIdenticalAcrossRuns) {
+    std::string reports[2];
+    for (int run = 0; run < 2; ++run) {
+        auto config = tinyCampaign();
+        ResourceAccountant accountant;
+        config.obs.accountant = &accountant;
+        config.obs.accountingInterval = sim::Duration::hours(12);
+        (void)fleet::runCampaign(config);
+        reports[run] = accountant.renderReport();
+    }
+    ASSERT_FALSE(reports[0].empty());
+    EXPECT_EQ(reports[0], reports[1]);
+}
+
+// ------------------------------------------------------ stride sampling
+
+TEST(Profiler, StrideSamplingKeepsCountsExact) {
+    CampaignProfiler profiler;
+    profiler.setSamplingStride(4);
+    sim::Simulator simulator;
+    simulator.setProfiler(&profiler);
+    constexpr int kEvents = 20;
+    for (int i = 0; i < kEvents; ++i) {
+        simulator.scheduleAfter(sim::Duration::seconds(i + 1), "tick", []() {});
+    }
+    simulator.runAll();
+    EXPECT_EQ(profiler.eventsDispatched(), static_cast<std::uint64_t>(kEvents));
+    EXPECT_EQ(profiler.eventsSampled(), static_cast<std::uint64_t>(kEvents / 4));
+    // The estimate scales the timed cost by the stride.
+    EXPECT_DOUBLE_EQ(profiler.hostSecondsTotal(),
+                     profiler.hostSecondsSampled() * 4.0);
+    const auto profile = profiler.byCategory();
+    ASSERT_EQ(profile.size(), 1u);
+    EXPECT_EQ(profile[0].events, static_cast<std::uint64_t>(kEvents));
+    EXPECT_EQ(profile[0].sampledEvents, static_cast<std::uint64_t>(kEvents / 4));
+}
+
+TEST(Profiler, PhasesAreTimedExactly) {
+    CampaignProfiler profiler;
+    profiler.setSamplingStride(64);  // phases must ignore the stride
+    profiler.notePhase("simulate", 1.5);
+    profiler.notePhase("analysis", 0.5);
+    profiler.notePhase("simulate", 0.25);
+    const auto phases = profiler.byPhase();
+    ASSERT_EQ(phases.size(), 2u);
+    EXPECT_EQ(phases[0].phase, "simulate");  // most expensive first
+    EXPECT_DOUBLE_EQ(phases[0].hostSeconds, 1.75);
+    EXPECT_EQ(phases[1].phase, "analysis");
+    { ScopedPhase bracket{&profiler, "scoped"}; }
+    EXPECT_EQ(profiler.byPhase().size(), 3u);
+    const std::string report = profiler.renderReport();
+    EXPECT_NE(report.find("simulate"), std::string::npos);
+}
+
+// ------------------------------------------------- exposition audit
+
+/// Every metric family any subsystem publishes must carry # HELP and
+/// # TYPE in the Prometheus exposition — scrapers and dashboards key off
+/// them.  Runs a fully instrumented campaign, publishes every obs-layer
+/// artifact, and audits the rendered document line by line.
+TEST(Metrics, EveryPublishedFamilyHasHelpAndType) {
+    auto config = tinyCampaign();
+    MetricsRegistry registry;
+    CampaignProfiler profiler;
+    ResourceAccountant accountant;
+    ProvenanceTracker provenance;
+    config.obs.metrics = &registry;
+    config.obs.profiler = &profiler;
+    config.obs.accountant = &accountant;
+    config.obs.provenance = &provenance;
+    (void)fleet::runCampaign(config);
+    profiler.publish(registry);
+    accountant.publish(registry);
+
+    std::set<std::string> helped;
+    std::set<std::string> typed;
+    std::vector<std::string> sampleFamilies;
+    const std::string text = registry.renderPrometheus();
+    std::size_t start = 0;
+    while (start < text.size()) {
+        std::size_t end = text.find('\n', start);
+        if (end == std::string::npos) end = text.size();
+        const std::string line = text.substr(start, end - start);
+        start = end + 1;
+        if (line.empty()) continue;
+        if (line.rfind("# HELP ", 0) == 0) {
+            const std::string rest = line.substr(7);
+            const std::size_t space = rest.find(' ');
+            ASSERT_NE(space, std::string::npos) << "HELP without text: " << line;
+            EXPECT_LT(space + 1, rest.size()) << "empty HELP text: " << line;
+            helped.insert(rest.substr(0, space));
+        } else if (line.rfind("# TYPE ", 0) == 0) {
+            const std::string rest = line.substr(7);
+            typed.insert(rest.substr(0, rest.find(' ')));
+        } else {
+            sampleFamilies.push_back(
+                line.substr(0, line.find_first_of("{ ")));
+        }
+    }
+    ASSERT_FALSE(sampleFamilies.empty());
+    const auto baseFamily = [](const std::string& family) {
+        for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+            const std::string s{suffix};
+            if (family.size() > s.size() &&
+                family.compare(family.size() - s.size(), s.size(), s) == 0) {
+                return family.substr(0, family.size() - s.size());
+            }
+        }
+        return family;
+    };
+    for (const std::string& family : sampleFamilies) {
+        const std::string base = baseFamily(family);
+        EXPECT_TRUE(helped.count(family) != 0 || helped.count(base) != 0)
+            << "family without # HELP: " << family;
+        EXPECT_TRUE(typed.count(family) != 0 || typed.count(base) != 0)
+            << "family without # TYPE: " << family;
+    }
+    // The _quantile auxiliary families are gauges with their own HELP.
+    bool sawQuantile = false;
+    for (const std::string& family : sampleFamilies) {
+        if (family.size() > 9 &&
+            family.compare(family.size() - 9, 9, "_quantile") == 0) {
+            sawQuantile = true;
+            EXPECT_TRUE(helped.count(family) != 0)
+                << "quantile family without # HELP: " << family;
+        }
+    }
+    EXPECT_TRUE(sawQuantile);  // provenance publishes latency histograms
+}
+
+TEST(Metrics, HelpBackfillsFromLaterRegistration) {
+    MetricsRegistry registry;
+    registry.counter("fleet", "boots").inc(1);  // first registration: no help
+    registry.counter("fleet", "boots", "Total boots").inc(1);
+    const std::string text = registry.renderPrometheus();
+    EXPECT_NE(text.find("# HELP symfail_fleet_boots Total boots"),
+              std::string::npos);
 }
 
 }  // namespace

@@ -13,12 +13,14 @@ grow metrics over time; regenerate the baseline when they do).
 Direction is inferred from the metric name:
   *_per_sec, *_ratio      higher is better  (fail when current falls more
                           than THRESHOLD below baseline)
-  *_s, *_ms, *_seconds_*  lower is better   (fail when current rises more
+  *_s, *_ms, *_seconds_*,
+  *_bytes_per_phone       lower is better   (fail when current rises more
                           than THRESHOLD above baseline)
   *_overhead_pct          lower is better, compared in absolute
                           percentage points (fail when current exceeds
                           baseline + 100*THRESHOLD points)
-Anything else is informational only.
+Anything else is informational only (including the host capacity columns
+peak_rss_mb / heap_allocs / heap_alloc_mb every bench now emits).
 
 Special case: `provenance_overhead_pct` and the osfault bench's
 `idle_overhead_pct` also carry an absolute acceptance bar of 5 points —
@@ -39,6 +41,7 @@ OVERHEAD_CAPS_PCT = {
     "provenance_overhead_pct": 5.0,
     "idle_overhead_pct": 5.0,
     "srgm_overhead_pct": 5.0,
+    "accounting_overhead_pct": 5.0,
 }
 
 
@@ -47,7 +50,7 @@ def direction(name: str) -> str:
         return "pct-points"
     if "_per_sec" in name or name.endswith("_ratio"):
         return "higher"
-    if name.endswith(("_s", "_ms")) or "_seconds_" in name:
+    if name.endswith(("_s", "_ms", "_bytes_per_phone")) or "_seconds_" in name:
         return "lower"
     return "info"
 

@@ -10,6 +10,7 @@
 #include "analysis/version_stats.hpp"
 #include "core/export.hpp"
 #include "core/logio.hpp"
+#include "core/perf.hpp"
 #include "core/render.hpp"
 #include "core/study.hpp"
 #include "experiment/export.hpp"
@@ -112,6 +113,16 @@ void printUsage() {
         "           of a fresh campaign (default: the paper's 25 phones,\n"
         "           425 days); --check exits 1 when the holdout forecast\n"
         "           misses the bounds\n"
+        "  perf     [--fleet-sizes N,M,...] [--phones N] [--days D] [--seed S]\n"
+        "           [--sample-hours H] [--stride K] [--json FILE] [--csv DIR]\n"
+        "           [--metrics FILE] [--check] [--max-bytes-per-phone B]\n"
+        "           [--min-phone-hours-per-sec T]\n"
+        "           run short scaling campaigns at a ladder of fleet sizes\n"
+        "           (default 25 and 10000 phones, 2 days each) and report\n"
+        "           phone-hours/sec, bytes/phone, peak RSS and per-subsystem\n"
+        "           byte breakdowns; the JSON's accounting sections are\n"
+        "           byte-identical across runs at a fixed seed; --check\n"
+        "           exits 1 when a cell misses the bounds\n"
         "  tables   print the paper's reference taxonomies\n"
         "  help     show this message\n");
 }
@@ -974,6 +985,123 @@ int runSrgm(const std::vector<std::string>& args) {
     return 0;
 }
 
+/// Parses `--fleet-sizes N,M,...` as a strict comma list of phone counts.
+std::vector<int> fleetSizesOption(const std::vector<std::string>& args,
+                                  std::vector<int> fallback) {
+    const auto value = option(args, "--fleet-sizes");
+    if (!value) return fallback;
+    std::vector<int> sizes;
+    std::size_t start = 0;
+    while (start <= value->size()) {
+        const std::size_t comma = value->find(',', start);
+        const std::string token =
+            value->substr(start, comma == std::string::npos ? std::string::npos
+                                                            : comma - start);
+        long long parsed = 0;
+        try {
+            std::size_t consumed = 0;
+            parsed = std::stoll(token, &consumed);
+            if (consumed != token.size()) {
+                throw std::invalid_argument{"trailing characters"};
+            }
+        } catch (const std::exception&) {
+            throw std::runtime_error("invalid value for --fleet-sizes: " + *value);
+        }
+        if (parsed < 1 || parsed > 100000) {
+            throw std::runtime_error(
+                "--fleet-sizes entries must be in [1, 100000], got " + token);
+        }
+        sizes.push_back(static_cast<int>(parsed));
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+    }
+    return sizes;
+}
+
+int runPerf(const std::vector<std::string>& args) {
+    validateOutputPaths(args);
+    core::PerfOptions options;
+    // --phones/--days/--seed parse (and reject malformed values) exactly
+    // like every other campaign subcommand; --phones collapses the ladder
+    // to one rung unless --fleet-sizes overrides it.
+    const bool phonesGiven = option(args, "--phones").has_value();
+    options.days = parseFleetOptions(args, options.base, options.days);
+    options.seed = options.base.seed;
+    options.fleetSizes = fleetSizesOption(
+        args, phonesGiven ? std::vector<int>{options.base.phoneCount}
+                          : options.fleetSizes);
+    const auto sampleHours = numericOption(args, "--sample-hours", 6);
+    if (sampleHours < 1 || sampleHours > 10000) {
+        throw std::runtime_error("--sample-hours must be in [1, 10000]");
+    }
+    options.sampleHours = sampleHours;
+    const auto stride = numericOption(args, "--stride", 64);
+    if (stride < 1 || stride > 1'000'000) {
+        throw std::runtime_error("--stride must be in [1, 1000000]");
+    }
+    options.samplingStride = static_cast<std::uint64_t>(stride);
+    // Bounds parse up front so a malformed knob fails before the ladder
+    // burns minutes; 0 disables a bound (the CI smoke job pins calibrated
+    // values).
+    const double maxBytesPerPhone =
+        realOption(args, "--max-bytes-per-phone", 0.0, 0.0, 1e15);
+    const double minPhoneHoursPerSec =
+        realOption(args, "--min-phone-hours-per-sec", 0.0, 0.0, 1e15);
+
+    std::string sizesLabel;
+    for (const int phones : options.fleetSizes) {
+        if (!sizesLabel.empty()) sizesLabel += ",";
+        sizesLabel += std::to_string(phones);
+    }
+    std::printf("perf: fleet sizes %s, %lld days each, seed %llu\n\n",
+                sizesLabel.c_str(), options.days,
+                static_cast<unsigned long long>(options.seed));
+    const core::PerfReport report = core::runPerfScaling(options);
+    std::printf("%s\n", core::renderPerfText(report).c_str());
+
+    if (const auto path = option(args, "--json")) {
+        writeTextFile(*path, core::perfToJson(report), "perf JSON");
+    }
+    if (const auto dir = option(args, "--csv")) {
+        const auto files = core::exportPerfCsv(report, *dir);
+        std::printf("wrote %zu CSV files to %s\n", files.size(), dir->c_str());
+    }
+    if (const auto path = option(args, "--metrics")) {
+        obs::MetricsRegistry registry;
+        core::publishPerfMetrics(report, registry);
+        writeMetricsFile(registry, *path);
+    }
+
+    if (hasFlag(args, "--check")) {
+        std::string violation;
+        char buf[160];
+        for (const core::PerfCell& cell : report.cells) {
+            if (maxBytesPerPhone > 0.0 && cell.bytesPerPhone > maxBytesPerPhone) {
+                std::snprintf(buf, sizeof buf,
+                              "%d phones: %.0f bytes/phone > max %.0f",
+                              cell.phones, cell.bytesPerPhone, maxBytesPerPhone);
+                violation = buf;
+                break;
+            }
+            if (minPhoneHoursPerSec > 0.0 &&
+                cell.phoneHoursPerSec < minPhoneHoursPerSec) {
+                std::snprintf(buf, sizeof buf,
+                              "%d phones: %.0f phone-hours/sec < min %.0f",
+                              cell.phones, cell.phoneHoursPerSec,
+                              minPhoneHoursPerSec);
+                violation = buf;
+                break;
+            }
+        }
+        if (!violation.empty()) {
+            std::printf("perf check: FAIL (%s)\n", violation.c_str());
+            return 1;
+        }
+        std::printf("perf check: OK\n");
+    }
+    return 0;
+}
+
 int runForum(const std::vector<std::string>& args) {
     core::StudyConfig config;
     config.forumConfig.failureReports = static_cast<int>(
@@ -1024,6 +1152,7 @@ int runCli(const std::vector<std::string>& args) {
         if (command == "analyze") return runAnalyze(rest);
         if (command == "crash") return runCrash(rest);
         if (command == "srgm") return runSrgm(rest);
+        if (command == "perf") return runPerf(rest);
         if (command == "forum") return runForum(rest);
         if (command == "tables") return runTables();
     } catch (const std::exception& error) {
